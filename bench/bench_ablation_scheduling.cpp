@@ -1,0 +1,86 @@
+// Ablation (beyond the paper): the paper compares two fixed schedules,
+// eta_a (short paths first) and eta_b (long paths first).  The penalty-
+// ordered optimizer generalizes eta_b to inhomogeneous links: chains are
+// ordered by cycle_slots * E[extra cycles], which provably minimizes the
+// worst-case expected delay among contiguous layouts.  On homogeneous
+// links it reproduces eta_b exactly; once link qualities differ, it
+// wins.
+#include "whart/hart/network_analysis.hpp"
+#include "whart/hart/schedule_optimizer.hpp"
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace whart;
+
+struct PolicyResult {
+  double mean = 0.0;
+  double worst = 0.0;
+  std::size_t worst_path = 0;
+};
+
+PolicyResult evaluate(const net::Network& network,
+                      const std::vector<net::Path>& paths,
+                      const net::Schedule& schedule,
+                      net::SuperframeConfig superframe) {
+  const hart::NetworkMeasures m =
+      hart::analyze_network(network, paths, schedule, superframe, 4);
+  return PolicyResult{
+      m.mean_delay_ms,
+      m.per_path[m.bottleneck_by_delay].expected_delay_ms,
+      m.bottleneck_by_delay};
+}
+
+void report_scenario(const char* scenario, const net::TypicalNetwork& t) {
+  using whart::report::Table;
+  std::cout << "\n" << scenario << ":\n";
+  const net::Schedule optimized = hart::build_min_worst_delay_schedule(
+      t.network, t.paths, t.superframe, 4);
+  Table table({"policy", "E[Gamma] ms", "worst E[tau] ms", "worst path"});
+  const auto add = [&](const char* name, const net::Schedule& schedule) {
+    const PolicyResult r =
+        evaluate(t.network, t.paths, schedule, t.superframe);
+    table.add_row({name, Table::fixed(r.mean, 1), Table::fixed(r.worst, 1),
+                   std::to_string(r.worst_path + 1)});
+  };
+  add("eta_a (short first)", t.eta_a);
+  add("eta_b (long first)", t.eta_b);
+  add("penalty-ordered optimizer", optimized);
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  using namespace whart;
+
+  bench::print_header(
+      "Ablation — scheduling policies on the typical network",
+      "eta_a vs eta_b vs the penalty-ordered worst-delay optimizer, "
+      "Is = 4");
+
+  // Scenario 1: homogeneous links (the paper's setting) — the optimizer
+  // must coincide with eta_b.
+  report_scenario("homogeneous links, pi(up) = 0.83",
+         net::make_typical_network(bench::paper_link(0.83)));
+
+  // Scenario 2: inhomogeneous links — the 2-hop path via n4 is lossy, so
+  // hop count no longer predicts the retry penalty.
+  net::TypicalNetwork noisy =
+      net::make_typical_network(link::LinkModel::from_availability(0.93));
+  const auto n4 = *noisy.network.find_node("n4");
+  const auto n1 = *noisy.network.find_node("n1");
+  noisy.network.set_link_model(*noisy.network.link_between(n4, n1),
+                               link::LinkModel::from_availability(0.70));
+  noisy.network.set_link_model(
+      *noisy.network.link_between(n1, net::kGateway),
+      link::LinkModel::from_availability(0.75));
+  report_scenario("inhomogeneous links (lossy n4 -> n1 -> G branch)", noisy);
+
+  std::cout << "\nconclusion: with equal links the optimizer reduces to "
+               "the paper's eta_b; with unequal links ordering by retry "
+               "penalty (not hop count) minimizes the worst expected "
+               "delay.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Shared helpers for the reproduction benches: the paper's example path,
+// the BER ladder behind its availability labels, and small printing
+// utilities.  Every bench prints "paper" vs "model" columns so the
+// reproduction can be eyeballed directly (see EXPERIMENTS.md).
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "whart/hart/path_analysis.hpp"
+#include "whart/hart/path_model.hpp"
+#include "whart/link/link_model.hpp"
+#include "whart/net/typical_network.hpp"
+#include "whart/report/table.hpp"
+
+namespace whart::bench {
+
+/// The Section V-A example path: 3 hops at slots 3/6/7 of a 7-slot
+/// uplink frame.
+inline hart::PathModelConfig example_path(std::uint32_t reporting_interval) {
+  hart::PathModelConfig config;
+  config.hop_slots = {3, 6, 7};
+  config.superframe = net::SuperframeConfig::symmetric(7);
+  config.reporting_interval = reporting_interval;
+  return config;
+}
+
+/// The BER ladder behind the paper's availability labels (Eq. 1-2 with
+/// L = 1016, prc = 0.9).  The paper prints the availabilities rounded to
+/// three digits; computing from the BER reproduces its exact numbers.
+struct AvailabilityStep {
+  double label;  ///< the value printed in the paper
+  double ber;    ///< the bit error rate that induces it
+};
+
+inline const std::vector<AvailabilityStep>& availability_ladder() {
+  static const std::vector<AvailabilityStep> ladder{
+      {0.693, 5e-4}, {0.774, 3e-4}, {0.83, 2e-4},
+      {0.903, 1e-4}, {0.948, 5e-5}, {0.989, 1e-5}};
+  return ladder;
+}
+
+/// Link with the paper's labeled availability (via its BER where the
+/// label is on the ladder).
+inline link::LinkModel paper_link(double label) {
+  for (const AvailabilityStep& step : availability_ladder())
+    if (step.label == label) return link::LinkModel::from_ber(step.ber);
+  return link::LinkModel::from_availability(label);
+}
+
+/// Measures of the example path with homogeneous steady-state links.
+inline hart::PathMeasures example_measures(double availability_label,
+                                           std::uint32_t is = 4) {
+  const hart::PathModel model(example_path(is));
+  const hart::SteadyStateLinks links(3, paper_link(availability_label));
+  return compute_path_measures(model, links);
+}
+
+inline void print_header(const std::string& title,
+                         const std::string& setup) {
+  std::cout << "================================================================\n"
+            << title << "\n" << setup << "\n"
+            << "================================================================\n";
+}
+
+}  // namespace whart::bench

@@ -1,0 +1,67 @@
+// Extension ablation (standard feature the paper omits): dedicated retry
+// slots.  Real WirelessHART schedules often allocate a second slot per
+// hop per frame; the exact DTMC prices the benefit — how much
+// reachability one extra slot per hop buys, versus doubling the
+// reporting interval, at equal slot budgets.
+#include <numeric>
+
+#include "whart/hart/path_analysis.hpp"
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace whart;
+
+double reach(const hart::PathModelConfig& config, double availability) {
+  const hart::PathModel model(config);
+  const hart::SteadyStateLinks links(
+      config.hop_count(), link::LinkModel::from_availability(availability));
+  const auto result = model.analyze(links);
+  return std::accumulate(result.cycle_probabilities.begin(),
+                         result.cycle_probabilities.end(), 0.0);
+}
+
+}  // namespace
+
+int main() {
+  using namespace whart;
+  using report::Table;
+
+  bench::print_header(
+      "Extension — dedicated retry slots vs longer reporting intervals",
+      "3-hop path; retry config uses 6 slots/frame, the alternatives use "
+      "3; equal-budget comparison at Is = 2 (retries) vs Is = 4 (twice "
+      "the cycles)");
+
+  // 3 hops in a 7-slot frame: primaries 1/3/5, retries 2/4/6.
+  hart::PathModelConfig base;
+  base.hop_slots = {1, 3, 5};
+  base.superframe = net::SuperframeConfig::symmetric(7);
+  base.reporting_interval = 2;
+  hart::PathModelConfig retried = base;
+  retried.retry_slots = {2, 4, 6};
+  hart::PathModelConfig longer = base;
+  longer.reporting_interval = 4;
+
+  Table table({"pi(up)", "R (Is=2, no retries)", "R (Is=2, retry slots)",
+               "R (Is=4, no retries)"});
+  for (double pi : {0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95}) {
+    table.add_row({Table::fixed(pi, 2), Table::fixed(reach(base, pi), 4),
+                   Table::fixed(reach(retried, pi), 4),
+                   Table::fixed(reach(longer, pi), 4)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nreading: retry slots and interval doubling both give each hop "
+         "~2x the attempts, but retries chain within the SAME cycle — a "
+         "message can recover from a failure and still complete the "
+         "remaining hops this frame.  The DTMC shows retries strictly "
+         "dominate at equal attempt budgets (e.g. 0.924 vs 0.883 at "
+         "pi = 0.65) while also halving the deadline.\n"
+      << "slot cost: retries spend schedule slots (6 vs 3 per frame); "
+         "interval doubling spends latency. The model lets the network "
+         "manager price both.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Extension study (not in the paper): how far can a WirelessHART mesh
+// stretch?  Spatially-embedded plants of growing radius, links derived
+// from radio physics (path loss -> Eb/N0 -> BER -> pfl), measures from
+// the exact DTMC.  Reports, per radius, the hop-depth mix, the worst
+// path's reachability and the network mean delay — the zone where the
+// HART "<= 4 hops" guideline starts to bind.
+#include "whart/hart/network_analysis.hpp"
+#include "whart/net/spatial_plant.hpp"
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace whart;
+  using report::Table;
+
+  bench::print_header(
+      "Extension — mesh capacity vs plant radius (spatial model)",
+      "14 devices, path-loss exponent 3.0, Is = 4, 5 seeds per radius");
+
+  Table table({"radius (m)", "mean max hops", "mean worst R",
+               "mean E[Gamma] ms", "share of 1-hop devices"});
+  for (double radius : {40.0, 80.0, 120.0, 160.0, 200.0, 240.0}) {
+    double worst_r = 0.0;
+    double mean_delay = 0.0;
+    double max_hops = 0.0;
+    double one_hop_share = 0.0;
+    const int seeds = 5;
+    for (int seed = 1; seed <= seeds; ++seed) {
+      net::SpatialPlantProfile profile;
+      profile.device_count = 14;
+      profile.plant_radius_m = radius;
+      profile.propagation.exponent = 3.0;
+      profile.seed = static_cast<std::uint64_t>(seed);
+      const net::SpatialPlant plant = generate_spatial_plant(profile);
+      const hart::NetworkMeasures m = hart::analyze_network(
+          plant.network, plant.paths, plant.schedule, plant.superframe, 4);
+
+      std::size_t hops = 0;
+      std::size_t one_hop = 0;
+      for (const net::Path& path : plant.paths) {
+        hops = std::max(hops, path.hop_count());
+        if (path.hop_count() == 1) ++one_hop;
+      }
+      worst_r += m.per_path[m.bottleneck_by_reachability].reachability;
+      mean_delay += m.mean_delay_ms;
+      max_hops += static_cast<double>(hops);
+      one_hop_share +=
+          static_cast<double>(one_hop) / plant.paths.size();
+    }
+    table.add_row({Table::fixed(radius, 0),
+                   Table::fixed(max_hops / seeds, 1),
+                   Table::percent(worst_r / seeds, 2),
+                   Table::fixed(mean_delay / seeds, 1),
+                   Table::percent(one_hop_share / seeds, 0)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nshape: small plants are single-hop and near-perfect; as "
+               "the radius approaches the radio range the mesh deepens, "
+               "the worst-path reachability sags and delays stretch — "
+               "the regime where the paper's hop-count guideline and "
+               "repeater placement matter.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig. 13: reachability of all ten paths of the typical WirelessHART
+// network for four link availabilities.
+#include "whart/hart/network_analysis.hpp"
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace whart;
+  using report::Table;
+
+  bench::print_header(
+      "Fig. 13 — reachability of all paths of the typical network",
+      "Fig. 12 topology, schedule eta_a, Is = 4; one column per pi(up)");
+
+  const double labels[] = {0.903, 0.83, 0.774, 0.693};
+
+  std::vector<hart::NetworkMeasures> measures;
+  for (double label : labels) {
+    const net::TypicalNetwork t =
+        net::make_typical_network(bench::paper_link(label));
+    measures.push_back(hart::analyze_network(t.network, t.paths, t.eta_a,
+                                             t.superframe, 4));
+  }
+
+  Table table({"path", "hops", "R @0.903", "R @0.83", "R @0.774",
+               "R @0.693"});
+  const net::TypicalNetwork t = net::make_typical_network();
+  for (std::size_t p = 0; p < 10; ++p) {
+    std::vector<std::string> row{std::to_string(p + 1),
+                                 std::to_string(t.paths[p].hop_count())};
+    for (std::size_t a = 0; a < 4; ++a)
+      row.push_back(Table::fixed(measures[a].per_path[p].reachability, 4));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  std::cout << "\npaper narrative: at 0.903 every path has R > 0.999 "
+               "(rounded); at 0.693 the three-hop paths drop to ~0.93 — "
+               "one lost message in 13.\n"
+            << "model: worst path at 0.693: R = "
+            << Table::fixed(
+                   measures[3]
+                       .per_path[measures[3].bottleneck_by_reachability]
+                       .reachability,
+                   4)
+            << " => E[intervals to first loss] = "
+            << Table::fixed(measures[3]
+                                .per_path[measures[3]
+                                              .bottleneck_by_reachability]
+                                .expected_intervals_to_first_loss,
+                            1)
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Table I: influence of pi(up) on the reachability and expected delay of
+// the example path.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace whart;
+  using report::Table;
+
+  bench::print_header(
+      "Table I — influence of pi(up) on reachability and expected delay",
+      "3-hop example path, Is = 4");
+
+  const struct {
+    double label;
+    double paper_r;
+    double paper_delay;
+  } rows[] = {{0.774, 97.37, 179.0},
+              {0.83, 99.07, 151.0},
+              {0.903, 99.89, 113.0},
+              {0.948, 99.99, 93.0}};
+
+  Table table({"pi(up)", "R% (paper)", "R% (model)", "E[tau] ms (paper)",
+               "E[tau] ms (model)"});
+  for (const auto& row : rows) {
+    const hart::PathMeasures m = bench::example_measures(row.label);
+    table.add_row({Table::fixed(row.label, 3),
+                   Table::fixed(row.paper_r, 2),
+                   Table::fixed(m.reachability * 100.0, 2),
+                   Table::fixed(row.paper_delay, 0),
+                   Table::fixed(m.expected_delay_ms, 1)});
+  }
+  table.print(std::cout);
+  return 0;
+}

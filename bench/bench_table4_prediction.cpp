@@ -1,0 +1,68 @@
+// Table IV: performance prediction by path composition (Section VI-E).
+// Node 5 joins the network and can relay via node 3 (existing 2-hop path,
+// measured Eb/N0 = 7) or node 4 (existing 1-hop path, Eb/N0 = 6).
+#include "whart/hart/analytic.hpp"
+#include "whart/hart/composition.hpp"
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace whart;
+  using report::Table;
+
+  bench::print_header(
+      "Table IV — route prediction by path composition (Eq. 12)",
+      "existing paths at pi(up) = 0.83, Is = 4; peer SNR measured via "
+      "pilot packages");
+
+  const auto g1 = hart::analytic_cycle_probabilities(
+      2, bench::paper_link(0.83).steady_state_availability(), 4);
+  const auto g2 = hart::analytic_cycle_probabilities(
+      1, bench::paper_link(0.83).steady_state_availability(), 4);
+
+  const hart::RoutePrediction alpha =
+      hart::predict_route(phy::EbN0::from_linear(7.0), g1, 2, 4);
+  const hart::RoutePrediction beta =
+      hart::predict_route(phy::EbN0::from_linear(6.0), g2, 1, 4);
+
+  const auto print_route = [](const char* name,
+                              const hart::RoutePrediction& route,
+                              const char* paper_gc, double paper_r) {
+    std::cout << name << ": gc = [";
+    for (std::size_t i = 0; i < route.composed_cycles.size(); ++i)
+      std::cout << (i ? ", " : "")
+                << Table::fixed(route.composed_cycles[i], 4);
+    std::cout << "]  R = " << Table::percent(route.reachability, 2)
+              << "  hops = " << route.total_hops << "\n"
+              << "   paper: gc = " << paper_gc
+              << "  R = " << Table::fixed(paper_r, 2) << "%\n";
+  };
+  print_route("path alpha (via node 3, Eb/N0 = 7)", alpha,
+              "[0.6274, 0.2694, 0.0784, 0.0193]", 99.46);
+  print_route("path beta  (via node 4, Eb/N0 = 6)", beta,
+              "[0.6573, 0.2485, 0.0707, 0.0180]", 99.45);
+
+  const std::size_t best = hart::best_route({alpha, beta});
+  std::cout << "\ndecision: reachabilities tie within tolerance; the "
+               "route with fewer hops wins => path "
+            << (best == 0 ? "alpha" : "beta")
+            << " (paper: beta preferred — one fewer slot, ~10 ms less "
+               "expected delay)\n";
+
+  // Cross-check the convolution against rebuilding the composed path.
+  const auto direct = hart::analytic_cycle_probabilities(
+      std::vector<double>{
+          link::LinkModel::from_snr(phy::EbN0::from_linear(7.0))
+              .steady_state_availability(),
+          bench::paper_link(0.83).steady_state_availability(),
+          bench::paper_link(0.83).steady_state_availability()},
+      4);
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < 4; ++i)
+    max_diff = std::max(max_diff,
+                        std::abs(direct[i] - alpha.composed_cycles[i]));
+  std::cout << "ablation: |composed - directly rebuilt 3-hop model| <= "
+            << Table::scientific(max_diff, 2)
+            << " (Eq. 12 is exact, no DTMC rebuild needed)\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Interval tuner (paper Section VI-D operationalized): given per-path
+// stability requirements, choose each path's reporting interval Is —
+// the smallest value whose reachability satisfies the control engineer's
+// constraints — and report the resulting energy and latency trade-off.
+#include <iostream>
+
+#include "whart/hart/control_loop.hpp"
+#include "whart/hart/fast_control.hpp"
+#include "whart/hart/path_analysis.hpp"
+#include "whart/hart/stability.hpp"
+#include "whart/net/typical_network.hpp"
+#include "whart/report/table.hpp"
+
+int main() {
+  using namespace whart;
+  using report::Table;
+
+  const net::TypicalNetwork plant =
+      net::make_typical_network(link::LinkModel::from_ber(2e-4));
+  const double pi =
+      link::LinkModel::from_ber(2e-4).steady_state_availability();
+
+  // Different loops tolerate different sample-loss rates: a flow loop
+  // needs 99.9%, a temperature monitor is content with 97%.
+  struct Requirement {
+    std::size_t path;
+    const char* role;
+    double target_r;
+  };
+  const Requirement requirements[] = {
+      {0, "flow control loop", 0.999},
+      {3, "pressure loop", 0.995},
+      {6, "level loop", 0.99},
+      {9, "temperature monitor", 0.97},
+  };
+
+  Table table({"path", "role", "hops", "target R", "chosen Is",
+               "achieved R", "loop R", "E[N] to violation (k=2)"});
+  for (const Requirement& req : requirements) {
+    const auto hops =
+        static_cast<std::uint32_t>(plant.paths[req.path].hop_count());
+    const auto is = hart::minimum_reporting_interval(hops, pi, req.target_r);
+    if (!is) {
+      table.add_row({std::to_string(req.path + 1), req.role,
+                     std::to_string(hops), Table::percent(req.target_r, 1),
+                     "unreachable", "-", "-", "-"});
+      continue;
+    }
+
+    hart::PathModelConfig config = hart::PathModelConfig::from_schedule(
+        plant.eta_a, req.path, plant.superframe, *is);
+    const hart::PathModel model(config);
+    const hart::SteadyStateLinks links(hops,
+                                       link::LinkModel::from_ber(2e-4));
+    const hart::PathMeasures m = compute_path_measures(model, links);
+    const hart::ControlLoopMeasures loop =
+        hart::analyze_symmetric_control_loop(m);
+    const hart::StabilityAssessment stability = hart::assess_stability(
+        m.reachability, hart::StabilityRequirement{2, req.target_r});
+
+    table.add_row({std::to_string(req.path + 1), req.role,
+                   std::to_string(hops), Table::percent(req.target_r, 1),
+                   std::to_string(*is), Table::percent(m.reachability, 2),
+                   Table::percent(loop.loop_reachability, 2),
+                   Table::fixed(stability.expected_intervals_to_violation,
+                                0)});
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nreading the table: a larger Is buys per-message reliability "
+         "(more retry cycles) at the cost of staler data — the paper's "
+         "Section VI-D trade-off, automated.\nloop R is the probability "
+         "the full sensor -> controller -> actuator loop closes within "
+         "the interval (symmetric downlink, Section V-A).\n";
+  return 0;
+}

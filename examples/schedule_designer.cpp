@@ -1,0 +1,71 @@
+// Schedule designer: generate a random plant with the HART hop-count mix
+// (30/50/20), build both scheduling policies for it, and report which one
+// a network manager should deploy — the paper's Section VI-B trade-off
+// (mean delay vs delay balance) on a fresh topology.
+#include <algorithm>
+#include <iostream>
+
+#include "whart/hart/network_analysis.hpp"
+#include "whart/net/plant_generator.hpp"
+#include "whart/report/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace whart;
+  using report::Table;
+
+  net::PlantProfile profile;
+  profile.device_count = 16;
+  profile.seed = argc > 1 ? std::stoull(argv[1]) : 42;
+
+  const net::GeneratedPlant plant = net::generate_plant(profile);
+  std::cout << "generated plant (seed " << profile.seed << "): "
+            << plant.paths.size() << " devices, Fup = "
+            << plant.superframe.uplink_slots << " slots\n";
+  for (const net::Path& path : plant.paths)
+    std::cout << "  " << path.to_string(plant.network) << "\n";
+
+  const auto evaluate = [&](net::SchedulingPolicy policy) {
+    const net::Schedule schedule = net::build_schedule(
+        plant.paths, plant.superframe.uplink_slots, policy);
+    return hart::analyze_network(plant.network, plant.paths, schedule,
+                                 plant.superframe, 4);
+  };
+  const hart::NetworkMeasures short_first =
+      evaluate(net::SchedulingPolicy::kShortestPathsFirst);
+  const hart::NetworkMeasures long_first =
+      evaluate(net::SchedulingPolicy::kLongestPathsFirst);
+
+  const auto worst = [](const hart::NetworkMeasures& m) {
+    return m.per_path[m.bottleneck_by_delay].expected_delay_ms;
+  };
+
+  Table table({"policy", "E[Gamma] ms", "worst E[tau] ms",
+               "worst path", "U"});
+  table.add_row({"shortest paths first (eta_a style)",
+                 Table::fixed(short_first.mean_delay_ms, 1),
+                 Table::fixed(worst(short_first), 1),
+                 std::to_string(short_first.bottleneck_by_delay + 1),
+                 Table::fixed(short_first.network_utilization, 3)});
+  table.add_row({"longest paths first (eta_b style)",
+                 Table::fixed(long_first.mean_delay_ms, 1),
+                 Table::fixed(worst(long_first), 1),
+                 std::to_string(long_first.bottleneck_by_delay + 1),
+                 Table::fixed(long_first.network_utilization, 3)});
+  table.print(std::cout);
+
+  std::cout << "\nrecommendation: ";
+  if (worst(long_first) < worst(short_first)) {
+    std::cout << "schedule long paths first — it cuts the worst-case "
+                 "expected delay from "
+              << Table::fixed(worst(short_first), 0) << " to "
+              << Table::fixed(worst(long_first), 0)
+              << " ms for a mean-delay cost of "
+              << Table::fixed(
+                     long_first.mean_delay_ms - short_first.mean_delay_ms, 0)
+              << " ms (the paper's conclusion for eta_b).\n";
+  } else {
+    std::cout << "schedule short paths first — on this topology it wins "
+                 "both the mean and the worst case.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Upgrade planner: where should the maintenance budget go?  Ranks every
+// link of the plant by the total reachability gained per unit of
+// availability improvement (adjoint sensitivity over all paths using the
+// link), verifies the top suggestion by actually applying the upgrade,
+// and dumps the worst path's DTMC as Graphviz for the report appendix.
+#include <fstream>
+#include <iostream>
+
+#include "whart/hart/network_analysis.hpp"
+#include "whart/hart/sensitivity.hpp"
+#include "whart/markov/export.hpp"
+#include "whart/net/typical_network.hpp"
+#include "whart/report/table.hpp"
+
+int main() {
+  using namespace whart;
+  using report::Table;
+
+  net::TypicalNetwork plant =
+      net::make_typical_network(link::LinkModel::from_ber(2e-4));
+
+  const auto total_reach = [&](const net::Network& network) {
+    const hart::NetworkMeasures m = hart::analyze_network(
+        network, plant.paths, plant.eta_a, plant.superframe, 4);
+    double sum = 0.0;
+    for (const auto& path : m.per_path) sum += path.reachability;
+    return sum;  // expected delivered messages per interval
+  };
+
+  const auto ranking = hart::rank_link_upgrades(
+      plant.network, plant.paths, plant.eta_a, plant.superframe, 4);
+
+  std::cout << "Link upgrade ranking (dR summed over paths, per unit of "
+               "availability):\n\n";
+  Table table({"rank", "link", "paths using it", "sum dR/dpi"});
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    const net::Link& l = plant.network.link(ranking[i].link);
+    table.add_row({std::to_string(i + 1),
+                   plant.network.node_name(l.a) + " -- " +
+                       plant.network.node_name(l.b),
+                   std::to_string(ranking[i].paths_using),
+                   Table::fixed(ranking[i].total_dR_dpi, 4)});
+  }
+  table.print(std::cout);
+
+  // Verify the prediction: upgrade the top link by +0.05 availability.
+  const double before = total_reach(plant.network);
+  const net::Link& top = plant.network.link(ranking.front().link);
+  const double old_pi = top.model.steady_state_availability();
+  plant.network.set_link_model(
+      ranking.front().link,
+      link::LinkModel::from_availability(old_pi + 0.05,
+                                         top.model.recovery_probability()));
+  const double after = total_reach(plant.network);
+  std::cout << "\nupgrading " << plant.network.node_name(top.a) << " -- "
+            << plant.network.node_name(top.b) << " by +0.05 availability: "
+            << "expected delivered messages/interval " << Table::fixed(before, 4)
+            << " -> " << Table::fixed(after, 4) << " (predicted gain ~ "
+            << Table::fixed(0.05 * ranking.front().total_dR_dpi, 4)
+            << ", realized " << Table::fixed(after - before, 4) << ")\n";
+
+  // Appendix artifact: the worst path's DTMC as Graphviz.
+  const hart::PathModelConfig config = hart::PathModelConfig::from_schedule(
+      plant.eta_a, 9, plant.superframe, 4);
+  const hart::PathModel model(config);
+  const hart::SteadyStateLinks links(plant.paths[9].hop_models(plant.network));
+  std::ofstream dot("/tmp/whart_path10.dot");
+  markov::write_dot(dot, model.to_dtmc(links));
+  std::cout << "\nwrote the path-10 DTMC ("
+            << model.state_count()
+            << " states) to /tmp/whart_path10.dot — render with: dot -Tsvg\n";
+  return 0;
+}

@@ -1,0 +1,275 @@
+// whart_cli — analyze a WirelessHART network spec: per-path reachability,
+// delay and utilization, plus optional energy/stability reports, CSV
+// export and a Monte-Carlo cross-check.
+//
+// Usage:
+//   whart_cli <spec-file> [options]
+//   whart_cli --typical   [options]          # the paper's Fig. 12 network
+//   cat spec | whart_cli - [options]
+//
+// Options:
+//   --interval <Is>      override the reporting interval
+//   --simulate <N>       Monte-Carlo cross-check over N intervals
+//   --energy             per-node energy / battery-life report
+//   --stability <R>      assess every path against a target reachability
+//   --csv <file>         export per-path measures as CSV
+//   --sweep <file>       export an availability sweep (0.65..0.99) of the
+//                        worst path as CSV (reachability, delay, jitter)
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "whart/cli/spec_parser.hpp"
+#include "whart/hart/energy.hpp"
+#include "whart/hart/network_analysis.hpp"
+#include "whart/hart/stability.hpp"
+#include "whart/hart/sweep.hpp"
+#include "whart/net/typical_network.hpp"
+#include "whart/report/csv.hpp"
+#include "whart/report/histogram.hpp"
+#include "whart/report/table.hpp"
+#include "whart/sim/simulator.hpp"
+
+namespace {
+
+using whart::report::Table;
+
+struct Options {
+  std::uint64_t simulate_intervals = 0;
+  std::uint32_t interval_override = 0;
+  bool energy = false;
+  double stability_target = 0.0;  // 0 = off
+  std::string csv_path;
+  std::string sweep_path;
+};
+
+int usage() {
+  std::cerr << "usage: whart_cli <spec-file>|-|--typical "
+               "[--interval <Is>] [--simulate <intervals>] [--energy] "
+               "[--stability <targetR>] [--csv <file>]\n";
+  return 2;
+}
+
+void print_energy(const whart::cli::ParsedSpec& spec,
+                  const whart::net::Schedule& schedule) {
+  const auto energies = whart::hart::estimate_node_energy(
+      spec.network, spec.paths, schedule, spec.superframe,
+      spec.reporting_interval);
+  const whart::hart::EnergyParameters params;
+  const double interval_ms = spec.superframe.cycle_milliseconds() *
+                             static_cast<double>(spec.reporting_interval);
+
+  std::cout << "\nPer-node energy (tx " << params.tx_mj_per_attempt
+            << " mJ, rx " << params.rx_mj_per_attempt
+            << " mJ per attempt, battery " << params.battery_joules / 1000.0
+            << " kJ):\n";
+  Table table({"node", "tx/interval", "rx/interval", "mJ/interval",
+               "battery life (days)"});
+  for (const auto& node : energies) {
+    const double days = node.battery_life_days(params, interval_ms);
+    table.add_row({spec.network.node_name(node.node),
+                   Table::fixed(node.tx_attempts_per_interval, 3),
+                   Table::fixed(node.rx_attempts_per_interval, 3),
+                   Table::fixed(node.mj_per_interval, 4),
+                   std::isinf(days) ? "inf" : Table::fixed(days, 0)});
+  }
+  table.print(std::cout);
+  std::cout << "hottest node: "
+            << spec.network.node_name(
+                   energies[whart::hart::hottest_node(energies)].node)
+            << "\n";
+}
+
+void print_stability(const whart::cli::ParsedSpec& spec,
+                     const whart::hart::NetworkMeasures& measures,
+                     double target) {
+  std::cout << "\nStability vs target R >= " << Table::percent(target, 2)
+            << " (tolerating at most 1 consecutive loss):\n";
+  Table table({"path", "R", "E[N] to loss", "E[N] to 2-loss run",
+               "verdict"});
+  for (std::size_t p = 0; p < spec.paths.size(); ++p) {
+    const auto a = whart::hart::assess_stability(
+        measures.per_path[p].reachability,
+        whart::hart::StabilityRequirement{2, target});
+    table.add_row(
+        {spec.paths[p].to_string(spec.network),
+         Table::percent(a.reachability, 3),
+         Table::fixed(a.expected_intervals_to_first_loss, 0),
+         Table::fixed(a.expected_intervals_to_violation, 0),
+         a.meets_reachability ? "ok" : "BELOW TARGET"});
+  }
+  table.print(std::cout);
+}
+
+void write_csv(const whart::cli::ParsedSpec& spec,
+               const whart::hart::NetworkMeasures& measures,
+               const std::string& path) {
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("cannot write '" + path + "'");
+  whart::report::CsvWriter csv(file);
+  csv.write_row({"path", "hops", "reachability", "expected_delay_ms",
+                 "utilization", "utilization_delivered",
+                 "expected_intervals_to_first_loss"});
+  for (std::size_t p = 0; p < spec.paths.size(); ++p) {
+    const auto& m = measures.per_path[p];
+    csv.write_row({spec.paths[p].to_string(spec.network),
+                   std::to_string(spec.paths[p].hop_count()),
+                   std::to_string(m.reachability),
+                   std::to_string(m.expected_delay_ms),
+                   std::to_string(m.utilization),
+                   std::to_string(m.utilization_delivered),
+                   std::to_string(m.expected_intervals_to_first_loss)});
+  }
+  std::cout << "\nwrote " << spec.paths.size() << " rows to " << path
+            << "\n";
+}
+
+void print_analysis(const whart::cli::ParsedSpec& spec,
+                    const Options& options) {
+  const std::uint64_t simulate_intervals = options.simulate_intervals;
+  const whart::net::Schedule schedule = whart::net::build_schedule(
+      spec.paths, spec.superframe.uplink_slots, spec.policy);
+
+  const whart::hart::NetworkMeasures measures = whart::hart::analyze_network(
+      spec.network, spec.paths, schedule, spec.superframe,
+      spec.reporting_interval);
+
+  std::cout << "Schedule eta = " << schedule.to_string(spec.network) << "\n";
+  std::cout << "Superframe: Fup=" << spec.superframe.uplink_slots
+            << " Fdown=" << spec.superframe.downlink_slots
+            << "  reporting interval Is=" << spec.reporting_interval
+            << "\n\n";
+
+  Table table({"path", "hops", "reachability", "E[delay] ms", "utilization",
+               "E[intervals to 1st loss]"});
+  for (std::size_t p = 0; p < spec.paths.size(); ++p) {
+    const auto& m = measures.per_path[p];
+    table.add_row({spec.paths[p].to_string(spec.network),
+                   std::to_string(spec.paths[p].hop_count()),
+                   Table::percent(m.reachability, 3),
+                   Table::fixed(m.expected_delay_ms, 1),
+                   Table::fixed(m.utilization, 4),
+                   Table::fixed(m.expected_intervals_to_first_loss, 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nNetwork: E[Gamma] = "
+            << Table::fixed(measures.mean_delay_ms, 1)
+            << " ms, utilization U = "
+            << Table::fixed(measures.network_utilization, 4)
+            << "\nbottleneck (delay): path "
+            << spec.paths[measures.bottleneck_by_delay].to_string(
+                   spec.network)
+            << "\nbottleneck (reachability): path "
+            << spec.paths[measures.bottleneck_by_reachability].to_string(
+                   spec.network)
+            << "\n";
+
+  std::cout << "\nOverall delay distribution:\n";
+  std::vector<std::string> labels;
+  std::vector<double> values;
+  for (const auto& point : measures.overall_delay_distribution) {
+    labels.push_back(Table::fixed(point.delay_ms, 0) + " ms");
+    values.push_back(point.probability);
+  }
+  whart::report::print_histogram(std::cout, labels, values);
+
+  if (simulate_intervals > 0) {
+    whart::sim::SimulatorConfig sim_config;
+    sim_config.superframe = spec.superframe;
+    sim_config.reporting_interval = spec.reporting_interval;
+    sim_config.intervals = simulate_intervals;
+    whart::sim::NetworkSimulator simulator(spec.network, spec.paths,
+                                           schedule, sim_config);
+    const whart::sim::SimulationReport report = simulator.run();
+
+    std::cout << "\nMonte-Carlo cross-check (" << simulate_intervals
+              << " intervals):\n";
+    Table sim_table({"path", "R (model)", "R (simulated)", "95% CI"});
+    for (std::size_t p = 0; p < spec.paths.size(); ++p) {
+      const auto ci = report.per_path[p].reachability_interval();
+      sim_table.add_row({spec.paths[p].to_string(spec.network),
+                         Table::percent(measures.per_path[p].reachability, 3),
+                         Table::percent(report.per_path[p].reachability(), 3),
+                         "[" + Table::percent(ci.low, 3) + ", " +
+                             Table::percent(ci.high, 3) + "]"});
+    }
+    sim_table.print(std::cout);
+  }
+
+  if (options.energy) print_energy(spec, schedule);
+  if (options.stability_target > 0.0)
+    print_stability(spec, measures, options.stability_target);
+  if (!options.csv_path.empty())
+    write_csv(spec, measures, options.csv_path);
+  if (!options.sweep_path.empty()) {
+    const std::size_t worst = measures.bottleneck_by_reachability;
+    const whart::hart::PathModelConfig config =
+        whart::hart::PathModelConfig::from_schedule(
+            schedule, worst, spec.superframe, spec.reporting_interval);
+    const whart::hart::SweepSeries series = whart::hart::sweep_availability(
+        config, whart::hart::linspace(0.65, 0.99, 18));
+    std::ofstream file(options.sweep_path);
+    if (!file)
+      throw std::runtime_error("cannot write '" + options.sweep_path + "'");
+    whart::hart::write_series_csv(file, series);
+    std::cout << "\nwrote availability sweep of path "
+              << spec.paths[worst].to_string(spec.network) << " to "
+              << options.sweep_path << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+
+  std::string source = argv[1];
+  Options options;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--simulate" && i + 1 < argc)
+      options.simulate_intervals = std::stoull(argv[++i]);
+    else if (arg == "--interval" && i + 1 < argc)
+      options.interval_override =
+          static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    else if (arg == "--energy")
+      options.energy = true;
+    else if (arg == "--stability" && i + 1 < argc)
+      options.stability_target = std::stod(argv[++i]);
+    else if (arg == "--csv" && i + 1 < argc)
+      options.csv_path = argv[++i];
+    else if (arg == "--sweep" && i + 1 < argc)
+      options.sweep_path = argv[++i];
+    else
+      return usage();
+  }
+
+  try {
+    whart::cli::ParsedSpec spec;
+    if (source == "--typical") {
+      whart::net::TypicalNetwork typical = whart::net::make_typical_network();
+      spec.network = std::move(typical.network);
+      spec.paths = std::move(typical.paths);
+      spec.superframe = typical.superframe;
+      spec.reporting_interval = whart::net::kTypicalReportingInterval;
+    } else if (source == "-") {
+      spec = whart::cli::parse_spec(std::cin);
+    } else {
+      std::ifstream file(source);
+      if (!file) {
+        std::cerr << "whart_cli: cannot open '" << source << "'\n";
+        return 1;
+      }
+      spec = whart::cli::parse_spec(file);
+    }
+    if (options.interval_override > 0)
+      spec.reporting_interval = options.interval_override;
+    print_analysis(spec, options);
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "whart_cli: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,58 @@
+// Text format for specifying a WirelessHART network to the CLI tool — the
+// counterpart of the paper's "tool to automatically derive the underlying
+// model of a fully specified network".
+//
+// Format (one directive per line, '#' starts a comment):
+//
+//   superframe <Fup> <Fdown>        # optional; default: fitted symmetric
+//   interval <Is>                   # optional; default 4
+//   schedule shortest|longest       # optional; default shortest
+//   node <name>                     # declare a field device
+//   link <a> <b> avail <pi_up>      # one of the four link forms
+//   link <a> <b> pfl <p> prc <p>
+//   link <a> <b> ber <ber>
+//   link <a> <b> snr <Eb/N0 linear>
+//   path <src> <relay>... G         # pin this device's route; devices
+//                                   # without a path directive are routed
+//                                   # by shortest path automatically
+//
+// The gateway is always called "G" and need not be declared.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "whart/net/path.hpp"
+#include "whart/net/schedule_builder.hpp"
+#include "whart/net/superframe.hpp"
+#include "whart/net/topology.hpp"
+
+namespace whart::cli {
+
+/// Thrown on malformed input, with a line number in the message.
+class parse_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The result of parsing a network spec.
+struct ParsedSpec {
+  net::Network network;
+  std::vector<net::Path> paths;
+  net::SuperframeConfig superframe;
+  std::uint32_t reporting_interval = 4;
+  net::SchedulingPolicy policy = net::SchedulingPolicy::kShortestPathsFirst;
+};
+
+/// Parse a spec from a stream; applies the documented defaults (paths via
+/// shortest-path routing when none are given; superframe fitted to the
+/// paths when not specified).
+ParsedSpec parse_spec(std::istream& in);
+
+/// Parse from a string.
+ParsedSpec parse_spec_string(const std::string& text);
+
+}  // namespace whart::cli

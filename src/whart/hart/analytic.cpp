@@ -1,0 +1,71 @@
+#include "whart/hart/analytic.hpp"
+
+#include <algorithm>
+
+#include "whart/common/contracts.hpp"
+#include "whart/numeric/distributions.hpp"
+
+namespace whart::hart {
+
+std::vector<double> analytic_cycle_probabilities(std::uint32_t hops,
+                                                 double ps,
+                                                 std::uint32_t cycles) {
+  return numeric::negative_binomial_cycles(hops, ps, cycles);
+}
+
+std::vector<double> analytic_cycle_probabilities(
+    const std::vector<double>& per_hop_ps, std::uint32_t cycles) {
+  expects(!per_hop_ps.empty(), "at least one hop");
+  for (double ps : per_hop_ps)
+    expects(ps >= 0.0 && ps <= 1.0, "0 <= ps <= 1");
+
+  // state[h]: probability that the message sits before hop h (0-based)
+  // at the start of a cycle; delivered[m]: delivery in cycle m.
+  // Within one cycle the message advances through consecutive hops until
+  // the first failure (slots are ordered along the chain).
+  std::vector<double> delivered(cycles, 0.0);
+  std::vector<double> waiting(per_hop_ps.size(), 0.0);
+  waiting[0] = 1.0;
+  for (std::uint32_t m = 0; m < cycles; ++m) {
+    std::vector<double> next(per_hop_ps.size(), 0.0);
+    for (std::size_t h = 0; h < per_hop_ps.size(); ++h) {
+      double advancing = waiting[h];
+      if (advancing == 0.0) continue;
+      for (std::size_t k = h; k < per_hop_ps.size(); ++k) {
+        const double succeed = advancing * per_hop_ps[k];
+        const double fail = advancing - succeed;
+        next[k] += fail;  // stuck before hop k until the next cycle
+        advancing = succeed;
+      }
+      delivered[m] += advancing;  // made it through every remaining hop
+    }
+    waiting = std::move(next);
+  }
+  return delivered;
+}
+
+PathMeasures analytic_path_measures(const PathModelConfig& config,
+                                    const std::vector<double>& per_hop_ps) {
+  expects(per_hop_ps.size() == config.hop_count(),
+          "one success probability per hop");
+  expects(std::is_sorted(config.hop_slots.begin(), config.hop_slots.end()),
+          "hop slots increase along the chain",
+          "out-of-order schedules require the exact DTMC (PathModel)");
+  expects(config.retry_slots.empty(),
+          "no retry slots", "retry slots require the exact DTMC (PathModel)");
+  expects(config.effective_ttl() == config.horizon(),
+          "default TTL", "custom TTLs require the exact DTMC (PathModel)");
+  std::vector<double> cycles =
+      analytic_cycle_probabilities(per_hop_ps, config.reporting_interval);
+  const double transmissions = closed_form_transmissions(
+      cycles, config.hop_count(), config.reporting_interval);
+  return measures_from_cycles(config, std::move(cycles), transmissions);
+}
+
+PathMeasures analytic_path_measures(const PathModelConfig& config,
+                                    double ps) {
+  return analytic_path_measures(
+      config, std::vector<double>(config.hop_count(), ps));
+}
+
+}  // namespace whart::hart

@@ -1,0 +1,46 @@
+// Closed-form analytic path model for the steady-state regime.
+//
+// When every link is in steady state (paper Eq. 4) each scheduled attempt
+// on hop h succeeds i.i.d. with ps_h = pi_h(up), and when the hop slots are
+// ordered along the chain within the frame, a message that is delivered in
+// cycle m has accumulated exactly m-1 failed attempts, distributed over the
+// hops in any order.  For homogeneous links this yields the negative
+// binomial form
+//
+//   g(m) = C(m-1 + n-1, m-1) ps^n (1-ps)^(m-1),
+//
+// and for inhomogeneous links a per-hop dynamic program over the failure
+// counts.  These closed forms reproduce every steady-state number in the
+// paper and serve as an independent baseline against the exact DTMC.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "whart/hart/path_analysis.hpp"
+#include "whart/hart/path_model.hpp"
+
+namespace whart::hart {
+
+/// Closed-form cycle probabilities for a homogeneous path: `hops` links,
+/// per-attempt success `ps`, over `cycles` cycles.
+std::vector<double> analytic_cycle_probabilities(std::uint32_t hops,
+                                                 double ps,
+                                                 std::uint32_t cycles);
+
+/// Closed-form cycle probabilities for inhomogeneous per-hop success
+/// probabilities (dynamic program over hop positions and elapsed cycles).
+std::vector<double> analytic_cycle_probabilities(
+    const std::vector<double>& per_hop_ps, std::uint32_t cycles);
+
+/// Full measures via the closed form.  Requires steady-state semantics and
+/// hop slots in increasing order within the frame (throws otherwise —
+/// out-of-order schedules need the exact DTMC).
+PathMeasures analytic_path_measures(const PathModelConfig& config,
+                                    const std::vector<double>& per_hop_ps);
+
+/// Homogeneous shorthand.
+PathMeasures analytic_path_measures(const PathModelConfig& config,
+                                    double ps);
+
+}  // namespace whart::hart

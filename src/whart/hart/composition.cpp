@@ -1,0 +1,68 @@
+#include "whart/hart/composition.hpp"
+
+#include "whart/common/contracts.hpp"
+#include "whart/linalg/convolution.hpp"
+#include "whart/phy/frame.hpp"
+
+namespace whart::hart {
+
+std::vector<double> compose_cycle_probabilities(
+    std::span<const double> peer, std::span<const double> existing,
+    std::uint32_t out_cycles) {
+  expects(!peer.empty() && !existing.empty(),
+          "both component distributions are non-empty");
+  // With 0-based arrays (index a = cycle a+1), a peer delivery in cycle
+  // a+1 and an existing delivery in cycle b+1 compose to cycle a+b+1,
+  // which is 0-based index a+b — plain convolution.
+  return linalg::convolve_truncated(peer, existing, out_cycles);
+}
+
+std::vector<double> one_hop_cycle_probabilities(const link::LinkModel& link,
+                                                std::uint32_t cycles) {
+  const double pi = link.steady_state_availability();
+  std::vector<double> g;
+  g.reserve(cycles);
+  double miss = 1.0;
+  for (std::uint32_t m = 0; m < cycles; ++m) {
+    g.push_back(miss * pi);
+    miss *= 1.0 - pi;
+  }
+  return g;
+}
+
+RoutePrediction predict_route(phy::EbN0 measured_snr,
+                              std::span<const double> existing_cycles,
+                              std::size_t existing_hops,
+                              std::uint32_t reporting_interval,
+                              double recovery_probability) {
+  const link::LinkModel peer_link = link::LinkModel::from_snr(
+      measured_snr, phy::kMessageBits, recovery_probability);
+  const std::vector<double> peer =
+      one_hop_cycle_probabilities(peer_link, reporting_interval);
+  RoutePrediction prediction;
+  prediction.composed_cycles = compose_cycle_probabilities(
+      peer, existing_cycles, reporting_interval);
+  for (double g : prediction.composed_cycles)
+    prediction.reachability += g;
+  prediction.total_hops = existing_hops + 1;
+  return prediction;
+}
+
+std::size_t best_route(const std::vector<RoutePrediction>& candidates,
+                       double reachability_tolerance) {
+  expects(!candidates.empty(), "at least one candidate route");
+  expects(reachability_tolerance >= 0.0, "tolerance >= 0");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const RoutePrediction& challenger = candidates[i];
+    const RoutePrediction& champion = candidates[best];
+    const double gap = challenger.reachability - champion.reachability;
+    if (gap > reachability_tolerance ||
+        (gap >= -reachability_tolerance &&
+         challenger.total_hops < champion.total_hops))
+      best = i;
+  }
+  return best;
+}
+
+}  // namespace whart::hart

@@ -1,0 +1,67 @@
+// Path compositionality (paper Sections V-D and VI-E).  When a peer path
+// (field device -> field device) is concatenated with an existing path to
+// the gateway, the cycle probabilities of the composed path are the
+// time-shifted convolution of the component cycle probabilities (Eq. 12):
+//
+//   gc(k) = sum_i ge(i) gp(k - 1 - i)   (a message that takes m cycles on
+//   the peer path and n on the existing one arrives in cycle m + n - 1).
+//
+// This predicts the performance of candidate routes without rebuilding a
+// DTMC — the basis of the paper's routing suggestions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "whart/hart/path_analysis.hpp"
+#include "whart/link/link_model.hpp"
+#include "whart/phy/snr.hpp"
+
+namespace whart::hart {
+
+/// Eq. 12: compose peer-path and existing-path cycle probabilities,
+/// truncated to `out_cycles` (the reporting interval of the composed
+/// path).
+std::vector<double> compose_cycle_probabilities(
+    std::span<const double> peer, std::span<const double> existing,
+    std::uint32_t out_cycles);
+
+/// Cycle probabilities of a one-hop peer path whose link is in steady
+/// state: g(m) = (1 - pi)^(m-1) * pi.
+std::vector<double> one_hop_cycle_probabilities(const link::LinkModel& link,
+                                                std::uint32_t cycles);
+
+/// A candidate route evaluated by composition.
+struct RoutePrediction {
+  /// gc: composed cycle probabilities (size = reporting interval).
+  std::vector<double> composed_cycles;
+
+  /// Reachability of the composed path (Eq. 6 applied to gc).
+  double reachability = 0.0;
+
+  /// Expected delay penalty rank: the number of hops of the composed
+  /// path (each extra hop costs one extra slot in the schedule, i.e.
+  /// +10 ms expected delay at equal reachability — Section VI-E).
+  std::size_t total_hops = 0;
+};
+
+/// Predict the performance of joining via a new 1-hop peer link (measured
+/// by its SNR) to an existing path with known cycle probabilities.
+RoutePrediction predict_route(phy::EbN0 measured_snr,
+                              std::span<const double> existing_cycles,
+                              std::size_t existing_hops,
+                              std::uint32_t reporting_interval,
+                              double recovery_probability =
+                                  link::LinkModel::kDefaultRecovery);
+
+/// Among candidate routes, the best one: highest reachability; routes
+/// whose reachabilities differ by at most `reachability_tolerance` count
+/// as equal and the one with fewer hops wins (each extra hop costs one
+/// more schedule slot, hence ~10 ms of expected delay — the paper's
+/// Section VI-E decision rule, which prefers the 99.45% 3-hop route over
+/// the 99.46% 4-hop one).
+std::size_t best_route(const std::vector<RoutePrediction>& candidates,
+                       double reachability_tolerance = 1e-3);
+
+}  // namespace whart::hart

@@ -1,0 +1,96 @@
+#include "whart/hart/control_loop.hpp"
+
+#include <limits>
+
+#include "whart/common/contracts.hpp"
+#include "whart/linalg/convolution.hpp"
+#include "whart/phy/frame.hpp"
+
+namespace whart::hart {
+
+ControlLoopMeasures analyze_control_loop(const PathMeasures& uplink,
+                                         const PathMeasures& downlink,
+                                         double controller_processing_ms) {
+  expects(!uplink.cycle_probabilities.empty(), "uplink measures present");
+  expects(uplink.cycle_probabilities.size() ==
+              downlink.cycle_probabilities.size(),
+          "uplink and downlink cover the same reporting interval");
+  expects(controller_processing_ms >= 0.0, "processing time >= 0");
+
+  ControlLoopMeasures loop;
+  // Combined cycle a + b - 1: 0-based convolution index (a-1) + (b-1).
+  loop.loop_cycle_probabilities = linalg::convolve_truncated(
+      uplink.cycle_probabilities, downlink.cycle_probabilities,
+      uplink.cycle_probabilities.size());
+  for (double g : loop.loop_cycle_probabilities)
+    loop.loop_reachability += g;
+  loop.first_cycle_probability = loop.loop_cycle_probabilities.front();
+
+  // Latency of closed loops: delays are independent, so the expectation
+  // is the sum of the conditional expectations.
+  loop.expected_latency_ms = uplink.expected_delay_ms +
+                             controller_processing_ms +
+                             downlink.expected_delay_ms;
+
+  loop.expected_intervals_to_first_open_loop =
+      loop.loop_reachability < 1.0
+          ? 1.0 / (1.0 - loop.loop_reachability)
+          : std::numeric_limits<double>::infinity();
+  return loop;
+}
+
+ControlLoopMeasures analyze_symmetric_control_loop(
+    const PathMeasures& uplink, double controller_processing_ms) {
+  return analyze_control_loop(uplink, uplink, controller_processing_ms);
+}
+
+ControlLoopMeasures analyze_control_loop_exact(
+    const PathModel& uplink, const LinkProbabilityProvider& uplink_links,
+    const PathModel& downlink,
+    const LinkProbabilityProvider& downlink_links,
+    double controller_processing_ms) {
+  expects(uplink.config().reporting_interval ==
+              downlink.config().reporting_interval,
+          "uplink and downlink cover the same reporting interval");
+  expects(uplink.config().superframe.uplink_slots ==
+                  downlink.config().superframe.downlink_slots &&
+              uplink.config().superframe.downlink_slots ==
+                  downlink.config().superframe.uplink_slots,
+          "downlink superframe is the swapped uplink superframe");
+  expects(controller_processing_ms >= 0.0, "processing time >= 0");
+
+  const PathTransientResult up = uplink.analyze(uplink_links);
+  const PathTransientResult down = downlink.analyze(downlink_links);
+
+  ControlLoopMeasures loop;
+  loop.loop_cycle_probabilities = linalg::convolve_truncated(
+      up.cycle_probabilities, down.cycle_probabilities,
+      up.cycle_probabilities.size());
+  for (double g : loop.loop_cycle_probabilities)
+    loop.loop_reachability += g;
+  loop.first_cycle_probability = loop.loop_cycle_probabilities.front();
+
+  // Exact wall-clock latency of closed loops.
+  const double cycle_slots = uplink.config().superframe.cycle_slots();
+  const double base_slots = uplink.config().superframe.uplink_slots +
+                            downlink.config().gateway_slot();
+  double mean_extra_cycles = 0.0;
+  if (loop.loop_reachability > 0.0) {
+    for (std::size_t k = 0; k < loop.loop_cycle_probabilities.size(); ++k)
+      mean_extra_cycles += static_cast<double>(k) *
+                           loop.loop_cycle_probabilities[k] /
+                           loop.loop_reachability;
+  }
+  loop.expected_latency_ms =
+      (base_slots + mean_extra_cycles * cycle_slots) *
+          phy::kSlotMilliseconds +
+      controller_processing_ms;
+
+  loop.expected_intervals_to_first_open_loop =
+      loop.loop_reachability < 1.0
+          ? 1.0 / (1.0 - loop.loop_reachability)
+          : std::numeric_limits<double>::infinity();
+  return loop;
+}
+
+}  // namespace whart::hart

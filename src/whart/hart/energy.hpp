@@ -1,0 +1,57 @@
+// Per-node energy estimation.  The paper (Section VI-A, citing
+// Heinzelman's microsensor work) uses the utilization U as a proxy for
+// energy because radio transmission dominates node power draw.  This
+// module refines that: the exact DTMC yields the expected number of
+// transmission attempts of every hop, and each attempt charges the
+// sender's transmitter and the receiver's receiver.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "whart/net/path.hpp"
+#include "whart/net/schedule.hpp"
+#include "whart/net/superframe.hpp"
+#include "whart/net/topology.hpp"
+
+namespace whart::hart {
+
+/// Radio energy parameters.  Defaults approximate an 802.15.4 radio
+/// sending one 127-byte frame in a 10 ms slot (~30 mW for ~4 ms air
+/// time) — adjust to the actual hardware.
+struct EnergyParameters {
+  /// Energy to transmit one message attempt, millijoules.
+  double tx_mj_per_attempt = 0.12;
+  /// Energy to receive (or idle-listen for) one attempt, millijoules.
+  double rx_mj_per_attempt = 0.10;
+  /// Usable battery capacity, joules (two AA lithium ~ 18 kJ usable).
+  double battery_joules = 18000.0;
+};
+
+/// Expected energy use of one node.
+struct NodeEnergy {
+  net::NodeId node;
+  double tx_attempts_per_interval = 0.0;
+  double rx_attempts_per_interval = 0.0;
+  double mj_per_interval = 0.0;
+
+  /// Battery life in days given the reporting-interval duration.
+  [[nodiscard]] double battery_life_days(
+      const EnergyParameters& params,
+      double interval_milliseconds) const;
+};
+
+/// Expected per-node energy for a scheduled network at steady state.
+/// Relay nodes pay for both their own reports and the traffic they
+/// forward — the paper's reason why bad links "introduce more
+/// communication overhead and power consumption".
+std::vector<NodeEnergy> estimate_node_energy(
+    const net::Network& network, const std::vector<net::Path>& paths,
+    const net::Schedule& schedule, net::SuperframeConfig superframe,
+    std::uint32_t reporting_interval, const EnergyParameters& params = {});
+
+/// The node with the highest energy draw (the first battery to die).
+std::size_t hottest_node(const std::vector<NodeEnergy>& energies);
+
+}  // namespace whart::hart

@@ -1,0 +1,75 @@
+// Stability and robustness analysis (paper Section VI-C).  Three failure
+// classes are modeled:
+//   * transient errors — one bad slot; channel hopping recovers the link
+//     almost immediately (Fig. 17), negligible impact;
+//   * random-duration failures — e.g. temporary loss of line of sight;
+//     the link is DOWN for a number of cycles (fixed, or geometrically
+//     distributed), Table III;
+//   * permanent failures — the link must be removed from the routing
+//     graph and affected paths rerouted.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "whart/hart/path_analysis.hpp"
+#include "whart/hart/path_model.hpp"
+#include "whart/net/path.hpp"
+#include "whart/net/routing.hpp"
+#include "whart/net/schedule.hpp"
+#include "whart/net/topology.hpp"
+
+namespace whart::hart {
+
+/// The paper's Table III model: a link failure lasting `lost_cycles`
+/// superframe cycles costs the whole path those cycles — reachability is
+/// evaluated over the remaining Is - lost_cycles cycles with the
+/// steady-state closed form.  Returns 0 when nothing remains.
+double cycle_shift_reachability(std::uint32_t hops, double ps,
+                                std::uint32_t reporting_interval,
+                                std::uint32_t lost_cycles = 1);
+
+/// Exact refinement: the failed hop's link is forced DOWN during the
+/// first `failure_cycles` superframe cycles (in absolute slots) and then
+/// recovers transiently from DOWN; other hops stay in steady state.  The
+/// exact DTMC lets hops before the failed one keep progressing, so this
+/// is an upper bound on the paper's cycle-shift numbers.
+double scripted_failure_reachability(const PathModelConfig& config,
+                                     const std::vector<link::LinkModel>& hops,
+                                     std::size_t failed_hop,
+                                     std::uint32_t failure_cycles);
+
+/// Random-duration failure: the failure lasts k cycles with geometric
+/// probability (1-q) q^(k-1), truncated at `max_cycles` (remaining mass
+/// assigned to max_cycles).  Returns the mixed reachability using the
+/// cycle-shift model per duration.
+double random_duration_failure_reachability(std::uint32_t hops, double ps,
+                                            std::uint32_t reporting_interval,
+                                            double continue_probability,
+                                            std::uint32_t max_cycles);
+
+/// Impact of a failure of `failed_link` on every path of a network.
+struct LinkFailureImpact {
+  std::size_t path_index = 0;
+  bool affected = false;
+  double reachability_nominal = 0.0;      ///< no failure, steady state
+  double reachability_cycle_shift = 0.0;  ///< paper's Table III model
+  double reachability_exact = 0.0;        ///< scripted-DTMC refinement
+};
+
+/// Evaluate a one-cycle failure of `failed_link` for all paths (paths not
+/// using the link keep their nominal reachability).
+std::vector<LinkFailureImpact> one_cycle_link_failure(
+    const net::Network& network, const std::vector<net::Path>& paths,
+    const net::Schedule& schedule, net::SuperframeConfig superframe,
+    std::uint32_t reporting_interval, net::LinkId failed_link);
+
+/// Permanent failure: reroute every affected source around the failed
+/// link.  Returns the new path per affected source, or nullopt when no
+/// alternative route exists.
+std::vector<std::optional<net::Path>> reroute_after_permanent_failure(
+    const net::Network& network, const std::vector<net::Path>& paths,
+    net::LinkId failed_link);
+
+}  // namespace whart::hart

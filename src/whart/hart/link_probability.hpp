@@ -1,0 +1,90 @@
+// Per-slot link success probabilities for the hierarchical path model
+// (paper Section IV).  The path DTMC asks, for each hop and each absolute
+// 10 ms slot, the probability that the hop's link is UP; different
+// providers implement the paper's three regimes: links in steady state
+// (Eq. 4), links evolving transiently from a known initial state (Eq. 3),
+// and links with scripted failures (Section VI-C).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "whart/link/failure_script.hpp"
+#include "whart/link/link_model.hpp"
+
+namespace whart::hart {
+
+/// Interface: UP probability of hop `hop` (0-based) at `absolute_slot`
+/// (0-based, counting both uplink and downlink slots — link states evolve
+/// in every slot even though uplink messages sleep during downlink).
+class LinkProbabilityProvider {
+ public:
+  virtual ~LinkProbabilityProvider() = default;
+
+  [[nodiscard]] virtual double up_probability(
+      std::size_t hop, std::uint64_t absolute_slot) const = 0;
+
+  /// Number of hops this provider serves.
+  [[nodiscard]] virtual std::size_t hop_count() const = 0;
+};
+
+/// Paper Eq. 4: all links have reached steady state — each attempt on hop
+/// h succeeds with the constant pi_h(up).
+class SteadyStateLinks final : public LinkProbabilityProvider {
+ public:
+  explicit SteadyStateLinks(std::vector<link::LinkModel> links);
+
+  /// Homogeneous shorthand: `hops` copies of the same model.
+  SteadyStateLinks(std::size_t hops, link::LinkModel model);
+
+  [[nodiscard]] double up_probability(std::size_t hop,
+                                      std::uint64_t absolute_slot)
+      const override;
+  [[nodiscard]] std::size_t hop_count() const override;
+
+ private:
+  std::vector<double> availability_;
+};
+
+/// Paper Eq. 3: links evolve from known initial UP probabilities at slot 0;
+/// the success probability of an attempt at slot t is the transient
+/// p_up(t) of that hop's link DTMC.
+class TransientLinks final : public LinkProbabilityProvider {
+ public:
+  /// One initial UP probability per link.
+  TransientLinks(std::vector<link::LinkModel> links,
+                 std::vector<double> initial_up);
+
+  [[nodiscard]] double up_probability(std::size_t hop,
+                                      std::uint64_t absolute_slot)
+      const override;
+  [[nodiscard]] std::size_t hop_count() const override;
+
+ private:
+  std::vector<link::LinkModel> links_;
+  std::vector<double> initial_up_;
+};
+
+/// Links with scripted failure windows (Section VI-C): forced DOWN inside
+/// each window, steady state before the first window, transient recovery
+/// from DOWN afterwards.
+class ScriptedLinks final : public LinkProbabilityProvider {
+ public:
+  explicit ScriptedLinks(std::vector<link::ScriptedLink> links);
+
+  /// Convenience: steady-state links except `failed_hop`, which carries
+  /// the given failure windows.
+  ScriptedLinks(std::vector<link::LinkModel> links, std::size_t failed_hop,
+                std::vector<link::FailureWindow> windows);
+
+  [[nodiscard]] double up_probability(std::size_t hop,
+                                      std::uint64_t absolute_slot)
+      const override;
+  [[nodiscard]] std::size_t hop_count() const override;
+
+ private:
+  std::vector<link::ScriptedLink> links_;
+};
+
+}  // namespace whart::hart

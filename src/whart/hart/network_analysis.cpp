@@ -1,0 +1,55 @@
+#include "whart/hart/network_analysis.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::hart {
+
+NetworkMeasures analyze_network(const net::Network& network,
+                                const std::vector<net::Path>& paths,
+                                const net::Schedule& schedule,
+                                net::SuperframeConfig superframe,
+                                std::uint32_t reporting_interval) {
+  expects(!paths.empty(), "at least one path");
+  std::vector<PathMeasures> per_path;
+  per_path.reserve(paths.size());
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    const PathModelConfig config = PathModelConfig::from_schedule(
+        schedule, p, superframe, reporting_interval);
+    const PathModel model(config);
+    const SteadyStateLinks links(paths[p].hop_models(network));
+    per_path.push_back(compute_path_measures(model, links));
+  }
+  return aggregate_measures(std::move(per_path));
+}
+
+NetworkMeasures aggregate_measures(std::vector<PathMeasures> per_path) {
+  expects(!per_path.empty(), "at least one path");
+  NetworkMeasures result;
+  result.per_path = std::move(per_path);
+
+  const double path_count = static_cast<double>(result.per_path.size());
+  std::map<double, double> delay_mass;
+  for (std::size_t p = 0; p < result.per_path.size(); ++p) {
+    const PathMeasures& m = result.per_path[p];
+    result.mean_delay_ms += m.expected_delay_ms / path_count;
+    result.network_utilization += m.utilization;
+    result.network_utilization_delivered += m.utilization_delivered;
+    for (std::size_t i = 0; i < m.delays_ms.size(); ++i)
+      delay_mass[m.delays_ms[i]] += m.delay_distribution[i] / path_count;
+    if (m.expected_delay_ms >
+        result.per_path[result.bottleneck_by_delay].expected_delay_ms)
+      result.bottleneck_by_delay = p;
+    if (m.reachability <
+        result.per_path[result.bottleneck_by_reachability].reachability)
+      result.bottleneck_by_reachability = p;
+  }
+  result.overall_delay_distribution.reserve(delay_mass.size());
+  for (const auto& [delay, probability] : delay_mass)
+    result.overall_delay_distribution.push_back({delay, probability});
+  return result;
+}
+
+}  // namespace whart::hart

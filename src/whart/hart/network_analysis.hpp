@@ -1,0 +1,63 @@
+// Whole-network evaluation (paper Section VI): per-path measures, the
+// overall delay distribution Gamma and its mean (Eq. 13), the network
+// utilization (Eq. 11) and bottleneck identification.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "whart/hart/path_analysis.hpp"
+#include "whart/net/path.hpp"
+#include "whart/net/schedule.hpp"
+#include "whart/net/superframe.hpp"
+#include "whart/net/topology.hpp"
+
+namespace whart::hart {
+
+/// One point of the network-wide delay distribution.
+struct DelayProbability {
+  double delay_ms = 0.0;
+  double probability = 0.0;
+
+  friend bool operator==(const DelayProbability&,
+                         const DelayProbability&) = default;
+};
+
+/// Aggregated network measures.
+struct NetworkMeasures {
+  /// Per-path measures, in path order.
+  std::vector<PathMeasures> per_path;
+
+  /// Gamma: the average of all path delay distributions, sorted by delay.
+  std::vector<DelayProbability> overall_delay_distribution;
+
+  /// E[Gamma]: the average of the expected path delays (Eq. 13), ms.
+  double mean_delay_ms = 0.0;
+
+  /// U = sum over paths of U_p (Eq. 11), counting all attempts.
+  double network_utilization = 0.0;
+
+  /// U summed from the delivered-only per-path utilization — the
+  /// accounting that reproduces the paper's Table II.
+  double network_utilization_delivered = 0.0;
+
+  /// Path with the largest expected delay (0-based index).
+  std::size_t bottleneck_by_delay = 0;
+
+  /// Path with the smallest reachability (0-based index).
+  std::size_t bottleneck_by_reachability = 0;
+};
+
+/// Exact DTMC analysis of every path with steady-state links taken from
+/// the network's link models.
+NetworkMeasures analyze_network(const net::Network& network,
+                                const std::vector<net::Path>& paths,
+                                const net::Schedule& schedule,
+                                net::SuperframeConfig superframe,
+                                std::uint32_t reporting_interval);
+
+/// Aggregate precomputed per-path measures (used when paths were analyzed
+/// under non-steady regimes, e.g. failure scripts).
+NetworkMeasures aggregate_measures(std::vector<PathMeasures> per_path);
+
+}  // namespace whart::hart

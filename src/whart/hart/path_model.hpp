@@ -1,0 +1,155 @@
+// The hierarchical path model (paper Section IV).  A message travels an
+// n-hop uplink path under a TDMA schedule; the resulting DTMC unrolls over
+// the uplink slots of one reporting interval.  States are message-age
+// tuples (equivalently: (elapsed uplink slots t, hops completed h)); the
+// absorbing states are Is goal states — one per superframe cycle — and one
+// Discard state for TTL expiry.
+//
+// Time convention: t counts elapsed uplink slots since the message was
+// born (t = 0 at birth).  The transmission scheduled in uplink slot s
+// (1-based, continuing across cycles) fires on the transition t = s-1 ->
+// t = s.  Displayed ages are t + 1, matching the paper's state labels
+// ("(1,-,-)" initially, "(3,3,-)" after a successful slot-2 hop).
+//
+// Link states, in contrast, evolve in *every* 10 ms slot, including the
+// downlink half of each superframe; the model converts uplink slot s to an
+// absolute slot before querying the link probability provider.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "whart/hart/link_probability.hpp"
+#include "whart/markov/dtmc.hpp"
+#include "whart/net/schedule.hpp"
+#include "whart/net/superframe.hpp"
+
+namespace whart::hart {
+
+/// Static description of one path's model.
+struct PathModelConfig {
+  /// Dedicated uplink slot of each hop (1-based within the frame), in hop
+  /// order.  Slots need not be increasing — out-of-order hops simply wait
+  /// for the next cycle.
+  std::vector<net::SlotNumber> hop_slots;
+
+  /// Optional dedicated *retry* slots (a second transmission opportunity
+  /// per hop per frame — common in real WirelessHART schedules, not
+  /// modeled in the paper).  Either empty, or one entry per hop where 0
+  /// means "no retry slot for this hop".  All non-zero slots must be
+  /// distinct from each other and from hop_slots.
+  std::vector<net::SlotNumber> retry_slots;
+
+  /// Superframe layout (Fup = schedule length, Fdown).
+  net::SuperframeConfig superframe;
+
+  /// Reporting interval Is: the model spans Is superframe cycles.
+  std::uint32_t reporting_interval = 1;
+
+  /// Message time-to-live in uplink slots; defaults to Is * Fup (discard
+  /// exactly at the end of the reporting interval).
+  std::optional<std::uint32_t> ttl;
+
+  /// Extract the config for path `path_index` of a network schedule.
+  static PathModelConfig from_schedule(const net::Schedule& schedule,
+                                       std::size_t path_index,
+                                       net::SuperframeConfig superframe,
+                                       std::uint32_t reporting_interval);
+
+  /// Number of hops.
+  [[nodiscard]] std::size_t hop_count() const noexcept {
+    return hop_slots.size();
+  }
+
+  /// Horizon T = Is * Fup (uplink slots in one reporting interval).
+  [[nodiscard]] std::uint32_t horizon() const noexcept {
+    return reporting_interval * superframe.uplink_slots;
+  }
+
+  /// Effective TTL: min(ttl, horizon).
+  [[nodiscard]] std::uint32_t effective_ttl() const noexcept;
+
+  /// Slot of the final (gateway) transmission — the paper's a0.
+  [[nodiscard]] net::SlotNumber gateway_slot() const noexcept {
+    return hop_slots.back();
+  }
+};
+
+/// Result of transient analysis of a path model.
+struct PathTransientResult {
+  /// g(i): probability of absorption in goal state i (cycle i, 1-based),
+  /// evaluated at the end of the reporting interval.  Size Is.
+  std::vector<double> cycle_probabilities;
+
+  /// Probability of the Discard state at the end of the interval.
+  double discard_probability = 0.0;
+
+  /// goal_trajectory[t][i]: transient probability of goal state i after t
+  /// uplink slots (t = 0..horizon) — the data behind the paper's Fig. 6.
+  std::vector<std::vector<double>> goal_trajectory;
+
+  /// Expected number of transmission attempts during the interval (the
+  /// exact basis of the utilization measure).
+  double expected_transmissions = 0.0;
+
+  /// Expected attempts per hop (sums to expected_transmissions); feeds
+  /// the per-node energy model.
+  std::vector<double> expected_transmissions_per_hop;
+
+  /// Expected attempts made by messages that are eventually delivered
+  /// (computed exactly via a backward delivery-probability pass) — the
+  /// accounting behind the paper's Table II.  Always <=
+  /// expected_transmissions.
+  double expected_transmissions_delivered = 0.0;
+};
+
+/// The unrolled path DTMC.
+class PathModel {
+ public:
+  /// Validates the config: at least one hop, slots within the frame, no
+  /// two hops sharing a slot, horizon > 0.
+  explicit PathModel(PathModelConfig config);
+
+  [[nodiscard]] const PathModelConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Exact transient analysis (paper Eq. 5) by forward propagation over
+  /// the unrolled chain, with per-slot success probabilities from `links`.
+  [[nodiscard]] PathTransientResult analyze(
+      const LinkProbabilityProvider& links) const;
+
+  /// Materialize the underlying DTMC (the output of the paper's
+  /// Algorithm 1) with transition probabilities frozen from `links`.
+  /// State names follow the paper: "(3,3,-)", goal states "R7", "R14",
+  /// ..., and "Discard".  The unrolled chain is time-homogeneous because
+  /// every transient state belongs to exactly one time layer.
+  [[nodiscard]] markov::Dtmc to_dtmc(const LinkProbabilityProvider& links) const;
+
+  /// Index of the initial state in the materialized DTMC (always 0).
+  [[nodiscard]] markov::StateIndex initial_state() const noexcept { return 0; }
+
+  /// Name of goal state for cycle i (1-based): "R<a0 + (i-1) Fup>".
+  [[nodiscard]] std::string goal_state_name(std::uint32_t cycle) const;
+
+  /// Number of states the materialized DTMC will have.
+  [[nodiscard]] std::size_t state_count() const noexcept {
+    return num_states_;
+  }
+
+ private:
+  /// Which hop (if any) fires in global uplink slot s (1-based).
+  [[nodiscard]] std::optional<std::size_t> hop_in_slot(
+      std::uint32_t global_slot) const noexcept;
+
+  PathModelConfig config_;
+  /// state_index_[t][h] for t = 0..ttl-1: dense index of transient state
+  /// (t, h), or SIZE_MAX when unreachable.
+  std::vector<std::vector<std::size_t>> state_index_;
+  std::size_t num_transient_ = 0;
+  std::size_t num_states_ = 0;
+};
+
+}  // namespace whart::hart

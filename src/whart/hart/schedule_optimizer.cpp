@@ -1,0 +1,68 @@
+#include "whart/hart/schedule_optimizer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "whart/common/contracts.hpp"
+#include "whart/hart/analytic.hpp"
+#include "whart/net/schedule_builder.hpp"
+
+namespace whart::hart {
+
+std::vector<double> expected_extra_cycles(
+    const net::Network& network, const std::vector<net::Path>& paths,
+    std::uint32_t reporting_interval) {
+  expects(!paths.empty(), "at least one path");
+  std::vector<double> extra;
+  extra.reserve(paths.size());
+  for (const net::Path& path : paths) {
+    std::vector<double> per_hop_ps;
+    for (const link::LinkModel& model : path.hop_models(network))
+      per_hop_ps.push_back(model.steady_state_availability());
+    const std::vector<double> cycles =
+        analytic_cycle_probabilities(per_hop_ps, reporting_interval);
+    const double reach =
+        std::accumulate(cycles.begin(), cycles.end(), 0.0);
+    double mean_extra = 0.0;
+    if (reach > 0.0) {
+      for (std::uint32_t i = 0; i < reporting_interval; ++i)
+        mean_extra += static_cast<double>(i) * cycles[i] / reach;
+    }
+    extra.push_back(mean_extra);
+  }
+  return extra;
+}
+
+net::Schedule build_min_worst_delay_schedule(
+    const net::Network& network, const std::vector<net::Path>& paths,
+    net::SuperframeConfig superframe, std::uint32_t reporting_interval) {
+  expects(net::required_uplink_slots(paths) <= superframe.uplink_slots,
+          "paths fit into the uplink frame");
+  const std::vector<double> extra =
+      expected_extra_cycles(network, paths, reporting_interval);
+  const double cycle_slots = superframe.cycle_slots();
+
+  std::vector<std::size_t> order(paths.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     const double penalty_a = cycle_slots * extra[a];
+                     const double penalty_b = cycle_slots * extra[b];
+                     if (penalty_a != penalty_b)
+                       return penalty_a > penalty_b;
+                     return paths[a].hop_count() > paths[b].hop_count();
+                   });
+
+  net::Schedule schedule(superframe.uplink_slots, paths.size());
+  net::SlotNumber next_slot = 1;
+  for (std::size_t path_index : order) {
+    for (std::size_t h = 0; h < paths[path_index].hop_count(); ++h) {
+      const auto [from, to] = paths[path_index].hop(h);
+      schedule.assign(next_slot++, path_index, h, from, to);
+    }
+  }
+  schedule.validate_complete(paths);
+  return schedule;
+}
+
+}  // namespace whart::hart

@@ -1,0 +1,36 @@
+// Delay-balancing schedule synthesis — the optimization the paper's
+// eta_b gestures at (Section VI-B), done properly.
+//
+// With each path's chain laid out contiguously, path p's expected delay
+// is 10 ms * (end slot of its chain) + cycle_ms * e_p, where e_p is the
+// expected number of *extra* cycles (retries) given delivery — a
+// quantity that depends only on the path's hop availabilities.  For the
+// worst-case expected delay, an exchange argument shows the optimal
+// order places chains in decreasing penalty cycle_slots * e_p; hop count
+// breaks ties (longer chains earlier).  For homogeneous links this
+// degenerates to the paper's "long paths first" eta_b.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "whart/net/path.hpp"
+#include "whart/net/schedule.hpp"
+#include "whart/net/superframe.hpp"
+#include "whart/net/topology.hpp"
+
+namespace whart::hart {
+
+/// Expected extra cycles (retries) of each path given delivery, from the
+/// analytic steady-state model; the building block of the penalty order.
+std::vector<double> expected_extra_cycles(
+    const net::Network& network, const std::vector<net::Path>& paths,
+    std::uint32_t reporting_interval);
+
+/// Build the schedule that minimizes the worst-case expected path delay
+/// among contiguous chain layouts.
+net::Schedule build_min_worst_delay_schedule(
+    const net::Network& network, const std::vector<net::Path>& paths,
+    net::SuperframeConfig superframe, std::uint32_t reporting_interval);
+
+}  // namespace whart::hart

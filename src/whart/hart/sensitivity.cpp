@@ -1,0 +1,111 @@
+#include "whart/hart/sensitivity.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::hart {
+
+namespace {
+
+std::optional<std::size_t> hop_in_slot(const PathModelConfig& config,
+                                       std::uint32_t global_slot) {
+  const net::SlotNumber in_frame =
+      ((global_slot - 1) % config.superframe.uplink_slots) + 1;
+  for (std::size_t h = 0; h < config.hop_slots.size(); ++h)
+    if (config.hop_slots[h] == in_frame) return h;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::vector<double> reachability_sensitivity(
+    const PathModel& model, const LinkProbabilityProvider& links) {
+  const PathModelConfig& config = model.config();
+  expects(links.hop_count() >= config.hop_count(),
+          "provider covers every hop");
+  const std::size_t hops = config.hop_count();
+  const std::uint32_t ttl = config.effective_ttl();
+
+  // Backward pass: beta[t][h] = P(delivery | at (t, h)).
+  std::vector<std::vector<double>> beta(ttl + 1,
+                                        std::vector<double>(hops, 0.0));
+  for (std::uint32_t t = ttl; t-- > 0;) {
+    const std::uint32_t slot = t + 1;
+    const std::optional<std::size_t> firing = hop_in_slot(config, slot);
+    for (std::size_t h = 0; h < hops; ++h) {
+      const double continue_beta = slot == ttl ? 0.0 : beta[t + 1][h];
+      if (firing == h) {
+        const double ps = links.up_probability(
+            h, config.superframe.absolute_slot_of_uplink(slot));
+        const double success_beta =
+            h + 1 == hops ? 1.0
+                          : (slot == ttl ? 0.0 : beta[t + 1][h + 1]);
+        beta[t][h] = ps * success_beta + (1.0 - ps) * continue_beta;
+      } else {
+        beta[t][h] = continue_beta;
+      }
+    }
+  }
+
+  // Forward pass accumulating the adjoint: each attempt of hop h at slot
+  // s contributes mass * (beta_success - beta_failure) to dR/dps_h.
+  std::vector<double> sensitivity(hops, 0.0);
+  std::vector<double> mass(hops, 0.0);
+  mass[0] = 1.0;
+  for (std::uint32_t slot = 1; slot <= ttl; ++slot) {
+    const std::optional<std::size_t> firing = hop_in_slot(config, slot);
+    if (firing.has_value()) {
+      const std::size_t h = *firing;
+      if (mass[h] > 0.0) {
+        const double ps = links.up_probability(
+            h, config.superframe.absolute_slot_of_uplink(slot));
+        const double success_beta =
+            h + 1 == hops ? 1.0
+                          : (slot == ttl ? 0.0 : beta[slot][h + 1]);
+        const double failure_beta = slot == ttl ? 0.0 : beta[slot][h];
+        sensitivity[h] += mass[h] * (success_beta - failure_beta);
+        const double moved = mass[h] * ps;
+        mass[h] -= moved;
+        if (h + 1 < hops) mass[h + 1] += moved;
+        // Delivered mass leaves the transient system.
+      }
+    }
+    if (slot == ttl) break;
+  }
+  return sensitivity;
+}
+
+std::vector<LinkSensitivity> rank_link_upgrades(
+    const net::Network& network, const std::vector<net::Path>& paths,
+    const net::Schedule& schedule, net::SuperframeConfig superframe,
+    std::uint32_t reporting_interval) {
+  expects(!paths.empty(), "at least one path");
+  std::vector<LinkSensitivity> ranking;
+  for (net::LinkId id : network.links())
+    ranking.push_back(LinkSensitivity{id, 0.0, 0});
+
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    const PathModelConfig config = PathModelConfig::from_schedule(
+        schedule, p, superframe, reporting_interval);
+    const PathModel model(config);
+    const SteadyStateLinks provider(paths[p].hop_models(network));
+    const std::vector<double> per_hop =
+        reachability_sensitivity(model, provider);
+    const std::vector<net::LinkId> hop_links =
+        paths[p].resolve_links(network);
+    for (std::size_t h = 0; h < hop_links.size(); ++h) {
+      ranking[hop_links[h].value].total_dR_dpi += per_hop[h];
+      ++ranking[hop_links[h].value].paths_using;
+    }
+  }
+
+  std::stable_sort(ranking.begin(), ranking.end(),
+                   [](const LinkSensitivity& a, const LinkSensitivity& b) {
+                     return a.total_dR_dpi > b.total_dR_dpi;
+                   });
+  return ranking;
+}
+
+}  // namespace whart::hart

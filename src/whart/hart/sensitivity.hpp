@@ -1,0 +1,46 @@
+// Reachability sensitivity: dR / d(pi_h) for every hop h of a path —
+// which link upgrade buys the most delivery probability.  Computed by an
+// adjoint (forward-mass x backward-delivery-gap) sweep over the layered
+// chain, so one analysis prices every link simultaneously; a
+// finite-difference cross-check lives in the tests.
+//
+// This makes the paper's advice quantitative: "the longest path with the
+// lowest link availability forms the bottleneck of the network and
+// improving the bottleneck can considerably improve the network
+// performance" (Section VI-A).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "whart/hart/link_probability.hpp"
+#include "whart/hart/path_model.hpp"
+#include "whart/net/path.hpp"
+#include "whart/net/schedule.hpp"
+#include "whart/net/topology.hpp"
+
+namespace whart::hart {
+
+/// dR/dps per hop: how much the path's reachability rises per unit
+/// increase of hop h's per-attempt success probability (all attempts of
+/// that hop move together, as they do when its stationary availability
+/// improves).  All entries are >= 0.
+std::vector<double> reachability_sensitivity(
+    const PathModel& model, const LinkProbabilityProvider& links);
+
+/// Network-level link ranking: for every link, the summed dR/dpi over
+/// all paths using it — the total reachability (expected delivered
+/// messages per interval) gained per unit of availability improvement.
+struct LinkSensitivity {
+  net::LinkId link;
+  double total_dR_dpi = 0.0;
+  std::size_t paths_using = 0;
+};
+
+/// Rank all links of a scheduled network, most valuable upgrade first.
+std::vector<LinkSensitivity> rank_link_upgrades(
+    const net::Network& network, const std::vector<net::Path>& paths,
+    const net::Schedule& schedule, net::SuperframeConfig superframe,
+    std::uint32_t reporting_interval);
+
+}  // namespace whart::hart

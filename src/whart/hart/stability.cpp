@@ -1,0 +1,38 @@
+#include "whart/hart/stability.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::hart {
+
+StabilityAssessment assess_stability(
+    double reachability, const StabilityRequirement& requirement,
+    double min_intervals_between_violations) {
+  expects(reachability >= 0.0 && reachability <= 1.0, "0 <= R <= 1");
+  expects(requirement.max_consecutive_losses >= 1, "k >= 1");
+  expects(min_intervals_between_violations > 0.0, "threshold > 0");
+
+  StabilityAssessment a;
+  a.reachability = reachability;
+  const double q = 1.0 - reachability;  // per-interval loss probability
+  const double k = requirement.max_consecutive_losses;
+  const double qk = std::pow(q, k);
+  a.violation_probability = qk;
+  if (q == 0.0) {
+    a.expected_intervals_to_violation =
+        std::numeric_limits<double>::infinity();
+    a.expected_intervals_to_first_loss =
+        std::numeric_limits<double>::infinity();
+  } else {
+    a.expected_intervals_to_violation = (1.0 - qk) / ((1.0 - q) * qk);
+    a.expected_intervals_to_first_loss = 1.0 / q;
+  }
+  a.meets_reachability = reachability >= requirement.min_reachability;
+  a.meets_run_requirement =
+      a.expected_intervals_to_violation >= min_intervals_between_violations;
+  return a;
+}
+
+}  // namespace whart::hart

@@ -1,0 +1,53 @@
+// Control-loop stability assessment.  The paper requires R "very close
+// to 1" and models the time to the first message loss as geometric
+// (E[N] = 1/(1-R)); networked-control results (its refs [3], [4]) bound
+// stability by the number of *consecutive* lost samples the plant
+// tolerates.  This module turns a reachability figure into such
+// verdicts.
+#pragma once
+
+#include <cstdint>
+
+namespace whart::hart {
+
+/// What the control engineer tolerates.
+struct StabilityRequirement {
+  /// The plant stays stable as long as fewer than this many consecutive
+  /// samples are lost.
+  std::uint32_t max_consecutive_losses = 2;
+
+  /// Required lower bound on the per-interval delivery probability.
+  double min_reachability = 0.99;
+};
+
+/// Assessment of one path/loop against a requirement.
+struct StabilityAssessment {
+  double reachability = 0.0;
+
+  /// P(a given reporting interval starts a run of k losses) = (1-R)^k.
+  double violation_probability = 0.0;
+
+  /// Expected number of reporting intervals until the first run of k
+  /// consecutive losses (classic waiting time for a run:
+  /// E = (1 - q^k) / ((1 - q) q^k) with q = 1 - R); infinity when R = 1.
+  double expected_intervals_to_violation = 0.0;
+
+  /// Expected intervals to the first single loss: 1 / (1 - R).
+  double expected_intervals_to_first_loss = 0.0;
+
+  bool meets_reachability = false;
+  bool meets_run_requirement = false;
+
+  [[nodiscard]] bool stable() const noexcept {
+    return meets_reachability && meets_run_requirement;
+  }
+};
+
+/// Assess a delivery probability against a requirement.  The run
+/// requirement is considered met when the expected time to a violating
+/// loss run exceeds `min_intervals_between_violations`.
+StabilityAssessment assess_stability(
+    double reachability, const StabilityRequirement& requirement,
+    double min_intervals_between_violations = 1e4);
+
+}  // namespace whart::hart

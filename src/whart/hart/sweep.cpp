@@ -1,0 +1,108 @@
+#include "whart/hart/sweep.hpp"
+
+#include <ostream>
+
+#include "whart/common/contracts.hpp"
+#include "whart/report/csv.hpp"
+
+namespace whart::hart {
+
+namespace {
+
+PathMeasures measure_with_links(const PathModelConfig& config,
+                                const link::LinkModel& model) {
+  const PathModel path_model(config);
+  const SteadyStateLinks links(config.hop_count(), model);
+  return compute_path_measures(path_model, links);
+}
+
+}  // namespace
+
+std::vector<double> linspace(double first, double last, std::size_t count) {
+  expects(count >= 2, "count >= 2");
+  std::vector<double> values(count);
+  const double step = (last - first) / static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i)
+    values[i] = first + step * static_cast<double>(i);
+  values.back() = last;  // exact endpoint despite rounding
+  return values;
+}
+
+SweepSeries sweep_availability(const PathModelConfig& config,
+                               const std::vector<double>& availabilities) {
+  expects(!availabilities.empty(), "at least one sample");
+  SweepSeries series;
+  series.parameter_name = "availability";
+  for (double pi : availabilities)
+    series.points.push_back(SweepPoint{
+        pi, measure_with_links(config,
+                               link::LinkModel::from_availability(pi))});
+  return series;
+}
+
+SweepSeries sweep_ber(const PathModelConfig& config,
+                      const std::vector<double>& bit_error_rates) {
+  expects(!bit_error_rates.empty(), "at least one sample");
+  SweepSeries series;
+  series.parameter_name = "ber";
+  for (double ber : bit_error_rates)
+    series.points.push_back(SweepPoint{
+        ber, measure_with_links(config, link::LinkModel::from_ber(ber))});
+  return series;
+}
+
+SweepSeries sweep_hop_count(std::uint32_t max_hops, double availability,
+                            net::SuperframeConfig superframe,
+                            std::uint32_t reporting_interval) {
+  expects(max_hops >= 1, "max_hops >= 1");
+  expects(max_hops <= superframe.uplink_slots, "hops fit in the frame");
+  SweepSeries series;
+  series.parameter_name = "hops";
+  for (std::uint32_t hops = 1; hops <= max_hops; ++hops) {
+    PathModelConfig config;
+    for (std::uint32_t h = 0; h < hops; ++h)
+      config.hop_slots.push_back(h + 1);
+    config.superframe = superframe;
+    config.reporting_interval = reporting_interval;
+    series.points.push_back(SweepPoint{
+        static_cast<double>(hops),
+        measure_with_links(config,
+                           link::LinkModel::from_availability(availability))});
+  }
+  return series;
+}
+
+SweepSeries sweep_reporting_interval_series(
+    const PathModelConfig& base_config, double availability,
+    const std::vector<std::uint32_t>& intervals) {
+  expects(!intervals.empty(), "at least one interval");
+  SweepSeries series;
+  series.parameter_name = "reporting_interval";
+  for (std::uint32_t is : intervals) {
+    PathModelConfig config = base_config;
+    config.reporting_interval = is;
+    config.ttl.reset();
+    series.points.push_back(SweepPoint{
+        static_cast<double>(is),
+        measure_with_links(config,
+                           link::LinkModel::from_availability(availability))});
+  }
+  return series;
+}
+
+void write_series_csv(std::ostream& out, const SweepSeries& series) {
+  report::CsvWriter csv(out);
+  csv.write_row({series.parameter_name, "reachability",
+                 "expected_delay_ms", "delay_jitter_ms", "utilization",
+                 "utilization_delivered"});
+  for (const SweepPoint& point : series.points) {
+    csv.write_row({std::to_string(point.parameter),
+                   std::to_string(point.measures.reachability),
+                   std::to_string(point.measures.expected_delay_ms),
+                   std::to_string(point.measures.delay_jitter_ms),
+                   std::to_string(point.measures.utilization),
+                   std::to_string(point.measures.utilization_delivered)});
+  }
+}
+
+}  // namespace whart::hart

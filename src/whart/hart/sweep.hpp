@@ -1,0 +1,56 @@
+// Parameter sweeps: regenerate the paper's curves (reachability or delay
+// vs availability, hop count, reporting interval) as data series ready
+// for CSV export — the programmatic counterpart of the bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "whart/hart/path_analysis.hpp"
+#include "whart/hart/path_model.hpp"
+
+namespace whart::hart {
+
+/// One sweep sample: the swept parameter value and the full measures.
+struct SweepPoint {
+  double parameter = 0.0;
+  PathMeasures measures;
+};
+
+/// A named series of sweep samples.
+struct SweepSeries {
+  std::string parameter_name;
+  std::vector<SweepPoint> points;
+};
+
+/// Evenly spaced values in [first, last] (inclusive, `count` >= 2).
+std::vector<double> linspace(double first, double last, std::size_t count);
+
+/// Reachability/delay/etc. vs stationary link availability for a path
+/// with homogeneous links (the sweep behind Figs. 8-9 and Table I).
+SweepSeries sweep_availability(const PathModelConfig& config,
+                               const std::vector<double>& availabilities);
+
+/// Sweep over the bit error rate (Eq. 1-2 pipeline), logarithmic ladders
+/// welcome.
+SweepSeries sweep_ber(const PathModelConfig& config,
+                      const std::vector<double>& bit_error_rates);
+
+/// Sweep over the hop count: paths of 1..`max_hops` hops scheduled
+/// contiguously from slot 1 (Fig. 10).
+SweepSeries sweep_hop_count(std::uint32_t max_hops, double availability,
+                            net::SuperframeConfig superframe,
+                            std::uint32_t reporting_interval);
+
+/// Sweep over the reporting interval (Section VI-D).
+SweepSeries sweep_reporting_interval_series(
+    const PathModelConfig& base_config, double availability,
+    const std::vector<std::uint32_t>& intervals);
+
+/// Write a series as CSV: parameter, reachability, expected_delay_ms,
+/// delay_jitter_ms, utilization, utilization_delivered.
+void write_series_csv(std::ostream& out, const SweepSeries& series);
+
+}  // namespace whart::hart

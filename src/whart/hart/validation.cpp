@@ -1,0 +1,60 @@
+#include "whart/hart/validation.hpp"
+
+#include <cmath>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::hart {
+
+ValidationReport validate_against_simulation(
+    const net::Network& network, const std::vector<net::Path>& paths,
+    const net::Schedule& schedule, net::SuperframeConfig superframe,
+    std::uint32_t reporting_interval, const ValidationConfig& config) {
+  expects(config.intervals > 0, "at least one interval");
+  expects(config.reachability_z > 0.0 && config.max_delay_z > 0.0,
+          "positive tolerances");
+
+  ValidationReport report;
+  report.model = analyze_network(network, paths, schedule, superframe,
+                                 reporting_interval);
+
+  sim::SimulatorConfig sim_config;
+  sim_config.superframe = superframe;
+  sim_config.reporting_interval = reporting_interval;
+  sim_config.intervals = config.intervals;
+  sim_config.seed = config.seed;
+  sim::NetworkSimulator simulator(network, paths, schedule, sim_config);
+  report.simulation = simulator.run();
+
+  report.passed = true;
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    const PathMeasures& m = report.model.per_path[p];
+    const sim::PathStatistics& s = report.simulation.per_path[p];
+    PathValidation v;
+    v.path_index = p;
+    v.model_reachability = m.reachability;
+    v.simulated_reachability = s.reachability();
+    v.reachability_interval =
+        s.reachability_interval(config.reachability_z);
+    v.reachability_within =
+        v.reachability_interval.contains(m.reachability);
+
+    v.model_delay_ms = m.expected_delay_ms;
+    v.simulated_delay_ms = s.delay_ms.mean();
+    const double se = s.delay_ms.standard_error();
+    v.delay_z_score =
+        se > 0.0 ? std::abs(v.simulated_delay_ms - v.model_delay_ms) / se
+                 : 0.0;
+
+    v.model_utilization = m.utilization;
+    v.simulated_utilization =
+        s.utilization(superframe.uplink_slots, reporting_interval);
+
+    if (!v.reachability_within || v.delay_z_score > config.max_delay_z)
+      report.passed = false;
+    report.per_path.push_back(v);
+  }
+  return report;
+}
+
+}  // namespace whart::hart

@@ -1,0 +1,60 @@
+// One-call validation: run the exact DTMC analytics and the Monte-Carlo
+// simulator on the same scheduled network and check that every analytic
+// figure falls inside the simulator's confidence interval.  This is the
+// repository's standing evidence that model and protocol semantics agree
+// (bench_validation_sim and the CLI's --simulate both go through here).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "whart/hart/network_analysis.hpp"
+#include "whart/sim/simulator.hpp"
+
+namespace whart::hart {
+
+/// Comparison of one path's analytic vs simulated figures.
+struct PathValidation {
+  std::size_t path_index = 0;
+  double model_reachability = 0.0;
+  double simulated_reachability = 0.0;
+  sim::Interval reachability_interval;  ///< at the requested z
+  bool reachability_within = false;
+
+  double model_delay_ms = 0.0;
+  double simulated_delay_ms = 0.0;
+  /// |model - simulated| in units of the simulator's standard error
+  /// (0 when no message was delivered).
+  double delay_z_score = 0.0;
+
+  double model_utilization = 0.0;
+  double simulated_utilization = 0.0;
+};
+
+struct ValidationReport {
+  NetworkMeasures model;
+  sim::SimulationReport simulation;
+  std::vector<PathValidation> per_path;
+
+  /// True when every path's reachability is inside its interval and no
+  /// delay deviates by more than `max_delay_z` standard errors.
+  bool passed = false;
+};
+
+struct ValidationConfig {
+  std::uint64_t intervals = 50000;
+  std::uint64_t seed = 2024;
+  /// z-score of the reachability confidence intervals (3.89 ~ 99.99%,
+  /// chosen wide because a report checks many paths at once).
+  double reachability_z = 3.89;
+  /// Maximum tolerated |delay z-score|.
+  double max_delay_z = 5.0;
+};
+
+/// Run both engines and compare.
+ValidationReport validate_against_simulation(
+    const net::Network& network, const std::vector<net::Path>& paths,
+    const net::Schedule& schedule, net::SuperframeConfig superframe,
+    std::uint32_t reporting_interval, const ValidationConfig& config = {});
+
+}  // namespace whart::hart

@@ -1,0 +1,24 @@
+#include "whart/linalg/convolution.hpp"
+
+namespace whart::linalg {
+
+std::vector<double> convolve(std::span<const double> a,
+                             std::span<const double> b) {
+  if (a.empty() || b.empty()) return {};
+  std::vector<double> result(a.size() + b.size() - 1, 0.0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0.0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) result[i + j] += a[i] * b[j];
+  }
+  return result;
+}
+
+std::vector<double> convolve_truncated(std::span<const double> a,
+                                       std::span<const double> b,
+                                       std::size_t size) {
+  std::vector<double> full = convolve(a, b);
+  full.resize(size, 0.0);
+  return full;
+}
+
+}  // namespace whart::linalg

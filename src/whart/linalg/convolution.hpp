@@ -1,0 +1,20 @@
+// Discrete convolution of (sub-)probability sequences — the operation behind
+// the paper's path-composition result (Eq. 12).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace whart::linalg {
+
+/// Full discrete convolution: result[k] = sum_i a[i] * b[k - i].
+/// The result has size a.size() + b.size() - 1 (empty if either is empty).
+std::vector<double> convolve(std::span<const double> a,
+                             std::span<const double> b);
+
+/// Convolution truncated (or zero-padded) to exactly `size` leading terms.
+std::vector<double> convolve_truncated(std::span<const double> a,
+                                       std::span<const double> b,
+                                       std::size_t size);
+
+}  // namespace whart::linalg

@@ -1,0 +1,77 @@
+#include "whart/link/blacklist.hpp"
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::link {
+
+ChannelBlacklist::ChannelBlacklist() : ChannelBlacklist(Config{}) {}
+
+ChannelBlacklist::ChannelBlacklist(Config config)
+    : config_(config),
+      consecutive_failures_(config.channel_count, 0),
+      blacklisted_(config.channel_count, false),
+      active_count_(config.channel_count) {
+  expects(config_.channel_count > 0, "channel_count > 0");
+  expects(config_.failure_threshold > 0, "failure_threshold > 0");
+  expects(config_.min_active_channels >= 1 &&
+              config_.min_active_channels <= config_.channel_count,
+          "1 <= min_active_channels <= channel_count");
+}
+
+void ChannelBlacklist::record_result(ChannelId channel, bool success) {
+  expects(channel < config_.channel_count, "channel in range");
+  if (success) {
+    consecutive_failures_[channel] = 0;
+    return;
+  }
+  if (blacklisted_[channel]) return;
+  if (++consecutive_failures_[channel] >= config_.failure_threshold &&
+      active_count_ > config_.min_active_channels) {
+    blacklisted_[channel] = true;
+    --active_count_;
+  }
+}
+
+void ChannelBlacklist::reset() {
+  std::fill(blacklisted_.begin(), blacklisted_.end(), false);
+  std::fill(consecutive_failures_.begin(), consecutive_failures_.end(), 0u);
+  active_count_ = config_.channel_count;
+}
+
+bool ChannelBlacklist::is_blacklisted(ChannelId channel) const {
+  expects(channel < config_.channel_count, "channel in range");
+  return blacklisted_[channel];
+}
+
+std::vector<ChannelId> ChannelBlacklist::active_channels() const {
+  std::vector<ChannelId> result;
+  result.reserve(active_count_);
+  for (ChannelId c = 0; c < config_.channel_count; ++c)
+    if (!blacklisted_[c]) result.push_back(c);
+  return result;
+}
+
+std::size_t ChannelBlacklist::active_count() const noexcept {
+  return active_count_;
+}
+
+ChannelHopper::ChannelHopper(std::uint64_t seed) : rng_(seed) {}
+
+ChannelId ChannelHopper::next(const ChannelBlacklist& blacklist) {
+  const std::vector<ChannelId> active = blacklist.active_channels();
+  ensures(!active.empty(), "at least one active channel");
+  if (active.size() == 1) {
+    current_ = active.front();
+    return current_;
+  }
+  // Hop to a uniformly random *different* active channel.
+  for (;;) {
+    const ChannelId candidate = active[rng_.below(active.size())];
+    if (candidate != current_) {
+      current_ = candidate;
+      return current_;
+    }
+  }
+}
+
+}  // namespace whart::link

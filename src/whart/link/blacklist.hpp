@@ -1,0 +1,78 @@
+// Channel hopping and blacklisting (paper Section II / III).  The network
+// manager maintains the list of active channels; channels that keep failing
+// are banned to the blacklist after a period of time, which is what keeps
+// the link recovery probability prc close to 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "whart/numeric/rng.hpp"
+#include "whart/phy/frame.hpp"
+
+namespace whart::link {
+
+/// Identifier of one of the 16 IEEE 802.15.4 channels (0-based index).
+using ChannelId = std::uint32_t;
+
+/// Tracks per-channel failures and maintains the active channel list.
+class ChannelBlacklist {
+ public:
+  struct Config {
+    std::uint32_t channel_count = phy::kChannelCount;
+    /// Consecutive failures after which a channel is blacklisted.
+    std::uint32_t failure_threshold = 4;
+    /// Keep at least this many channels active (the standard requires a
+    /// minimum hopping set); the worst offenders stay blacklisted first.
+    std::uint32_t min_active_channels = 5;
+  };
+
+  /// Default configuration (16 channels, threshold 4, at least 5 active).
+  ChannelBlacklist();
+
+  explicit ChannelBlacklist(Config config);
+
+  /// Record the outcome of a transmission on `channel`.  Successes reset
+  /// the consecutive-failure counter; failures may blacklist the channel.
+  void record_result(ChannelId channel, bool success);
+
+  /// Re-admit every blacklisted channel (periodic maintenance by the
+  /// network manager).
+  void reset();
+
+  [[nodiscard]] bool is_blacklisted(ChannelId channel) const;
+
+  /// Channels currently allowed for hopping, ascending.
+  [[nodiscard]] std::vector<ChannelId> active_channels() const;
+
+  [[nodiscard]] std::size_t active_count() const noexcept;
+
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  Config config_;
+  std::vector<std::uint32_t> consecutive_failures_;
+  std::vector<bool> blacklisted_;
+  std::size_t active_count_;
+};
+
+/// Pseudo-random channel-hopping sequence over the active channels of a
+/// blacklist, as used per-slot by the simulator.  Never returns the same
+/// channel twice in a row when more than one channel is active ("whenever
+/// the link suffers a bad frequency channel, it will hop to a new channel
+/// in the next slot").
+class ChannelHopper {
+ public:
+  explicit ChannelHopper(std::uint64_t seed);
+
+  /// Next channel to use given the current blacklist state.
+  ChannelId next(const ChannelBlacklist& blacklist);
+
+  [[nodiscard]] ChannelId current() const noexcept { return current_; }
+
+ private:
+  numeric::Xoshiro256 rng_;
+  ChannelId current_ = 0;
+};
+
+}  // namespace whart::link

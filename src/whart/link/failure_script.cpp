@@ -1,0 +1,48 @@
+#include "whart/link/failure_script.hpp"
+
+#include <algorithm>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::link {
+
+ScriptedLink::ScriptedLink(LinkModel base, std::vector<FailureWindow> windows)
+    : base_(base), windows_(std::move(windows)) {
+  for (const FailureWindow& w : windows_)
+    expects(w.begin < w.end, "window is non-empty");
+  expects(std::is_sorted(windows_.begin(), windows_.end(),
+                         [](const FailureWindow& a, const FailureWindow& b) {
+                           return a.begin < b.begin;
+                         }),
+          "windows sorted by begin");
+  for (std::size_t i = 1; i < windows_.size(); ++i)
+    expects(windows_[i - 1].end <= windows_[i].begin,
+            "windows do not overlap");
+}
+
+double ScriptedLink::up_probability(std::uint64_t slot) const {
+  // Find the last window that starts at or before `slot`.
+  const FailureWindow* last_before = nullptr;
+  for (const FailureWindow& w : windows_) {
+    if (w.begin > slot) break;
+    if (w.contains(slot)) return 0.0;
+    last_before = &w;
+  }
+  if (last_before == nullptr) return base_.steady_state_availability();
+  // The link exits the window in the DOWN state; recover transiently.
+  // At slot == end the link has had one slot to hop to a fresh channel.
+  return base_.up_probability_after(LinkState::kDown,
+                                    slot - (last_before->end - 1));
+}
+
+FailureWindow cycle_window(std::uint32_t first_cycle, std::uint32_t cycles,
+                           std::uint32_t slots_per_cycle) {
+  expects(cycles > 0 && slots_per_cycle > 0,
+          "cycles > 0 && slots_per_cycle > 0");
+  const std::uint64_t begin =
+      static_cast<std::uint64_t>(first_cycle) * slots_per_cycle;
+  return FailureWindow{begin, begin + static_cast<std::uint64_t>(cycles) *
+                                          slots_per_cycle};
+}
+
+}  // namespace whart::link

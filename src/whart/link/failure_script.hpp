@@ -1,0 +1,54 @@
+// Failure scripting for robustness studies (paper Section VI-C).  A link
+// can be forced DOWN during given slot windows — e.g. a physical
+// obstruction lasting one superframe cycle — after which it recovers
+// according to its DTMC dynamics starting from the DOWN state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "whart/link/link_model.hpp"
+
+namespace whart::link {
+
+/// A half-open range of absolute slots [begin, end) during which the link
+/// is forced DOWN.
+struct FailureWindow {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+
+  [[nodiscard]] bool contains(std::uint64_t slot) const noexcept {
+    return slot >= begin && slot < end;
+  }
+  friend bool operator==(const FailureWindow&, const FailureWindow&) = default;
+};
+
+/// A link model overlaid with scripted failure windows.
+///
+/// Outside all windows the UP probability follows the base model: steady
+/// state before the first window, and the transient recovery from DOWN
+/// after the most recent window has ended.
+class ScriptedLink {
+ public:
+  /// Windows must be sorted by begin and non-overlapping (checked).
+  ScriptedLink(LinkModel base, std::vector<FailureWindow> windows);
+
+  /// UP probability at the given absolute slot (0-based).
+  [[nodiscard]] double up_probability(std::uint64_t slot) const;
+
+  [[nodiscard]] const LinkModel& base() const noexcept { return base_; }
+  [[nodiscard]] const std::vector<FailureWindow>& windows() const noexcept {
+    return windows_;
+  }
+
+ private:
+  LinkModel base_;
+  std::vector<FailureWindow> windows_;
+};
+
+/// Convenience: a window spanning `cycles` superframe cycles of
+/// `slots_per_cycle` slots, starting at cycle `first_cycle` (0-based).
+FailureWindow cycle_window(std::uint32_t first_cycle, std::uint32_t cycles,
+                           std::uint32_t slots_per_cycle);
+
+}  // namespace whart::link

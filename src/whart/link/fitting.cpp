@@ -1,0 +1,62 @@
+#include "whart/link/fitting.hpp"
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::link {
+
+LinkModel GilbertFit::to_model() const {
+  expects(pfl.has_value() && prc.has_value(),
+          "both states observed in the trace");
+  return LinkModel(*pfl, *prc);
+}
+
+GilbertFit fit_gilbert_from_counts(std::uint64_t up_to_down,
+                                   std::uint64_t up_to_up,
+                                   std::uint64_t down_to_up,
+                                   std::uint64_t down_to_down) {
+  GilbertFit fit;
+  fit.up_to_down = up_to_down;
+  fit.down_to_up = down_to_up;
+  fit.up_slots = up_to_down + up_to_up;
+  fit.down_slots = down_to_up + down_to_down;
+  const std::uint64_t total = fit.up_slots + fit.down_slots;
+  expects(total > 0, "at least one observed transition");
+  fit.availability =
+      static_cast<double>(fit.up_slots) / static_cast<double>(total);
+  if (fit.up_slots > 0) {
+    fit.pfl = static_cast<double>(up_to_down) /
+              static_cast<double>(fit.up_slots);
+    fit.pfl_interval = sim::wilson_interval(up_to_down, fit.up_slots);
+  }
+  if (fit.down_slots > 0) {
+    fit.prc = static_cast<double>(down_to_up) /
+              static_cast<double>(fit.down_slots);
+    fit.prc_interval = sim::wilson_interval(down_to_up, fit.down_slots);
+  }
+  return fit;
+}
+
+GilbertFit fit_gilbert(const std::vector<bool>& up_trace) {
+  expects(up_trace.size() >= 2, "trace has at least two slots");
+  std::uint64_t up_to_down = 0;
+  std::uint64_t up_to_up = 0;
+  std::uint64_t down_to_up = 0;
+  std::uint64_t down_to_down = 0;
+  for (std::size_t t = 0; t + 1 < up_trace.size(); ++t) {
+    if (up_trace[t]) {
+      if (up_trace[t + 1])
+        ++up_to_up;
+      else
+        ++up_to_down;
+    } else {
+      if (up_trace[t + 1])
+        ++down_to_up;
+      else
+        ++down_to_down;
+    }
+  }
+  return fit_gilbert_from_counts(up_to_down, up_to_up, down_to_up,
+                                 down_to_down);
+}
+
+}  // namespace whart::link

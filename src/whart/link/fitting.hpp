@@ -1,0 +1,48 @@
+// Fit the two-state link model to observed data.  The network manager
+// sees, per slot, whether a link's transmission succeeded; the maximum-
+// likelihood estimates of (pfl, prc) are simple transition frequencies
+// of the observed UP/DOWN trace, with Wilson intervals for honesty.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "whart/link/link_model.hpp"
+#include "whart/sim/stats.hpp"
+
+namespace whart::link {
+
+/// MLE fit of a Gilbert chain from a binary trace (true = UP).
+struct GilbertFit {
+  /// Transition counts observed in the trace.
+  std::uint64_t up_slots = 0;         ///< slots spent UP (with successor)
+  std::uint64_t down_slots = 0;       ///< slots spent DOWN (with successor)
+  std::uint64_t up_to_down = 0;
+  std::uint64_t down_to_up = 0;
+
+  /// Point estimates; nullopt when the trace never visits the state.
+  std::optional<double> pfl;
+  std::optional<double> prc;
+
+  /// Wilson 95% intervals for the estimates (meaningful when set).
+  sim::Interval pfl_interval;
+  sim::Interval prc_interval;
+
+  /// The fitted model; requires both estimates (throws otherwise).
+  [[nodiscard]] LinkModel to_model() const;
+
+  /// Empirical availability: fraction of UP slots over the whole trace.
+  double availability = 0.0;
+};
+
+/// Fit from a slot-by-slot trace; needs at least two slots.
+GilbertFit fit_gilbert(const std::vector<bool>& up_trace);
+
+/// Fit from pre-aggregated transition counts (e.g. hardware registers).
+GilbertFit fit_gilbert_from_counts(std::uint64_t up_to_down,
+                                   std::uint64_t up_to_up,
+                                   std::uint64_t down_to_up,
+                                   std::uint64_t down_to_down);
+
+}  // namespace whart::link

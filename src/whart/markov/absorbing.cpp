@@ -1,0 +1,53 @@
+#include "whart/markov/absorbing.hpp"
+
+#include <unordered_map>
+
+#include "whart/common/contracts.hpp"
+#include "whart/linalg/lu.hpp"
+
+namespace whart::markov {
+
+AbsorbingAnalysis analyze_absorbing(const Dtmc& chain) {
+  AbsorbingAnalysis result;
+  result.absorbing_states = chain.absorbing_states();
+  expects(!result.absorbing_states.empty(),
+          "chain has at least one absorbing state");
+
+  std::unordered_map<StateIndex, std::size_t> absorbing_pos;
+  for (std::size_t j = 0; j < result.absorbing_states.size(); ++j)
+    absorbing_pos.emplace(result.absorbing_states[j], j);
+
+  std::unordered_map<StateIndex, std::size_t> transient_pos;
+  for (StateIndex s = 0; s < chain.num_states(); ++s) {
+    if (!absorbing_pos.contains(s)) {
+      transient_pos.emplace(s, result.transient_states.size());
+      result.transient_states.push_back(s);
+    }
+  }
+
+  const std::size_t nt = result.transient_states.size();
+  const std::size_t na = result.absorbing_states.size();
+
+  // Extract Q (transient -> transient) and R (transient -> absorbing).
+  linalg::Matrix q(nt, nt);
+  linalg::Matrix r(nt, na);
+  for (std::size_t i = 0; i < nt; ++i) {
+    chain.matrix().for_each_in_row(
+        result.transient_states[i], [&](std::size_t col, double value) {
+          if (auto it = transient_pos.find(col); it != transient_pos.end())
+            q(i, it->second) += value;
+          else
+            r(i, absorbing_pos.at(col)) += value;
+        });
+  }
+
+  // N = (I - Q)^{-1}; B = N R; t = N 1.
+  linalg::Matrix i_minus_q = linalg::Matrix::identity(nt) - q;
+  linalg::LuDecomposition lu(std::move(i_minus_q));
+  result.expected_visits = lu.solve(linalg::Matrix::identity(nt));
+  result.absorption_probability = lu.solve(r);
+  result.expected_steps = lu.solve(linalg::Vector(nt, 1.0));
+  return result;
+}
+
+}  // namespace whart::markov

@@ -1,0 +1,42 @@
+// Absorbing-chain analysis.  The path model (paper Section IV) is an
+// absorbing DTMC: the goal states and the Discard state are absorbing and
+// every other state is transient.  The fundamental matrix N = (I - Q)^{-1}
+// yields absorption probabilities and expected steps to absorption in
+// closed form, which cross-validates the transient (Eq. 5) computation.
+#pragma once
+
+#include <vector>
+
+#include "whart/linalg/matrix.hpp"
+#include "whart/markov/dtmc.hpp"
+
+namespace whart::markov {
+
+/// Result of analyzing an absorbing DTMC.
+struct AbsorbingAnalysis {
+  /// Transient (non-absorbing) states in chain order.
+  std::vector<StateIndex> transient_states;
+
+  /// Absorbing states in chain order.
+  std::vector<StateIndex> absorbing_states;
+
+  /// absorption_probability[i][j]: probability that the chain started in
+  /// transient_states[i] is eventually absorbed in absorbing_states[j]
+  /// (the matrix B = N R).
+  linalg::Matrix absorption_probability;
+
+  /// expected_steps[i]: expected number of steps until absorption starting
+  /// from transient_states[i] (t = N 1).
+  linalg::Vector expected_steps;
+
+  /// expected_visits (the fundamental matrix N): expected number of visits
+  /// to transient_states[j] starting from transient_states[i].
+  linalg::Matrix expected_visits;
+};
+
+/// Analyze an absorbing chain.  Throws whart::precondition_error when the
+/// chain has no absorbing state; throws whart::invariant_error when some
+/// transient state cannot reach any absorbing state (I - Q singular).
+AbsorbingAnalysis analyze_absorbing(const Dtmc& chain);
+
+}  // namespace whart::markov

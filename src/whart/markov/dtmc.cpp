@@ -1,0 +1,67 @@
+#include "whart/markov/dtmc.hpp"
+
+#include <cmath>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::markov {
+
+namespace {
+constexpr double kStochasticTolerance = 1e-9;
+}
+
+Dtmc::Dtmc(std::size_t num_states, std::vector<linalg::Triplet> transitions,
+           std::vector<std::string> state_names)
+    : matrix_(num_states, num_states, std::move(transitions)),
+      state_names_(std::move(state_names)) {
+  expects(state_names_.empty() || state_names_.size() == num_states,
+          "state_names empty or one per state");
+  for (std::size_t row = 0; row < num_states; ++row) {
+    bool nonnegative = true;
+    matrix_.for_each_in_row(row, [&](std::size_t, double value) {
+      if (value < -kStochasticTolerance) nonnegative = false;
+    });
+    ensures(nonnegative, "transition probabilities are non-negative");
+    const double row_sum = matrix_.row_sum(row);
+    ensures(std::abs(row_sum - 1.0) <= kStochasticTolerance,
+            "every row sums to 1");
+  }
+}
+
+std::string Dtmc::state_name(StateIndex state) const {
+  expects(state < num_states(), "state in range");
+  if (state < state_names_.size() && !state_names_[state].empty())
+    return state_names_[state];
+  return "s" + std::to_string(state);
+}
+
+std::optional<StateIndex> Dtmc::find_state(
+    std::string_view state_name) const noexcept {
+  for (std::size_t i = 0; i < state_names_.size(); ++i)
+    if (state_names_[i] == state_name) return i;
+  return std::nullopt;
+}
+
+bool Dtmc::is_absorbing(StateIndex state) const {
+  expects(state < num_states(), "state in range");
+  return std::abs(matrix_.at(state, state) - 1.0) <= kStochasticTolerance;
+}
+
+std::vector<StateIndex> Dtmc::absorbing_states() const {
+  std::vector<StateIndex> result;
+  for (StateIndex s = 0; s < num_states(); ++s)
+    if (is_absorbing(s)) result.push_back(s);
+  return result;
+}
+
+linalg::Vector Dtmc::step(const linalg::Vector& distribution) const {
+  expects(distribution.size() == num_states(),
+          "distribution matches state space");
+  return matrix_.left_multiply(distribution);
+}
+
+linalg::Vector point_distribution(std::size_t num_states, StateIndex state) {
+  return linalg::unit(num_states, state);
+}
+
+}  // namespace whart::markov

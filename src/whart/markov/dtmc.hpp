@@ -1,0 +1,70 @@
+// General-purpose discrete-time Markov chain over a finite state space.
+// The WirelessHART link and path models are both instances of this class.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "whart/linalg/sparse.hpp"
+#include "whart/linalg/vector.hpp"
+
+namespace whart::markov {
+
+/// Index of a state in a chain.
+using StateIndex = std::size_t;
+
+/// A finite DTMC: a stochastic transition matrix plus optional state names.
+///
+/// Invariant: every row of the transition matrix sums to 1 (within
+/// tolerance) and all entries are non-negative; enforced at construction.
+class Dtmc {
+ public:
+  /// Build from transition triplets.  `num_states` fixes the state space;
+  /// every row must be stochastic.  Optional `state_names` (empty, or one
+  /// per state) are used for diagnostics.
+  Dtmc(std::size_t num_states, std::vector<linalg::Triplet> transitions,
+       std::vector<std::string> state_names = {});
+
+  [[nodiscard]] std::size_t num_states() const noexcept {
+    return matrix_.rows();
+  }
+
+  /// Transition probability from -> to.
+  [[nodiscard]] double transition_probability(StateIndex from,
+                                              StateIndex to) const {
+    return matrix_.at(from, to);
+  }
+
+  /// The underlying sparse transition matrix.
+  [[nodiscard]] const linalg::CsrMatrix& matrix() const noexcept {
+    return matrix_;
+  }
+
+  /// Name of a state, or "s<i>" when unnamed.
+  [[nodiscard]] std::string state_name(StateIndex state) const;
+
+  /// Look up a state index by name.
+  [[nodiscard]] std::optional<StateIndex> find_state(
+      std::string_view state_name) const noexcept;
+
+  /// True when `state` has a self-loop with probability 1.
+  [[nodiscard]] bool is_absorbing(StateIndex state) const;
+
+  /// All absorbing states.
+  [[nodiscard]] std::vector<StateIndex> absorbing_states() const;
+
+  /// One distribution step: p' = p * P.  p must be a distribution over the
+  /// state space (checked by size only; callers may pass sub-distributions).
+  [[nodiscard]] linalg::Vector step(const linalg::Vector& distribution) const;
+
+ private:
+  linalg::CsrMatrix matrix_;
+  std::vector<std::string> state_names_;
+};
+
+/// A point distribution concentrated at `state`.
+linalg::Vector point_distribution(std::size_t num_states, StateIndex state);
+
+}  // namespace whart::markov

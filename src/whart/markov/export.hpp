@@ -1,0 +1,40 @@
+// DTMC export: Graphviz DOT for visual inspection and the PRISM explicit
+// format (.tra / .lab) so the constructed chains can be verified with an
+// external probabilistic model checker — the ecosystem the paper's
+// original (closed-source) Java tool lived in.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "whart/markov/dtmc.hpp"
+
+namespace whart::markov {
+
+/// Options for the DOT rendering.
+struct DotOptions {
+  /// Graph name.
+  std::string name = "dtmc";
+  /// Left-to-right layout (matches the paper's Figs. 4-5).
+  bool left_to_right = true;
+  /// Draw absorbing states as double circles.
+  bool highlight_absorbing = true;
+  /// Omit edge labels below this probability... 0 keeps everything.
+  double min_probability = 0.0;
+};
+
+/// Write the chain as a Graphviz digraph.
+void write_dot(std::ostream& out, const Dtmc& chain,
+               const DotOptions& options = {});
+
+/// Write the PRISM explicit-engine transition file (.tra):
+/// header "num_states num_transitions", then one "src dst prob" per line,
+/// sources ascending.
+void write_prism_transitions(std::ostream& out, const Dtmc& chain);
+
+/// Write a PRISM label file (.lab) marking "init" (state `initial`) and
+/// one label per absorbing state (its state name, quoted).
+void write_prism_labels(std::ostream& out, const Dtmc& chain,
+                        StateIndex initial = 0);
+
+}  // namespace whart::markov

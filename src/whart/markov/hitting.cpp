@@ -1,0 +1,124 @@
+#include "whart/markov/hitting.hpp"
+
+#include <limits>
+#include <unordered_map>
+
+#include "whart/common/contracts.hpp"
+#include "whart/linalg/lu.hpp"
+#include "whart/linalg/matrix.hpp"
+
+namespace whart::markov {
+
+namespace {
+
+/// States from which some target is reachable (backward BFS over the
+/// positive-probability edges).
+std::vector<bool> can_reach(const Dtmc& chain,
+                            const std::vector<StateIndex>& targets) {
+  // Build the reverse adjacency once.
+  std::vector<std::vector<StateIndex>> predecessors(chain.num_states());
+  for (StateIndex s = 0; s < chain.num_states(); ++s)
+    chain.matrix().for_each_in_row(s, [&](std::size_t to, double p) {
+      if (p > 0.0) predecessors[to].push_back(s);
+    });
+
+  std::vector<bool> reached(chain.num_states(), false);
+  std::vector<StateIndex> queue;
+  for (StateIndex t : targets) {
+    expects(t < chain.num_states(), "target in range");
+    if (!reached[t]) {
+      reached[t] = true;
+      queue.push_back(t);
+    }
+  }
+  for (std::size_t head = 0; head < queue.size(); ++head)
+    for (StateIndex p : predecessors[queue[head]])
+      if (!reached[p]) {
+        reached[p] = true;
+        queue.push_back(p);
+      }
+  return reached;
+}
+
+std::vector<bool> target_mask(const Dtmc& chain,
+                              const std::vector<StateIndex>& targets) {
+  std::vector<bool> mask(chain.num_states(), false);
+  for (StateIndex t : targets) mask[t] = true;
+  return mask;
+}
+
+/// Solve x_s = offset + sum_t P(s,t) x_t over the `unknown` states, with
+/// x fixed to `boundary` elsewhere.  Returns the full vector.
+linalg::Vector solve_restricted(const Dtmc& chain,
+                                const std::vector<bool>& unknown,
+                                const linalg::Vector& boundary,
+                                double offset) {
+  std::unordered_map<StateIndex, std::size_t> row_of;
+  std::vector<StateIndex> rows;
+  for (StateIndex s = 0; s < chain.num_states(); ++s)
+    if (unknown[s]) {
+      row_of.emplace(s, rows.size());
+      rows.push_back(s);
+    }
+  linalg::Vector result = boundary;
+  if (rows.empty()) return result;
+
+  const std::size_t n = rows.size();
+  linalg::Matrix system = linalg::Matrix::identity(n);
+  linalg::Vector rhs(n, offset);
+  for (std::size_t i = 0; i < n; ++i) {
+    chain.matrix().for_each_in_row(rows[i], [&](std::size_t to, double p) {
+      if (p <= 0.0) return;
+      if (auto it = row_of.find(to); it != row_of.end())
+        system(i, it->second) -= p;
+      else
+        rhs[i] += p * boundary[to];
+    });
+  }
+  const linalg::Vector solution = linalg::solve(system, rhs);
+  for (std::size_t i = 0; i < n; ++i) result[rows[i]] = solution[i];
+  return result;
+}
+
+}  // namespace
+
+linalg::Vector hitting_probabilities(
+    const Dtmc& chain, const std::vector<StateIndex>& targets) {
+  expects(!targets.empty(), "at least one target");
+  const std::vector<bool> reachable = can_reach(chain, targets);
+  const std::vector<bool> is_target = target_mask(chain, targets);
+
+  linalg::Vector boundary(chain.num_states(), 0.0);
+  std::vector<bool> unknown(chain.num_states(), false);
+  for (StateIndex s = 0; s < chain.num_states(); ++s) {
+    if (is_target[s])
+      boundary[s] = 1.0;
+    else if (reachable[s])
+      unknown[s] = true;
+  }
+  return solve_restricted(chain, unknown, boundary, 0.0);
+}
+
+linalg::Vector expected_hitting_times(
+    const Dtmc& chain, const std::vector<StateIndex>& targets) {
+  const linalg::Vector h = hitting_probabilities(chain, targets);
+  const std::vector<bool> is_target = target_mask(chain, targets);
+
+  constexpr double kSureTolerance = 1e-12;
+  linalg::Vector boundary(chain.num_states(), 0.0);
+  std::vector<bool> unknown(chain.num_states(), false);
+  for (StateIndex s = 0; s < chain.num_states(); ++s) {
+    if (is_target[s]) continue;
+    if (h[s] >= 1.0 - kSureTolerance)
+      unknown[s] = true;
+    else
+      boundary[s] = std::numeric_limits<double>::infinity();
+  }
+  // States that transition into an infinite-boundary state with positive
+  // probability would poison the rhs; but such states have h < 1 and are
+  // already on the boundary themselves, so the restricted system only
+  // references finite values.
+  return solve_restricted(chain, unknown, boundary, 1.0);
+}
+
+}  // namespace whart::markov

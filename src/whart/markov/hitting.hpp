@@ -1,0 +1,27 @@
+// First-passage analysis for arbitrary target sets: hitting
+// probabilities and expected hitting times, by linear solve on the
+// reachable sub-system.  Generalizes the absorbing-chain analysis (whose
+// targets must be absorbing) to any state set — e.g. "how long until the
+// link is UP again" without rebuilding the chain.
+#pragma once
+
+#include <vector>
+
+#include "whart/linalg/vector.hpp"
+#include "whart/markov/dtmc.hpp"
+
+namespace whart::markov {
+
+/// h[s] = P(the chain started at s ever visits a target).  Targets get
+/// 1; states with no path to a target get 0; the rest solve the minimal
+/// non-negative solution of h = P h with those boundary conditions.
+linalg::Vector hitting_probabilities(const Dtmc& chain,
+                                     const std::vector<StateIndex>& targets);
+
+/// k[s] = E[steps until the first visit to a target | start s].
+/// Targets get 0; states whose hitting probability is below 1 get
+/// +infinity (the standard convention: the expectation diverges).
+linalg::Vector expected_hitting_times(
+    const Dtmc& chain, const std::vector<StateIndex>& targets);
+
+}  // namespace whart::markov

@@ -1,0 +1,138 @@
+#include "whart/markov/limiting.hpp"
+
+#include <unordered_map>
+
+#include "whart/common/contracts.hpp"
+#include "whart/markov/absorbing.hpp"
+#include "whart/markov/steady_state.hpp"
+#include "whart/markov/structure.hpp"
+
+namespace whart::markov {
+
+namespace {
+
+struct Collapsed {
+  /// Closed-class indices in decomposition order.
+  std::vector<std::size_t> closed_classes;
+  /// capture[s][k]: P(captured by closed_classes[k] | start at state s).
+  std::vector<linalg::Vector> capture;
+};
+
+/// Capture probabilities for every original state, by collapsing each
+/// closed class to one absorbing super-state.
+Collapsed capture_by_class(const Dtmc& chain,
+                           const ClassDecomposition& decomposition) {
+  Collapsed result;
+  std::unordered_map<std::size_t, std::size_t> closed_rank;
+  for (std::size_t c = 0; c < decomposition.class_count(); ++c) {
+    if (decomposition.is_closed[c]) {
+      closed_rank.emplace(c, result.closed_classes.size());
+      result.closed_classes.push_back(c);
+    }
+  }
+  const std::size_t num_closed = result.closed_classes.size();
+
+  // Collapsed state space: transient states keep a slot, each closed
+  // class becomes one absorbing state at the end.
+  std::unordered_map<StateIndex, std::size_t> transient_slot;
+  std::vector<StateIndex> transient_of_slot;
+  for (StateIndex s = 0; s < chain.num_states(); ++s) {
+    if (!decomposition.is_closed[decomposition.class_of[s]]) {
+      transient_slot.emplace(s, transient_of_slot.size());
+      transient_of_slot.push_back(s);
+    }
+  }
+  const std::size_t nt = transient_of_slot.size();
+
+  result.capture.assign(chain.num_states(), linalg::Vector(num_closed));
+  // States already inside a closed class are captured by it surely.
+  for (StateIndex s = 0; s < chain.num_states(); ++s) {
+    const std::size_t cls = decomposition.class_of[s];
+    if (decomposition.is_closed[cls])
+      result.capture[s][closed_rank.at(cls)] = 1.0;
+  }
+  if (nt == 0) return result;
+
+  std::vector<linalg::Triplet> triplets;
+  for (std::size_t i = 0; i < nt; ++i) {
+    chain.matrix().for_each_in_row(
+        transient_of_slot[i], [&](std::size_t to, double p) {
+          if (p <= 0.0) return;
+          const std::size_t to_class = decomposition.class_of[to];
+          if (decomposition.is_closed[to_class])
+            triplets.push_back({i, nt + closed_rank.at(to_class), p});
+          else
+            triplets.push_back({i, transient_slot.at(to), p});
+        });
+  }
+  for (std::size_t k = 0; k < num_closed; ++k)
+    triplets.push_back({nt + k, nt + k, 1.0});
+
+  const Dtmc collapsed(nt + num_closed, std::move(triplets));
+  const AbsorbingAnalysis analysis = analyze_absorbing(collapsed);
+  // analyze_absorbing orders transient/absorbing states ascending, which
+  // here coincides with (slots 0..nt-1, supers nt..nt+k-1).
+  for (std::size_t i = 0; i < nt; ++i)
+    for (std::size_t k = 0; k < num_closed; ++k)
+      result.capture[transient_of_slot[i]][k] =
+          analysis.absorption_probability(i, k);
+  return result;
+}
+
+}  // namespace
+
+linalg::Vector capture_probabilities(const Dtmc& chain,
+                                     const linalg::Vector& initial) {
+  expects(initial.size() == chain.num_states(),
+          "initial distribution matches state space");
+  const ClassDecomposition decomposition = communicating_classes(chain);
+  const Collapsed collapsed = capture_by_class(chain, decomposition);
+  linalg::Vector result(collapsed.closed_classes.size());
+  for (StateIndex s = 0; s < chain.num_states(); ++s) {
+    if (initial[s] == 0.0) continue;
+    for (std::size_t k = 0; k < result.size(); ++k)
+      result[k] += initial[s] * collapsed.capture[s][k];
+  }
+  return result;
+}
+
+linalg::Vector long_run_distribution(const Dtmc& chain,
+                                     const linalg::Vector& initial) {
+  expects(initial.size() == chain.num_states(),
+          "initial distribution matches state space");
+  const ClassDecomposition decomposition = communicating_classes(chain);
+  const Collapsed collapsed = capture_by_class(chain, decomposition);
+
+  linalg::Vector capture(collapsed.closed_classes.size());
+  for (StateIndex s = 0; s < chain.num_states(); ++s) {
+    if (initial[s] == 0.0) continue;
+    for (std::size_t k = 0; k < capture.size(); ++k)
+      capture[k] += initial[s] * collapsed.capture[s][k];
+  }
+
+  linalg::Vector result(chain.num_states());
+  for (std::size_t k = 0; k < collapsed.closed_classes.size(); ++k) {
+    if (capture[k] == 0.0) continue;
+    const auto& members =
+        decomposition.classes[collapsed.closed_classes[k]];
+    // Stationary distribution of the restricted class chain.
+    std::unordered_map<StateIndex, std::size_t> slot;
+    for (std::size_t i = 0; i < members.size(); ++i)
+      slot.emplace(members[i], i);
+    std::vector<linalg::Triplet> triplets;
+    for (std::size_t i = 0; i < members.size(); ++i)
+      chain.matrix().for_each_in_row(members[i],
+                                     [&](std::size_t to, double p) {
+                                       if (p > 0.0)
+                                         triplets.push_back(
+                                             {i, slot.at(to), p});
+                                     });
+    const Dtmc restricted(members.size(), std::move(triplets));
+    const linalg::Vector pi = steady_state_direct(restricted);
+    for (std::size_t i = 0; i < members.size(); ++i)
+      result[members[i]] += capture[k] * pi[i];
+  }
+  return result;
+}
+
+}  // namespace whart::markov

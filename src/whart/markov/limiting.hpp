@@ -1,0 +1,28 @@
+// Long-run behavior of arbitrary finite DTMCs.  For a reducible chain
+// the trajectory is eventually captured by one of the closed
+// communicating classes and equilibrates to that class's stationary
+// distribution; the Cesàro (time-average) limit therefore always exists:
+//
+//   pi_long(s) = sum_c P(absorbed into class c | initial) * pi_c(s)
+//
+// For aperiodic chains this is also the plain limit of p(t).  Combines
+// the structure analysis (closed classes), per-class stationary solves
+// and the absorbing-chain analysis on the class-collapsed chain.
+#pragma once
+
+#include "whart/linalg/vector.hpp"
+#include "whart/markov/dtmc.hpp"
+
+namespace whart::markov {
+
+/// The Cesàro limiting distribution from `initial` (sizes must match).
+linalg::Vector long_run_distribution(const Dtmc& chain,
+                                     const linalg::Vector& initial);
+
+/// Probability, per closed communicating class (in the order
+/// communicating_classes() lists the *closed* ones), that the chain
+/// started from `initial` is eventually captured by it.  Sums to 1.
+linalg::Vector capture_probabilities(const Dtmc& chain,
+                                     const linalg::Vector& initial);
+
+}  // namespace whart::markov

@@ -1,0 +1,78 @@
+#include "whart/markov/simulate.hpp"
+
+#include <algorithm>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::markov {
+
+StateIndex sample_step(const Dtmc& chain, StateIndex state,
+                       numeric::Xoshiro256& rng) {
+  expects(state < chain.num_states(), "state in range");
+  const double u = rng.uniform();
+  double cumulative = 0.0;
+  StateIndex chosen = state;
+  bool found = false;
+  chain.matrix().for_each_in_row(state, [&](std::size_t to, double p) {
+    if (found) return;
+    cumulative += p;
+    if (u < cumulative) {
+      chosen = to;
+      found = true;
+    }
+  });
+  // Floating-point slack at the top of the cdf: stay on the last entry.
+  if (!found) {
+    chain.matrix().for_each_in_row(state,
+                                   [&](std::size_t to, double) { chosen = to; });
+  }
+  return chosen;
+}
+
+std::vector<StateIndex> sample_trajectory(const Dtmc& chain,
+                                          StateIndex start,
+                                          std::uint64_t steps,
+                                          numeric::Xoshiro256& rng) {
+  expects(start < chain.num_states(), "start in range");
+  std::vector<StateIndex> trajectory;
+  trajectory.reserve(steps + 1);
+  trajectory.push_back(start);
+  for (std::uint64_t t = 0; t < steps; ++t)
+    trajectory.push_back(sample_step(chain, trajectory.back(), rng));
+  return trajectory;
+}
+
+linalg::Vector empirical_distribution(const Dtmc& chain, StateIndex start,
+                                      std::uint64_t steps,
+                                      std::uint64_t trajectories,
+                                      numeric::Xoshiro256& rng) {
+  expects(trajectories > 0, "at least one trajectory");
+  linalg::Vector counts(chain.num_states());
+  for (std::uint64_t run = 0; run < trajectories; ++run) {
+    StateIndex state = start;
+    for (std::uint64_t t = 0; t < steps; ++t)
+      state = sample_step(chain, state, rng);
+    counts[state] += 1.0;
+  }
+  counts *= 1.0 / static_cast<double>(trajectories);
+  return counts;
+}
+
+std::optional<std::uint64_t> sample_hitting_time(
+    const Dtmc& chain, StateIndex start,
+    const std::vector<StateIndex>& targets, std::uint64_t max_steps,
+    numeric::Xoshiro256& rng) {
+  expects(!targets.empty(), "at least one target state");
+  const auto is_target = [&](StateIndex s) {
+    return std::find(targets.begin(), targets.end(), s) != targets.end();
+  };
+  if (is_target(start)) return 0;
+  StateIndex state = start;
+  for (std::uint64_t t = 1; t <= max_steps; ++t) {
+    state = sample_step(chain, state, rng);
+    if (is_target(state)) return t;
+  }
+  return std::nullopt;
+}
+
+}  // namespace whart::markov

@@ -1,0 +1,41 @@
+// Trajectory sampling for generic DTMCs: draw sample paths and empirical
+// distributions.  Used to cross-validate the analytic machinery and as a
+// fallback for measures with no closed form.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "whart/markov/dtmc.hpp"
+#include "whart/numeric/rng.hpp"
+
+namespace whart::markov {
+
+/// Sample one trajectory of `steps` transitions starting at `start`;
+/// returns the visited states (size steps + 1, trajectory[0] = start).
+std::vector<StateIndex> sample_trajectory(const Dtmc& chain,
+                                          StateIndex start,
+                                          std::uint64_t steps,
+                                          numeric::Xoshiro256& rng);
+
+/// One transition from `state`.
+StateIndex sample_step(const Dtmc& chain, StateIndex state,
+                       numeric::Xoshiro256& rng);
+
+/// Empirical distribution after `steps` transitions over `trajectories`
+/// independent runs from `start` — a Monte-Carlo estimate of
+/// distribution_after().
+linalg::Vector empirical_distribution(const Dtmc& chain, StateIndex start,
+                                      std::uint64_t steps,
+                                      std::uint64_t trajectories,
+                                      numeric::Xoshiro256& rng);
+
+/// First-passage: the step at which a trajectory from `start` first hits
+/// any state in `targets`, or nullopt within `max_steps`.
+std::optional<std::uint64_t> sample_hitting_time(
+    const Dtmc& chain, StateIndex start,
+    const std::vector<StateIndex>& targets, std::uint64_t max_steps,
+    numeric::Xoshiro256& rng);
+
+}  // namespace whart::markov

@@ -1,0 +1,50 @@
+#include "whart/markov/steady_state.hpp"
+
+#include "whart/common/contracts.hpp"
+#include "whart/linalg/lu.hpp"
+#include "whart/linalg/matrix.hpp"
+
+namespace whart::markov {
+
+linalg::Vector steady_state_direct(const Dtmc& chain) {
+  const std::size_t n = chain.num_states();
+  expects(n > 0, "chain is non-empty");
+
+  // Solve (P^T - I) pi = 0 with the last equation replaced by sum(pi) = 1.
+  linalg::Matrix system(n, n);
+  for (std::size_t row = 0; row < n; ++row) {
+    chain.matrix().for_each_in_row(row, [&](std::size_t col, double value) {
+      system(col, row) += value;  // transpose
+    });
+  }
+  for (std::size_t i = 0; i < n; ++i) system(i, i) -= 1.0;
+  for (std::size_t j = 0; j < n; ++j) system(n - 1, j) = 1.0;
+
+  linalg::Vector rhs(n);
+  rhs[n - 1] = 1.0;
+  linalg::Vector pi = linalg::solve(system, rhs);
+
+  // Guard against tiny negative round-off.
+  for (double& p : pi)
+    if (p < 0.0 && p > -1e-12) p = 0.0;
+  return pi;
+}
+
+linalg::Vector steady_state_power(const Dtmc& chain, double tolerance,
+                                  std::uint64_t max_iterations) {
+  const std::size_t n = chain.num_states();
+  expects(n > 0, "chain is non-empty");
+  linalg::Vector pi(n, 1.0 / static_cast<double>(n));
+  for (std::uint64_t it = 0; it < max_iterations; ++it) {
+    // Lazy-chain step: pi' = (pi P + pi) / 2 — immune to periodicity.
+    linalg::Vector next = chain.step(pi);
+    next += pi;
+    next *= 0.5;
+    const double change = linalg::max_abs_diff(next, pi);
+    pi = std::move(next);
+    if (change < tolerance) break;
+  }
+  return pi;
+}
+
+}  // namespace whart::markov

@@ -1,0 +1,32 @@
+#include "whart/net/downlink.hpp"
+
+#include <algorithm>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::net {
+
+Path mirrored_downlink_path(const Path& uplink) {
+  expects(uplink.is_uplink(), "path ends at the gateway");
+  std::vector<NodeId> nodes = uplink.nodes();
+  std::reverse(nodes.begin(), nodes.end());
+  return Path(std::move(nodes));
+}
+
+std::vector<Path> mirrored_downlink_paths(const std::vector<Path>& uplink) {
+  std::vector<Path> downlink;
+  downlink.reserve(uplink.size());
+  for (const Path& path : uplink)
+    downlink.push_back(mirrored_downlink_path(path));
+  return downlink;
+}
+
+Schedule build_downlink_schedule(const std::vector<Path>& downlink_paths,
+                                 std::uint32_t downlink_slots,
+                                 SchedulingPolicy policy) {
+  for (const Path& path : downlink_paths)
+    expects(path.source() == kGateway, "downlink paths start at the gateway");
+  return build_schedule(downlink_paths, downlink_slots, policy);
+}
+
+}  // namespace whart::net

@@ -1,0 +1,32 @@
+// The downlink half of the superframe (paper Section II): after the
+// uplink slots deliver the sensor samples and the controller runs PID,
+// output messages travel gateway -> actuator during the downlink slots.
+// The paper assumes a symmetric setup; these helpers build the mirrored
+// downlink paths and their schedule explicitly so asymmetric setups can
+// be analyzed exactly.
+#pragma once
+
+#include <vector>
+
+#include "whart/net/path.hpp"
+#include "whart/net/schedule.hpp"
+#include "whart/net/schedule_builder.hpp"
+
+namespace whart::net {
+
+/// The downlink path mirroring an uplink path: the same node chain
+/// reversed (gateway first).
+Path mirrored_downlink_path(const Path& uplink);
+
+/// Mirror a whole path set.
+std::vector<Path> mirrored_downlink_paths(const std::vector<Path>& uplink);
+
+/// Build the downlink-half schedule for the given (gateway-first) paths.
+/// Slot numbers are 1..`downlink_slots` *within the downlink half*; the
+/// hops of each chain are laid out contiguously per `policy`, exactly
+/// like the uplink builder.
+Schedule build_downlink_schedule(const std::vector<Path>& downlink_paths,
+                                 std::uint32_t downlink_slots,
+                                 SchedulingPolicy policy);
+
+}  // namespace whart::net

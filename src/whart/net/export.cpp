@@ -1,0 +1,74 @@
+#include "whart/net/export.hpp"
+
+#include <ostream>
+#include <set>
+#include <sstream>
+
+namespace whart::net {
+
+namespace {
+
+std::set<std::uint32_t> route_links(const Network& network,
+                                    const std::vector<Path>& paths) {
+  std::set<std::uint32_t> used;
+  for (const Path& path : paths)
+    for (LinkId id : path.resolve_links(network)) used.insert(id.value);
+  return used;
+}
+
+void write_body(std::ostream& out, const Network& network,
+                const std::vector<Path>& paths,
+                const TopologyDotOptions& options,
+                const SpatialPlant* spatial) {
+  out << "graph " << options.name << " {\n"
+      << "  node [shape=circle, fontsize=10];\n";
+  for (std::uint32_t id = 0; id < network.node_count(); ++id) {
+    out << "  n" << id << " [label=\"" << network.node_name(NodeId{id})
+        << '"';
+    if (id == kGateway.value) out << ", shape=doublecircle";
+    if (spatial != nullptr) {
+      // 1 m = 4 points; neato -n2 honours pos="x,y!".
+      out << ", pos=\"" << spatial->positions[id].x * 4.0 << ','
+          << spatial->positions[id].y * 4.0 << "!\"";
+    }
+    out << "];\n";
+  }
+  const std::set<std::uint32_t> routed =
+      options.highlight_routes ? route_links(network, paths)
+                               : std::set<std::uint32_t>{};
+  for (LinkId id : network.links()) {
+    const Link& link = network.link(id);
+    out << "  n" << link.a.value << " -- n" << link.b.value << " [";
+    bool first = true;
+    if (options.label_availability) {
+      std::ostringstream label;
+      label.precision(3);
+      label << link.model.steady_state_availability();
+      out << "label=\"" << label.str() << '"';
+      first = false;
+    }
+    if (routed.contains(id.value)) {
+      if (!first) out << ", ";
+      out << "penwidth=2.5";
+      first = false;
+    }
+    if (first) out << "style=solid";
+    out << "];\n";
+  }
+  out << "}\n";
+}
+
+}  // namespace
+
+void write_topology_dot(std::ostream& out, const Network& network,
+                        const std::vector<Path>& paths,
+                        const TopologyDotOptions& options) {
+  write_body(out, network, paths, options, nullptr);
+}
+
+void write_topology_dot(std::ostream& out, const SpatialPlant& plant,
+                        const TopologyDotOptions& options) {
+  write_body(out, plant.network, plant.paths, options, &plant);
+}
+
+}  // namespace whart::net

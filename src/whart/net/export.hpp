@@ -1,0 +1,36 @@
+// Topology export: render a WirelessHART mesh as Graphviz DOT, with link
+// availabilities as edge labels and the uplink routes highlighted — the
+// network counterpart of markov::write_dot.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "whart/net/path.hpp"
+#include "whart/net/spatial_plant.hpp"
+#include "whart/net/topology.hpp"
+
+namespace whart::net {
+
+struct TopologyDotOptions {
+  /// Graph name.
+  std::string name = "plant";
+
+  /// Bold the links that carry uplink routes (needs `paths`).
+  bool highlight_routes = true;
+
+  /// Print each link's stationary availability as its edge label.
+  bool label_availability = true;
+};
+
+/// Write the mesh as an undirected Graphviz graph.  `paths` may be empty.
+void write_topology_dot(std::ostream& out, const Network& network,
+                        const std::vector<Path>& paths,
+                        const TopologyDotOptions& options = {});
+
+/// Spatial variant: nodes get fixed positions (meters -> points) so the
+/// rendering matches the floor plan.  Use with `neato -n2`.
+void write_topology_dot(std::ostream& out, const SpatialPlant& plant,
+                        const TopologyDotOptions& options = {});
+
+}  // namespace whart::net

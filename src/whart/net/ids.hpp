@@ -1,0 +1,50 @@
+// Strong identifier types for network entities (Core Guidelines I.4).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace whart::net {
+
+/// Identifier of a field device or the gateway.  The gateway is always
+/// node 0 in a Network.
+struct NodeId {
+  std::uint32_t value = 0;
+
+  friend bool operator==(const NodeId&, const NodeId&) = default;
+  friend std::strong_ordering operator<=>(const NodeId&,
+                                          const NodeId&) = default;
+};
+
+/// The gateway's well-known id.
+inline constexpr NodeId kGateway{0};
+
+/// Identifier of a (bidirectional) wireless link within a Network.
+struct LinkId {
+  std::uint32_t value = 0;
+
+  friend bool operator==(const LinkId&, const LinkId&) = default;
+  friend std::strong_ordering operator<=>(const LinkId&,
+                                          const LinkId&) = default;
+};
+
+/// 1-based index of a TDMA slot within the uplink part of a superframe,
+/// matching the paper's slot numbering.
+using SlotNumber = std::uint32_t;
+
+}  // namespace whart::net
+
+template <>
+struct std::hash<whart::net::NodeId> {
+  std::size_t operator()(const whart::net::NodeId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<whart::net::LinkId> {
+  std::size_t operator()(const whart::net::LinkId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,63 @@
+#include "whart/net/path.hpp"
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::net {
+
+Path::Path(std::vector<NodeId> nodes) : nodes_(std::move(nodes)) {
+  expects(nodes_.size() >= 2, "path has at least two nodes");
+  for (std::size_t i = 1; i < nodes_.size(); ++i)
+    expects(nodes_[i] != nodes_[i - 1], "consecutive nodes are distinct");
+}
+
+std::pair<NodeId, NodeId> Path::hop(std::size_t hop) const {
+  expects(hop < hop_count(), "hop in range");
+  return {nodes_[hop], nodes_[hop + 1]};
+}
+
+std::vector<LinkId> Path::resolve_links(const Network& net) const {
+  std::vector<LinkId> result;
+  result.reserve(hop_count());
+  for (std::size_t h = 0; h < hop_count(); ++h) {
+    const auto [from, to] = hop(h);
+    const auto id = net.link_between(from, to);
+    expects(id.has_value(), "every hop has a link in the network",
+            "missing link " + net.node_name(from) + " -- " +
+                net.node_name(to));
+    result.push_back(*id);
+  }
+  return result;
+}
+
+std::vector<link::LinkModel> Path::hop_models(const Network& net) const {
+  std::vector<link::LinkModel> result;
+  result.reserve(hop_count());
+  for (LinkId id : resolve_links(net)) result.push_back(net.link(id).model);
+  return result;
+}
+
+bool Path::uses_link(const Network& net, LinkId link) const {
+  for (LinkId id : resolve_links(net))
+    if (id == link) return true;
+  return false;
+}
+
+std::string Path::to_string(const Network& net) const {
+  std::string result;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (i > 0) result += " -> ";
+    result += net.node_name(nodes_[i]);
+  }
+  return result;
+}
+
+Path Path::concatenate(const Path& peer, const Path& existing) {
+  expects(peer.destination() == existing.source(),
+          "peer path ends where the existing path starts");
+  std::vector<NodeId> nodes = peer.nodes_;
+  nodes.insert(nodes.end(), existing.nodes_.begin() + 1,
+               existing.nodes_.end());
+  return Path(std::move(nodes));
+}
+
+}  // namespace whart::net

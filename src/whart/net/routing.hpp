@@ -1,0 +1,35 @@
+// Uplink graph routing: derive the path each field device uses to reach the
+// gateway (the network manager's job — paper Section II).  Routing is
+// shortest-path (BFS) with availability-weighted tie breaking, plus
+// utilities for rerouting around failed links (Section VI-C, permanent
+// failures).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "whart/net/ids.hpp"
+#include "whart/net/path.hpp"
+#include "whart/net/topology.hpp"
+
+namespace whart::net {
+
+/// Shortest uplink path from `source` to the gateway, breaking hop-count
+/// ties by preferring the next hop whose link has the highest stationary
+/// availability.  Empty when the gateway is unreachable.
+std::optional<Path> shortest_uplink_path(const Network& net, NodeId source);
+
+/// Shortest uplink path that avoids `excluded` links entirely; used to
+/// reroute around a permanently failed link.
+std::optional<Path> shortest_uplink_path_avoiding(
+    const Network& net, NodeId source, const std::vector<LinkId>& excluded);
+
+/// Uplink paths for every field device (ids 1..n-1), in node order.
+/// Throws when some device cannot reach the gateway.
+std::vector<Path> uplink_paths(const Network& net);
+
+/// Hop distance from every node to the gateway (0 for the gateway itself);
+/// nullopt for unreachable nodes.
+std::vector<std::optional<std::uint32_t>> hop_distances(const Network& net);
+
+}  // namespace whart::net

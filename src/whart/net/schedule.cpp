@@ -1,0 +1,70 @@
+#include "whart/net/schedule.hpp"
+
+#include <algorithm>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::net {
+
+Schedule::Schedule(std::uint32_t uplink_slots, std::size_t path_count)
+    : entries_(uplink_slots), path_slots_(path_count) {
+  expects(uplink_slots > 0, "uplink_slots > 0");
+}
+
+void Schedule::assign(SlotNumber slot, std::size_t path_index,
+                      std::size_t hop, NodeId from, NodeId to) {
+  expects(slot >= 1 && slot <= entries_.size(), "slot in 1..Fup");
+  expects(path_index < path_slots_.size(), "path index in range");
+  expects(!entries_[slot - 1].has_value(), "slot is idle",
+          "TDMA allows one transmission per slot");
+  auto& slots = path_slots_[path_index].hop_slots;
+  expects(hop == slots.size(), "hops assigned in order",
+          "assign hop k before hop k+1");
+  entries_[slot - 1] = ScheduledTransmission{from, to, path_index, hop};
+  slots.push_back(slot);
+}
+
+const std::optional<ScheduledTransmission>& Schedule::entry(
+    SlotNumber slot) const {
+  expects(slot >= 1 && slot <= entries_.size(), "slot in 1..Fup");
+  return entries_[slot - 1];
+}
+
+const PathSlots& Schedule::path_slots(std::size_t path_index) const {
+  expects(path_index < path_slots_.size(), "path index in range");
+  return path_slots_[path_index];
+}
+
+void Schedule::validate_complete(const std::vector<Path>& paths) const {
+  ensures(paths.size() == path_slots_.size(),
+          "one slot list per path");
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    ensures(path_slots_[p].hop_slots.size() == paths[p].hop_count(),
+            "every hop of every path has a slot");
+    for (std::size_t h = 0; h < paths[p].hop_count(); ++h) {
+      const SlotNumber slot = path_slots_[p].hop_slots[h];
+      const auto& e = entries_[slot - 1];
+      ensures(e.has_value() && e->path_index == p && e->hop == h,
+              "slot ownership is consistent");
+      const auto [from, to] = paths[p].hop(h);
+      ensures(e->from == from && e->to == to,
+              "scheduled endpoints match the path hop");
+    }
+  }
+}
+
+std::string Schedule::to_string(const Network& net) const {
+  std::string result = "(";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) result += ", ";
+    if (entries_[i].has_value())
+      result += "<" + net.node_name(entries_[i]->from) + "," +
+                net.node_name(entries_[i]->to) + ">";
+    else
+      result += "*";
+  }
+  result += ")";
+  return result;
+}
+
+}  // namespace whart::net

@@ -1,0 +1,78 @@
+// The communication schedule eta (paper Sections II-C and IV): which link
+// transmits in which uplink slot, and — because a link can carry several
+// paths' messages in different dedicated slots — which path *owns* each
+// slot.  TDMA guarantees at most one transmission per slot network-wide.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "whart/net/ids.hpp"
+#include "whart/net/path.hpp"
+#include "whart/net/superframe.hpp"
+#include "whart/net/topology.hpp"
+
+namespace whart::net {
+
+/// One scheduled transmission <from, to> with its owner.
+struct ScheduledTransmission {
+  NodeId from;
+  NodeId to;
+  /// Index (into the network's path list) of the path whose message this
+  /// slot carries.
+  std::size_t path_index = 0;
+  /// 0-based hop of that path served by this slot.
+  std::size_t hop = 0;
+
+  friend bool operator==(const ScheduledTransmission&,
+                         const ScheduledTransmission&) = default;
+};
+
+/// The dedicated uplink slots of one path, in hop order (paper slot
+/// numbering: 1-based within the uplink frame).
+struct PathSlots {
+  std::vector<SlotNumber> hop_slots;
+
+  friend bool operator==(const PathSlots&, const PathSlots&) = default;
+};
+
+/// A full uplink communication schedule for a set of paths.
+class Schedule {
+ public:
+  /// An empty schedule of `uplink_slots` idle slots for `path_count` paths.
+  Schedule(std::uint32_t uplink_slots, std::size_t path_count);
+
+  /// Assign `slot` (1-based) to hop `hop` of path `path_index`.  The slot
+  /// must be idle and each (path, hop) may be assigned only once.
+  void assign(SlotNumber slot, std::size_t path_index, std::size_t hop,
+              NodeId from, NodeId to);
+
+  [[nodiscard]] std::uint32_t uplink_slots() const noexcept {
+    return static_cast<std::uint32_t>(entries_.size());
+  }
+
+  /// The transmission in `slot` (1-based), if any.
+  [[nodiscard]] const std::optional<ScheduledTransmission>& entry(
+      SlotNumber slot) const;
+
+  /// Dedicated slots of path `path_index`, in hop order.
+  [[nodiscard]] const PathSlots& path_slots(std::size_t path_index) const;
+
+  [[nodiscard]] std::size_t path_count() const noexcept {
+    return path_slots_.size();
+  }
+
+  /// Validate completeness against the paths: every hop of every path has
+  /// exactly one slot.  Throws whart::invariant_error otherwise.
+  void validate_complete(const std::vector<Path>& paths) const;
+
+  /// "(<n1,G>, *, <n4,n1>, ...)" rendering in paper notation.
+  [[nodiscard]] std::string to_string(const Network& net) const;
+
+ private:
+  std::vector<std::optional<ScheduledTransmission>> entries_;
+  std::vector<PathSlots> path_slots_;
+};
+
+}  // namespace whart::net

@@ -1,0 +1,54 @@
+#include "whart/net/schedule_builder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::net {
+
+std::uint32_t required_uplink_slots(const std::vector<Path>& paths) {
+  std::uint32_t total = 0;
+  for (const Path& p : paths) total += static_cast<std::uint32_t>(p.hop_count());
+  return total;
+}
+
+Schedule build_schedule(const std::vector<Path>& paths,
+                        std::uint32_t uplink_slots, SchedulingPolicy policy) {
+  expects(!paths.empty(), "at least one path");
+  expects(required_uplink_slots(paths) <= uplink_slots,
+          "paths fit into the uplink frame");
+
+  std::vector<std::size_t> order(paths.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  switch (policy) {
+    case SchedulingPolicy::kShortestPathsFirst:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return paths[a].hop_count() < paths[b].hop_count();
+                       });
+      break;
+    case SchedulingPolicy::kLongestPathsFirst:
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return paths[a].hop_count() > paths[b].hop_count();
+                       });
+      break;
+    case SchedulingPolicy::kDeclarationOrder:
+      break;
+  }
+
+  Schedule schedule(uplink_slots, paths.size());
+  SlotNumber next_slot = 1;
+  for (std::size_t path_index : order) {
+    const Path& path = paths[path_index];
+    for (std::size_t h = 0; h < path.hop_count(); ++h) {
+      const auto [from, to] = path.hop(h);
+      schedule.assign(next_slot++, path_index, h, from, to);
+    }
+  }
+  schedule.validate_complete(paths);
+  return schedule;
+}
+
+}  // namespace whart::net

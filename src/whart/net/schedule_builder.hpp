@@ -1,0 +1,36 @@
+// Schedule construction policies (paper Section VI-B).  Each path's hop
+// chain is laid out contiguously and in hop order inside the uplink frame,
+// so a message can traverse its whole path within one cycle; what differs
+// between policies is which paths get the early slots.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "whart/net/path.hpp"
+#include "whart/net/schedule.hpp"
+
+namespace whart::net {
+
+/// Ordering policy for laying out path chains in the uplink frame.
+enum class SchedulingPolicy {
+  /// Short paths first — the paper's eta_a (priority to low hop counts).
+  kShortestPathsFirst,
+  /// Long paths first — the paper's eta_b (balances expected delays).
+  kLongestPathsFirst,
+  /// Paths exactly in the order given.
+  kDeclarationOrder,
+};
+
+/// Minimum uplink frame size needed: the total number of hops.
+std::uint32_t required_uplink_slots(const std::vector<Path>& paths);
+
+/// Build a schedule placing each path's chain contiguously according to
+/// `policy`, into a frame of `uplink_slots` slots (throws when the paths
+/// do not fit).  Ties in hop count preserve declaration order for
+/// kShortestPathsFirst and reverse it for kLongestPathsFirst (matching the
+/// paper's eta_a / eta_b pair for the typical network).
+Schedule build_schedule(const std::vector<Path>& paths,
+                        std::uint32_t uplink_slots, SchedulingPolicy policy);
+
+}  // namespace whart::net

@@ -1,0 +1,85 @@
+#include "whart/net/spatial_plant.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "whart/common/contracts.hpp"
+#include "whart/net/routing.hpp"
+#include "whart/numeric/rng.hpp"
+
+namespace whart::net {
+
+double distance_m(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+SpatialPlant generate_spatial_plant(const SpatialPlantProfile& profile) {
+  expects(profile.device_count >= 1, "at least one device");
+  expects(profile.plant_radius_m > 0.0, "plant radius > 0");
+  expects(profile.min_link_availability > 0.0 &&
+              profile.min_link_availability <= 1.0,
+          "0 < min availability <= 1");
+
+  numeric::Xoshiro256 rng(profile.seed);
+  Network network;
+  std::vector<Position> positions{Position{0.0, 0.0}};  // gateway
+
+  // Uniform placement in the disc (rejection sampling from the square).
+  for (std::uint32_t i = 1; i <= profile.device_count; ++i) {
+    Position p;
+    do {
+      p.x = (2.0 * rng.uniform() - 1.0) * profile.plant_radius_m;
+      p.y = (2.0 * rng.uniform() - 1.0) * profile.plant_radius_m;
+    } while (p.x * p.x + p.y * p.y >
+             profile.plant_radius_m * profile.plant_radius_m);
+    network.add_node("n" + std::to_string(i));
+    positions.push_back(p);
+  }
+
+  const auto model_for = [&](std::uint32_t a, std::uint32_t b) {
+    const double d = std::max(distance_m(positions[a], positions[b]),
+                              profile.propagation.reference_distance_m);
+    const phy::EbN0 snr = profile.budget.ebn0_at(d, profile.propagation);
+    return link::LinkModel::from_snr(snr, phy::kMessageBits,
+                                     profile.recovery_probability);
+  };
+
+  // Quality links: every pair clearing the availability threshold.
+  const std::uint32_t n = profile.device_count + 1;
+  for (std::uint32_t a = 0; a < n; ++a) {
+    for (std::uint32_t b = a + 1; b < n; ++b) {
+      const link::LinkModel model = model_for(a, b);
+      if (model.steady_state_availability() >=
+          profile.min_link_availability)
+        network.add_link(NodeId{a}, NodeId{b}, model);
+    }
+  }
+
+  // Connectivity floor: each device links to its nearest lower-id
+  // neighbor even when the link is poor (field crews would add a
+  // repeater here; the model shows the poor reachability instead).
+  for (std::uint32_t i = 1; i < n; ++i) {
+    std::uint32_t nearest = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::uint32_t j = 0; j < i; ++j) {
+      const double d = distance_m(positions[i], positions[j]);
+      if (d < best) {
+        best = d;
+        nearest = j;
+      }
+    }
+    if (!network.link_between(NodeId{i}, NodeId{nearest}))
+      network.add_link(NodeId{i}, NodeId{nearest}, model_for(i, nearest));
+  }
+
+  std::vector<Path> paths = uplink_paths(network);
+  const std::uint32_t fup = required_uplink_slots(paths);
+  Schedule schedule = build_schedule(paths, fup, profile.policy);
+  return SpatialPlant{std::move(network), std::move(positions),
+                      std::move(paths), std::move(schedule),
+                      SuperframeConfig::symmetric(fup)};
+}
+
+}  // namespace whart::net

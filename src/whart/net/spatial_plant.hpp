@@ -1,0 +1,69 @@
+// Spatially-embedded plant generator: place devices on the plant floor,
+// derive every link's Eb/N0 from the distance through a propagation
+// model and link budget (phy::PathLossModel / phy::LinkBudget), and let
+// the mesh self-organize — the physically-grounded counterpart of the
+// statistics-driven generator in plant_generator.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "whart/net/path.hpp"
+#include "whart/net/schedule.hpp"
+#include "whart/net/schedule_builder.hpp"
+#include "whart/net/superframe.hpp"
+#include "whart/net/topology.hpp"
+#include "whart/phy/path_loss.hpp"
+
+namespace whart::net {
+
+/// A position on the plant floor, meters.
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Position&, const Position&) = default;
+};
+
+/// Euclidean distance.
+double distance_m(const Position& a, const Position& b);
+
+struct SpatialPlantProfile {
+  std::uint32_t device_count = 15;
+
+  /// Devices are placed uniformly in a disc of this radius around the
+  /// gateway.
+  double plant_radius_m = 120.0;
+
+  phy::PathLossModel propagation;
+  phy::LinkBudget budget;
+
+  /// Pairs whose link would have a stationary availability below this
+  /// are not considered usable mesh links (the network manager would
+  /// never whitelist them).  Each device's nearest neighbor is always
+  /// linked regardless, so the mesh stays connected.
+  double min_link_availability = 0.7;
+
+  double recovery_probability = link::LinkModel::kDefaultRecovery;
+
+  SchedulingPolicy policy = SchedulingPolicy::kShortestPathsFirst;
+
+  std::uint64_t seed = 1;
+};
+
+struct SpatialPlant {
+  Network network;
+  /// positions[id]: location of node id (the gateway sits at the origin).
+  std::vector<Position> positions;
+  std::vector<Path> paths;
+  Schedule schedule;
+  SuperframeConfig superframe;
+};
+
+/// Generate a plant (deterministic in `profile.seed`).  Links connect
+/// every pair whose distance-derived availability clears the threshold,
+/// plus each device's nearest already-placed neighbor; uplink paths come
+/// from availability-aware shortest-path routing.
+SpatialPlant generate_spatial_plant(const SpatialPlantProfile& profile);
+
+}  // namespace whart::net

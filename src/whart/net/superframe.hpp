@@ -1,0 +1,54 @@
+// Superframe timing.  A WirelessHART superframe is a fixed series of 10 ms
+// TDMA slots; the first half carries uplink (sensor -> gateway) traffic and
+// the second half downlink (controller -> actuator) traffic.  Message age
+// and TTL are counted in *uplink* slots only (uplink messages sleep during
+// downlink slots — paper Section II-B).
+#pragma once
+
+#include <cstdint>
+
+#include "whart/phy/frame.hpp"
+
+namespace whart::net {
+
+/// Slot layout of a superframe.
+struct SuperframeConfig {
+  /// Number of uplink slots per superframe (the paper's Fup — also the
+  /// length of the communication schedule).
+  std::uint32_t uplink_slots = 0;
+
+  /// Number of downlink slots per superframe.  The paper assumes a
+  /// symmetric setup (Fdown = Fup).
+  std::uint32_t downlink_slots = 0;
+
+  /// Symmetric superframe with `fup` slots each way.
+  static SuperframeConfig symmetric(std::uint32_t fup) {
+    return SuperframeConfig{fup, fup};
+  }
+
+  /// Total slots per superframe cycle.
+  [[nodiscard]] std::uint32_t cycle_slots() const noexcept {
+    return uplink_slots + downlink_slots;
+  }
+
+  /// Wall-clock duration of one cycle in milliseconds.
+  [[nodiscard]] std::uint32_t cycle_milliseconds() const noexcept {
+    return cycle_slots() * phy::kSlotMilliseconds;
+  }
+
+  /// Absolute slot index (0-based, counting both halves) of the `t`-th
+  /// uplink slot (1-based, counted across cycles) — the conversion between
+  /// model time and wall-clock/link time.
+  [[nodiscard]] std::uint64_t absolute_slot_of_uplink(
+      std::uint64_t uplink_slot_1based) const noexcept {
+    const std::uint64_t t = uplink_slot_1based - 1;
+    const std::uint64_t cycle = t / uplink_slots;
+    const std::uint64_t position = t % uplink_slots;
+    return cycle * cycle_slots() + position;
+  }
+
+  friend bool operator==(const SuperframeConfig&,
+                         const SuperframeConfig&) = default;
+};
+
+}  // namespace whart::net

@@ -1,0 +1,84 @@
+#include "whart/net/topology.hpp"
+
+#include <algorithm>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::net {
+
+Network::Network(std::string gateway_name) {
+  node_names_.push_back(std::move(gateway_name));
+}
+
+NodeId Network::add_node(std::string name) {
+  expects(!name.empty(), "node name is non-empty");
+  expects(!find_node(name).has_value(), "node name is unique");
+  node_names_.push_back(std::move(name));
+  return NodeId{static_cast<std::uint32_t>(node_names_.size() - 1)};
+}
+
+LinkId Network::add_link(NodeId a, NodeId b, link::LinkModel model) {
+  check_node(a);
+  check_node(b);
+  expects(a != b, "link endpoints differ");
+  expects(!link_between(a, b).has_value(), "nodes not already linked");
+  links_.push_back(Link{a, b, model});
+  return LinkId{static_cast<std::uint32_t>(links_.size() - 1)};
+}
+
+const std::string& Network::node_name(NodeId node) const {
+  check_node(node);
+  return node_names_[node.value];
+}
+
+std::optional<NodeId> Network::find_node(std::string_view name) const {
+  for (std::size_t i = 0; i < node_names_.size(); ++i)
+    if (node_names_[i] == name)
+      return NodeId{static_cast<std::uint32_t>(i)};
+  return std::nullopt;
+}
+
+const Link& Network::link(LinkId id) const {
+  expects(id.value < links_.size(), "link id in range");
+  return links_[id.value];
+}
+
+std::optional<LinkId> Network::link_between(NodeId a, NodeId b) const {
+  for (std::size_t i = 0; i < links_.size(); ++i)
+    if (links_[i].connects(a, b))
+      return LinkId{static_cast<std::uint32_t>(i)};
+  return std::nullopt;
+}
+
+void Network::set_link_model(LinkId id, link::LinkModel model) {
+  expects(id.value < links_.size(), "link id in range");
+  links_[id.value].model = model;
+}
+
+void Network::set_all_link_models(link::LinkModel model) {
+  for (Link& l : links_) l.model = model;
+}
+
+std::vector<NodeId> Network::neighbors(NodeId node) const {
+  check_node(node);
+  std::vector<NodeId> result;
+  for (const Link& l : links_) {
+    if (l.a == node) result.push_back(l.b);
+    if (l.b == node) result.push_back(l.a);
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<LinkId> Network::links() const {
+  std::vector<LinkId> result(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i)
+    result[i] = LinkId{static_cast<std::uint32_t>(i)};
+  return result;
+}
+
+void Network::check_node(NodeId node) const {
+  expects(node.value < node_names_.size(), "node id in range");
+}
+
+}  // namespace whart::net

@@ -1,0 +1,75 @@
+// Network topology: field devices, the gateway, and the bidirectional
+// wireless links between them, each carrying its own two-state link model
+// (the paper explicitly supports inhomogeneous links).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "whart/link/link_model.hpp"
+#include "whart/net/ids.hpp"
+
+namespace whart::net {
+
+/// A bidirectional wireless link between two nodes.
+struct Link {
+  NodeId a;
+  NodeId b;
+  link::LinkModel model;
+
+  /// True when the link connects `x` and `y` in either orientation.
+  [[nodiscard]] bool connects(NodeId x, NodeId y) const noexcept {
+    return (a == x && b == y) || (a == y && b == x);
+  }
+};
+
+/// A WirelessHART mesh: the gateway (node 0) plus field devices and links.
+class Network {
+ public:
+  /// Creates a network containing only the gateway, named `gateway_name`.
+  explicit Network(std::string gateway_name = "G");
+
+  /// Add a field device; returns its id.  Names must be unique.
+  NodeId add_node(std::string name);
+
+  /// Add a bidirectional link; both endpoints must exist and must not
+  /// already be connected.  Returns the link id.
+  LinkId add_link(NodeId a, NodeId b, link::LinkModel model);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return node_names_.size();
+  }
+  [[nodiscard]] std::size_t link_count() const noexcept {
+    return links_.size();
+  }
+
+  [[nodiscard]] const std::string& node_name(NodeId node) const;
+  [[nodiscard]] std::optional<NodeId> find_node(std::string_view name) const;
+
+  [[nodiscard]] const Link& link(LinkId id) const;
+
+  /// The link between two nodes, if any.
+  [[nodiscard]] std::optional<LinkId> link_between(NodeId a, NodeId b) const;
+
+  /// Replace the model on one link (e.g. after a fresh SNR measurement).
+  void set_link_model(LinkId id, link::LinkModel model);
+
+  /// Set every link to the same model — the paper's homogeneous sweeps.
+  void set_all_link_models(link::LinkModel model);
+
+  /// Neighbors of `node`, ascending by id.
+  [[nodiscard]] std::vector<NodeId> neighbors(NodeId node) const;
+
+  /// All link ids.
+  [[nodiscard]] std::vector<LinkId> links() const;
+
+ private:
+  void check_node(NodeId node) const;
+
+  std::vector<std::string> node_names_;
+  std::vector<Link> links_;
+};
+
+}  // namespace whart::net

@@ -1,0 +1,54 @@
+#include "whart/net/typical_network.hpp"
+
+#include "whart/net/schedule_builder.hpp"
+
+namespace whart::net {
+
+TypicalNetwork make_typical_network(link::LinkModel link_model) {
+  Network network;
+  std::vector<NodeId> n{kGateway};  // n[i] is the paper's node n_i
+  for (int i = 1; i <= 10; ++i)
+    n.push_back(network.add_node("n" + std::to_string(i)));
+
+  // Fig. 12 connectivity: n1..n3 talk to the gateway directly; n4, n5
+  // relay via n1; n6 via n2; n7, n8 via n3; n9 via n6; n10 via n7.
+  network.add_link(n[1], kGateway, link_model);
+  network.add_link(n[2], kGateway, link_model);
+  network.add_link(n[3], kGateway, link_model);
+  network.add_link(n[4], n[1], link_model);
+  network.add_link(n[5], n[1], link_model);
+  network.add_link(n[6], n[2], link_model);
+  network.add_link(n[7], n[3], link_model);
+  network.add_link(n[8], n[3], link_model);
+  network.add_link(n[9], n[6], link_model);
+  network.add_link(n[10], n[7], link_model);
+
+  // The paper's path numbering: 1-3 one hop, 4-8 two hops, 9-10 three hops.
+  std::vector<Path> paths;
+  paths.emplace_back(std::vector<NodeId>{n[1], kGateway});
+  paths.emplace_back(std::vector<NodeId>{n[2], kGateway});
+  paths.emplace_back(std::vector<NodeId>{n[3], kGateway});
+  paths.emplace_back(std::vector<NodeId>{n[4], n[1], kGateway});
+  paths.emplace_back(std::vector<NodeId>{n[5], n[1], kGateway});
+  paths.emplace_back(std::vector<NodeId>{n[6], n[2], kGateway});
+  paths.emplace_back(std::vector<NodeId>{n[7], n[3], kGateway});
+  paths.emplace_back(std::vector<NodeId>{n[8], n[3], kGateway});
+  paths.emplace_back(std::vector<NodeId>{n[9], n[6], n[2], kGateway});
+  paths.emplace_back(std::vector<NodeId>{n[10], n[7], n[3], kGateway});
+
+  const SuperframeConfig superframe = SuperframeConfig::symmetric(20);
+
+  // kShortestPathsFirst with this declaration order reproduces the paper's
+  // eta_a verbatim: <n1,G>, <n2,G>, <n3,G>, <n4,n1>, <n1,G>, <n5,n1>,
+  // <n1,G>, <n6,n2>, <n2,G>, <n7,n3>, <n3,G>, <n8,n3>, <n3,G>, <n9,n6>,
+  // <n6,n2>, <n2,G>, <n10,n7>, <n7,n3>, <n3,G>.
+  Schedule eta_a = build_schedule(paths, superframe.uplink_slots,
+                                  SchedulingPolicy::kShortestPathsFirst);
+  Schedule eta_b = build_schedule(paths, superframe.uplink_slots,
+                                  SchedulingPolicy::kLongestPathsFirst);
+
+  return TypicalNetwork{std::move(network), std::move(paths),
+                        std::move(eta_a), std::move(eta_b), superframe};
+}
+
+}  // namespace whart::net

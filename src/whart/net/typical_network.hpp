@@ -1,0 +1,38 @@
+// The paper's "typical WirelessHART network" (Section VI-A, Fig. 12):
+// ten field devices and a gateway, with the HART Communication Foundation
+// hop-count mix — 30% one hop, 50% two hops, 20% three hops.
+#pragma once
+
+#include <vector>
+
+#include "whart/link/link_model.hpp"
+#include "whart/net/path.hpp"
+#include "whart/net/schedule.hpp"
+#include "whart/net/superframe.hpp"
+#include "whart/net/topology.hpp"
+
+namespace whart::net {
+
+/// The fully specified evaluation scenario of paper Section VI.
+struct TypicalNetwork {
+  Network network;
+  /// The ten uplink paths; index i is the paper's "path i+1"
+  /// (paths 1-3 one hop, 4-8 two hops, 9-10 three hops).
+  std::vector<Path> paths;
+  /// The paper's schedule eta_a (short paths first), verbatim.
+  Schedule eta_a;
+  /// The balanced alternative eta_b (long paths first).
+  Schedule eta_b;
+  /// Fup = Fdown = 20 slots (19 uplink slots used), cycle = 400 ms.
+  SuperframeConfig superframe;
+};
+
+/// Build the typical network with every link set to `link_model`.
+TypicalNetwork make_typical_network(
+    link::LinkModel link_model =
+        link::LinkModel::from_availability(0.83));
+
+/// Paper default reporting interval for the network evaluation.
+inline constexpr std::uint32_t kTypicalReportingInterval = 4;
+
+}  // namespace whart::net

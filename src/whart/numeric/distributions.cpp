@@ -1,0 +1,43 @@
+#include "whart/numeric/distributions.hpp"
+
+#include <cmath>
+
+#include "whart/common/contracts.hpp"
+#include "whart/numeric/combinatorics.hpp"
+
+namespace whart::numeric {
+
+Geometric::Geometric(double success_probability) : p_(success_probability) {
+  expects(p_ > 0.0 && p_ <= 1.0, "0 < p <= 1");
+}
+
+double Geometric::pmf(std::uint64_t k) const noexcept {
+  if (k == 0) return 0.0;
+  return std::pow(1.0 - p_, static_cast<double>(k - 1)) * p_;
+}
+
+double Geometric::cdf(std::uint64_t k) const noexcept {
+  if (k == 0) return 0.0;
+  return 1.0 - std::pow(1.0 - p_, static_cast<double>(k));
+}
+
+double Geometric::mean() const noexcept { return 1.0 / p_; }
+
+std::vector<double> negative_binomial_cycles(std::uint32_t hops, double ps,
+                                             std::uint32_t max_cycles) {
+  expects(hops >= 1, "hops >= 1");
+  expects(ps >= 0.0 && ps <= 1.0, "0 <= ps <= 1");
+  std::vector<double> cycles;
+  cycles.reserve(max_cycles);
+  const double pf = 1.0 - ps;
+  const double success_all = std::pow(ps, static_cast<double>(hops));
+  double failure_power = 1.0;
+  for (std::uint32_t m = 1; m <= max_cycles; ++m) {
+    const double ways = retry_placements(m - 1, hops);
+    cycles.push_back(ways * success_all * failure_power);
+    failure_power *= pf;
+  }
+  return cycles;
+}
+
+}  // namespace whart::numeric

@@ -1,0 +1,67 @@
+#include "whart/numeric/probability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::numeric {
+
+namespace {
+constexpr double kRangeTolerance = 1e-12;
+}
+
+Probability::Probability(double value) {
+  expects(value >= -kRangeTolerance && value <= 1.0 + kRangeTolerance,
+          "0 <= p <= 1", "probability was " + std::to_string(value));
+  value_ = std::clamp(value, 0.0, 1.0);
+}
+
+Probability Probability::complement() const noexcept {
+  Probability result;
+  result.value_ = 1.0 - value_;
+  return result;
+}
+
+bool is_pmf(std::span<const double> pmf, double tol) noexcept {
+  double sum = 0.0;
+  for (double p : pmf) {
+    if (!(p >= -tol && p <= 1.0 + tol)) return false;
+    sum += p;
+  }
+  return std::abs(sum - 1.0) <= tol;
+}
+
+double total_mass(std::span<const double> pmf) noexcept {
+  return std::accumulate(pmf.begin(), pmf.end(), 0.0);
+}
+
+std::vector<double> normalized(std::span<const double> weights) {
+  const double mass = total_mass(weights);
+  expects(mass > 1e-300, "total mass > 0", "cannot normalize zero mass");
+  std::vector<double> result(weights.begin(), weights.end());
+  for (double& w : result) w /= mass;
+  return result;
+}
+
+double expectation(std::span<const double> values,
+                   std::span<const double> pmf) {
+  expects(values.size() == pmf.size(), "values.size() == pmf.size()");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < values.size(); ++i) sum += values[i] * pmf[i];
+  return sum;
+}
+
+std::vector<double> cumulative(std::span<const double> pmf) {
+  std::vector<double> cdf(pmf.size());
+  double running = 0.0;
+  for (std::size_t i = 0; i < pmf.size(); ++i) {
+    running += pmf[i];
+    cdf[i] = running;
+  }
+  return cdf;
+}
+
+}  // namespace whart::numeric

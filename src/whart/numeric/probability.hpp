@@ -1,0 +1,51 @@
+// Strong probability type plus helpers for working with discrete probability
+// mass functions (pmfs).  Probabilities at API boundaries are validated once
+// on construction (Core Guidelines I.4: make interfaces precisely typed).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace whart::numeric {
+
+/// A validated probability value in [0, 1].
+///
+/// Implicitly converts to double for arithmetic; construction checks range
+/// (with a small tolerance for accumulated floating-point error, which is
+/// clamped away).
+class Probability {
+ public:
+  /// Construct from a raw value; throws whart::precondition_error if the
+  /// value lies outside [0 - eps, 1 + eps].
+  explicit Probability(double value);
+
+  /// Default-constructs probability zero.
+  constexpr Probability() noexcept = default;
+
+  /// The complementary probability 1 - p.
+  [[nodiscard]] Probability complement() const noexcept;
+
+  [[nodiscard]] constexpr double value() const noexcept { return value_; }
+  constexpr operator double() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// True when every entry is in [0,1] and the entries sum to 1 within `tol`.
+bool is_pmf(std::span<const double> pmf, double tol = 1e-9) noexcept;
+
+/// Sum of the entries (the total mass).
+double total_mass(std::span<const double> pmf) noexcept;
+
+/// Rescale entries to sum to exactly 1.  Throws if the mass is ~zero.
+std::vector<double> normalized(std::span<const double> weights);
+
+/// Expected value of a discrete distribution: sum(values[i] * pmf[i]).
+/// Sizes must match.
+double expectation(std::span<const double> values, std::span<const double> pmf);
+
+/// Cumulative distribution of a pmf (running prefix sums).
+std::vector<double> cumulative(std::span<const double> pmf);
+
+}  // namespace whart::numeric

@@ -1,0 +1,50 @@
+#include "whart/phy/bsc.hpp"
+
+#include <cmath>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::phy {
+
+BinarySymmetricChannel::BinarySymmetricChannel(double crossover_probability)
+    : p_(crossover_probability) {
+  expects(p_ >= 0.0 && p_ <= 1.0, "0 <= p <= 1");
+}
+
+double BinarySymmetricChannel::word_success_probability(
+    std::uint32_t bits) const noexcept {
+  return std::pow(1.0 - p_, static_cast<double>(bits));
+}
+
+double BinarySymmetricChannel::word_failure_probability(
+    std::uint32_t bits) const noexcept {
+  return 1.0 - word_success_probability(bits);
+}
+
+bool BinarySymmetricChannel::transmit_bit(bool bit,
+                                          numeric::Xoshiro256& rng) const {
+  return rng.bernoulli(p_) ? !bit : bit;
+}
+
+std::vector<bool> BinarySymmetricChannel::transmit_word(
+    const std::vector<bool>& word, numeric::Xoshiro256& rng) const {
+  std::vector<bool> received(word.size());
+  for (std::size_t i = 0; i < word.size(); ++i)
+    received[i] = transmit_bit(word[i], rng);
+  return received;
+}
+
+double BinarySymmetricChannel::simulate_word_failure_rate(
+    std::uint32_t bits, std::uint32_t trials, numeric::Xoshiro256& rng) const {
+  expects(trials > 0, "trials > 0");
+  std::uint32_t failures = 0;
+  for (std::uint32_t t = 0; t < trials; ++t) {
+    bool corrupted = false;
+    for (std::uint32_t b = 0; b < bits && !corrupted; ++b)
+      corrupted = rng.bernoulli(p_);
+    if (corrupted) ++failures;
+  }
+  return static_cast<double>(failures) / static_cast<double>(trials);
+}
+
+}  // namespace whart::phy

@@ -1,0 +1,47 @@
+// Binary Symmetric Channel (paper Section III, Fig. 2): each transmitted bit
+// is flipped independently with the crossover probability (the BER).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "whart/numeric/rng.hpp"
+
+namespace whart::phy {
+
+/// Memoryless binary symmetric channel with crossover probability p.
+class BinarySymmetricChannel {
+ public:
+  /// p must lie in [0, 1].
+  explicit BinarySymmetricChannel(double crossover_probability);
+
+  [[nodiscard]] double crossover_probability() const noexcept { return p_; }
+
+  /// Probability that a word of `bits` bits is delivered without any error:
+  /// (1 - p)^bits.  This is the paper's Eq. 2 complement.
+  [[nodiscard]] double word_success_probability(
+      std::uint32_t bits) const noexcept;
+
+  /// Probability that a word of `bits` bits suffers at least one bit error:
+  /// pfl = 1 - (1 - p)^bits (paper Eq. 2).
+  [[nodiscard]] double word_failure_probability(
+      std::uint32_t bits) const noexcept;
+
+  /// Transmit one bit through the channel (Monte Carlo).
+  [[nodiscard]] bool transmit_bit(bool bit, numeric::Xoshiro256& rng) const;
+
+  /// Transmit a word; returns the (possibly corrupted) received word.
+  [[nodiscard]] std::vector<bool> transmit_word(
+      const std::vector<bool>& word, numeric::Xoshiro256& rng) const;
+
+  /// Monte-Carlo estimate of the word failure probability over `trials`
+  /// transmissions of `bits`-bit words; used to cross-validate Eq. 2.
+  [[nodiscard]] double simulate_word_failure_rate(
+      std::uint32_t bits, std::uint32_t trials,
+      numeric::Xoshiro256& rng) const;
+
+ private:
+  double p_;
+};
+
+}  // namespace whart::phy

@@ -1,0 +1,65 @@
+#include "whart/phy/modulation.hpp"
+
+#include <cmath>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::phy {
+
+std::string_view name(Modulation scheme) noexcept {
+  switch (scheme) {
+    case Modulation::kOqpsk:
+      return "OQPSK";
+    case Modulation::kBpsk:
+      return "BPSK";
+    case Modulation::kQpsk:
+      return "QPSK";
+    case Modulation::kDbpsk:
+      return "DBPSK";
+    case Modulation::kNcfsk:
+      return "NCFSK";
+  }
+  return "unknown";
+}
+
+double q_function(double x) noexcept {
+  return 0.5 * std::erfc(x / std::sqrt(2.0));
+}
+
+double oqpsk_ber(EbN0 ebn0) noexcept {
+  return 0.5 * std::erfc(std::sqrt(ebn0.linear()));
+}
+
+double bit_error_rate(Modulation scheme, EbN0 ebn0) noexcept {
+  const double ratio = ebn0.linear();
+  switch (scheme) {
+    case Modulation::kOqpsk:
+    case Modulation::kBpsk:
+    case Modulation::kQpsk:
+      // Coherent (O)QPSK/BPSK with Gray mapping share the per-bit curve.
+      return 0.5 * std::erfc(std::sqrt(ratio));
+    case Modulation::kDbpsk:
+      return 0.5 * std::exp(-ratio);
+    case Modulation::kNcfsk:
+      return 0.5 * std::exp(-ratio / 2.0);
+  }
+  return 0.5;
+}
+
+EbN0 oqpsk_required_ebn0(double ber) {
+  expects(ber > 0.0 && ber < 0.5, "0 < BER < 0.5");
+  // BER is strictly decreasing in Eb/N0; bisection on the linear ratio.
+  double lo = 0.0;
+  double hi = 1.0;
+  while (oqpsk_ber(EbN0::from_linear(hi)) > ber) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (oqpsk_ber(EbN0::from_linear(mid)) > ber)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return EbN0::from_linear(0.5 * (lo + hi));
+}
+
+}  // namespace whart::phy

@@ -1,0 +1,52 @@
+#include "whart/phy/pilot.hpp"
+
+#include "whart/common/contracts.hpp"
+#include "whart/phy/modulation.hpp"
+#include "whart/sim/stats.hpp"
+
+namespace whart::phy {
+
+namespace {
+
+std::optional<EbN0> invert_ber(double ber) {
+  if (ber <= 0.0 || ber >= 0.5) return std::nullopt;
+  return oqpsk_required_ebn0(ber);
+}
+
+}  // namespace
+
+ChannelEstimate estimate_from_counts(std::uint64_t bits_sent,
+                                     std::uint64_t bit_errors,
+                                     double confidence_z) {
+  expects(bits_sent > 0, "bits_sent > 0");
+  expects(bit_errors <= bits_sent, "errors <= bits");
+  ChannelEstimate estimate;
+  estimate.bits_sent = bits_sent;
+  estimate.bit_errors = bit_errors;
+  const sim::Interval ci =
+      sim::wilson_interval(bit_errors, bits_sent, confidence_z);
+  estimate.ber_low = ci.low;
+  estimate.ber_high = ci.high;
+  estimate.ber = bit_errors > 0
+                     ? static_cast<double>(bit_errors) /
+                           static_cast<double>(bits_sent)
+                     : ci.high;  // zero errors: report the upper bound
+  estimate.ebn0 = invert_ber(estimate.ber);
+  estimate.ebn0_conservative = invert_ber(estimate.ber_high);
+  return estimate;
+}
+
+ChannelEstimate measure_channel(double true_ber,
+                                const PilotCampaign& campaign,
+                                numeric::Xoshiro256& rng) {
+  expects(true_ber >= 0.0 && true_ber <= 1.0, "0 <= BER <= 1");
+  expects(campaign.packages > 0 && campaign.bits_per_package > 0,
+          "non-empty campaign");
+  std::uint64_t errors = 0;
+  for (std::uint64_t bit = 0; bit < campaign.total_bits(); ++bit)
+    if (rng.bernoulli(true_ber)) ++errors;
+  return estimate_from_counts(campaign.total_bits(), errors,
+                              campaign.confidence_z);
+}
+
+}  // namespace whart::phy

@@ -1,0 +1,69 @@
+// Pilot-package channel estimation (paper Sections III and VI-E: "the
+// received SNR can be measured using pilot packages that are transmitted
+// from one node to the other").  A burst of known pilot words is sent
+// through the channel; the receiver counts bit errors, estimates the
+// BER with a confidence interval, and inverts the OQPSK curve to report
+// the Eb/N0 the link model needs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "whart/numeric/rng.hpp"
+#include "whart/phy/snr.hpp"
+
+namespace whart::phy {
+
+/// Configuration of a pilot measurement campaign.
+struct PilotCampaign {
+  /// Number of pilot words exchanged.
+  std::uint32_t packages = 200;
+
+  /// Bits per pilot word.
+  std::uint32_t bits_per_package = 128;
+
+  /// z-score of the reported confidence interval (1.96 = 95%).
+  double confidence_z = 1.96;
+
+  [[nodiscard]] std::uint64_t total_bits() const noexcept {
+    return static_cast<std::uint64_t>(packages) * bits_per_package;
+  }
+};
+
+/// Result of a pilot campaign.
+struct ChannelEstimate {
+  std::uint64_t bits_sent = 0;
+  std::uint64_t bit_errors = 0;
+
+  /// Point estimate of the BER (bit_errors / bits_sent); when no errors
+  /// were observed, the Wilson upper bound stands in so downstream
+  /// planning stays conservative.
+  double ber = 0.0;
+
+  /// Wilson confidence bounds on the BER.
+  double ber_low = 0.0;
+  double ber_high = 0.0;
+
+  /// Eb/N0 obtained by inverting the OQPSK curve at `ber`; nullopt when
+  /// the estimate is 0 (channel better than the campaign can resolve) or
+  /// >= 0.5 (no meaningful SNR).
+  std::optional<EbN0> ebn0;
+
+  /// Conservative Eb/N0 from `ber_high` — what a cautious network
+  /// manager should provision for.
+  std::optional<EbN0> ebn0_conservative;
+};
+
+/// Run a synthetic campaign against a channel with true bit error rate
+/// `true_ber` (Monte Carlo over the BSC).  Deterministic in `rng`.
+ChannelEstimate measure_channel(double true_ber,
+                                const PilotCampaign& campaign,
+                                numeric::Xoshiro256& rng);
+
+/// Build an estimate from an observed error count (e.g. from real
+/// hardware counters) without simulation.
+ChannelEstimate estimate_from_counts(std::uint64_t bits_sent,
+                                     std::uint64_t bit_errors,
+                                     double confidence_z = 1.96);
+
+}  // namespace whart::phy

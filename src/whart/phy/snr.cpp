@@ -1,0 +1,20 @@
+#include "whart/phy/snr.hpp"
+
+#include <cmath>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::phy {
+
+EbN0 EbN0::from_linear(double ratio) {
+  expects(ratio >= 0.0, "Eb/N0 >= 0");
+  return EbN0(ratio);
+}
+
+EbN0 EbN0::from_db(double db) {
+  return EbN0(std::pow(10.0, db / 10.0));
+}
+
+double EbN0::db() const noexcept { return 10.0 * std::log10(linear_); }
+
+}  // namespace whart::phy

@@ -1,0 +1,36 @@
+// Strong types for signal-to-noise quantities.  The paper's link model is
+// parameterized by Eb/N0, the energy-per-bit to noise-power-spectral-density
+// ratio ("SNR per bit"), measured in practice with pilot packages.
+#pragma once
+
+namespace whart::phy {
+
+/// Eb/N0 as a linear (dimensionless) ratio with dB conversions.
+class EbN0 {
+ public:
+  /// From a linear ratio; must be >= 0.
+  static EbN0 from_linear(double ratio);
+
+  /// From decibels: ratio = 10^(db/10).
+  static EbN0 from_db(double db);
+
+  [[nodiscard]] double linear() const noexcept { return linear_; }
+  [[nodiscard]] double db() const noexcept;
+
+  friend bool operator==(const EbN0&, const EbN0&) = default;
+  friend auto operator<=>(const EbN0&, const EbN0&) = default;
+
+ private:
+  explicit EbN0(double linear) noexcept : linear_(linear) {}
+  double linear_ = 0.0;
+};
+
+/// Received signal strength indicator in dBm (used by the simulator's
+/// synthetic channel-quality assignment).
+struct Rssi {
+  double dbm = 0.0;
+  friend bool operator==(const Rssi&, const Rssi&) = default;
+  friend auto operator<=>(const Rssi&, const Rssi&) = default;
+};
+
+}  // namespace whart::phy

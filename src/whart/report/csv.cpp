@@ -1,0 +1,28 @@
+#include "whart/report/csv.hpp"
+
+#include <ostream>
+
+namespace whart::report {
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) *out_ << ',';
+    *out_ << escape(fields[i]);
+  }
+  *out_ << '\n';
+}
+
+}  // namespace whart::report

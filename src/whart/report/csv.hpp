@@ -1,0 +1,28 @@
+// Minimal CSV output (RFC 4180 quoting) for exporting series to external
+// plotting tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace whart::report {
+
+/// Incremental CSV writer.
+class CsvWriter {
+ public:
+  /// Write to `out`, which must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Write one row; fields are quoted when they contain separators,
+  /// quotes or newlines.
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Quote a single field if needed (exposed for testing).
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ostream* out_;
+};
+
+}  // namespace whart::report

@@ -1,0 +1,72 @@
+#include "whart/report/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::report {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  expects(!headers_.empty(), "at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  expects(cells.size() == headers_.size(), "row width matches header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::fixed(double value, int decimals) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(decimals);
+  out << value;
+  return out.str();
+}
+
+std::string Table::percent(double probability, int decimals) {
+  return fixed(probability * 100.0, decimals) + "%";
+}
+
+std::string Table::scientific(double value, int decimals) {
+  std::ostringstream out;
+  out.setf(std::ios::scientific);
+  out.precision(decimals);
+  out << value;
+  return out.str();
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << "  ";
+      out << cells[c];
+      for (std::size_t pad = cells[c].size(); pad < widths[c]; ++pad)
+        out << ' ';
+    }
+    out << '\n';
+  };
+
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  out << std::string(total + 2 * (widths.size() - 1), '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream out;
+  print(out);
+  return out.str();
+}
+
+}  // namespace whart::report

@@ -1,0 +1,40 @@
+// Plain-text table rendering used by the benchmark harness and the CLI to
+// print paper-style tables.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace whart::report {
+
+/// A simple column-aligned text table.
+class Table {
+ public:
+  /// Create a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row of preformatted cells (must match the header count).
+  void add_row(std::vector<std::string> cells);
+
+  /// Number formatting helpers.
+  static std::string fixed(double value, int decimals);
+  static std::string percent(double probability, int decimals = 2);
+  static std::string scientific(double value, int decimals = 2);
+
+  [[nodiscard]] std::size_t row_count() const noexcept {
+    return rows_.size();
+  }
+
+  /// Render with a header separator and 2-space column gaps.
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace whart::report

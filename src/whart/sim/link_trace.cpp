@@ -1,0 +1,66 @@
+#include "whart/sim/link_trace.hpp"
+
+#include <cmath>
+
+#include "whart/common/contracts.hpp"
+#include "whart/numeric/rng.hpp"
+
+namespace whart::sim {
+
+std::vector<bool> simulate_link_trace(const LinkTraceConfig& config,
+                                      std::uint64_t slots,
+                                      std::uint64_t seed) {
+  expects(!config.channel_ber.empty(), "at least one channel");
+  expects(slots > 0, "at least one slot");
+  for (double ber : config.channel_ber)
+    expects(ber >= 0.0 && ber <= 1.0, "0 <= BER <= 1");
+  expects(config.jam_probability >= 0.0 && config.jam_probability <= 1.0 &&
+              config.clear_probability >= 0.0 &&
+              config.clear_probability <= 1.0,
+          "interference probabilities in [0, 1]");
+
+  numeric::Xoshiro256 rng(seed);
+  const auto channel_count =
+      static_cast<std::uint32_t>(config.channel_ber.size());
+  link::ChannelBlacklist::Config blacklist_config = config.blacklist;
+  blacklist_config.channel_count = channel_count;
+  blacklist_config.min_active_channels =
+      std::min(blacklist_config.min_active_channels, channel_count);
+  link::ChannelBlacklist blacklist(blacklist_config);
+  link::ChannelHopper hopper(rng.next());
+
+  // Precompute per-channel word failure probabilities for both states.
+  std::vector<double> quiet_fail(channel_count);
+  for (std::uint32_t c = 0; c < channel_count; ++c)
+    quiet_fail[c] = 1.0 - std::pow(1.0 - config.channel_ber[c],
+                                   static_cast<double>(config.message_bits));
+  const double jammed_fail =
+      1.0 - std::pow(1.0 - config.jammed_ber,
+                     static_cast<double>(config.message_bits));
+
+  std::vector<bool> jammed(channel_count, false);
+  std::vector<bool> trace;
+  trace.reserve(slots);
+
+  for (std::uint64_t t = 0; t < slots; ++t) {
+    // Interference evolves on every channel every slot.
+    if (config.jam_probability > 0.0) {
+      for (std::uint32_t c = 0; c < channel_count; ++c) {
+        if (jammed[c])
+          jammed[c] = !rng.bernoulli(config.clear_probability);
+        else
+          jammed[c] = rng.bernoulli(config.jam_probability);
+      }
+    }
+
+    const link::ChannelId channel = hopper.next(blacklist);
+    const double fail_probability =
+        jammed[channel] ? jammed_fail : quiet_fail[channel];
+    const bool success = !rng.bernoulli(fail_probability);
+    if (config.use_blacklist) blacklist.record_result(channel, success);
+    trace.push_back(success);
+  }
+  return trace;
+}
+
+}  // namespace whart::sim

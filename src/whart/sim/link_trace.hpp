@@ -1,0 +1,46 @@
+// Per-slot simulation of a single wireless link under pseudo-random
+// channel hopping, per-channel bit error rates, network-manager
+// blacklisting and (optionally) bursty interference on each channel.
+// The resulting UP/DOWN trace is what link::fit_gilbert consumes — the
+// full loop physical channels -> observed trace -> fitted two-state
+// model -> analytic prediction is validated in the integration tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "whart/link/blacklist.hpp"
+#include "whart/phy/frame.hpp"
+
+namespace whart::sim {
+
+/// Configuration of the traced link.
+struct LinkTraceConfig {
+  /// Nominal BER per channel (quiet conditions).  Size fixes the
+  /// channel count.
+  std::vector<double> channel_ber =
+      std::vector<double>(phy::kChannelCount, 1e-4);
+
+  /// Message length used for the per-slot word transmission.
+  std::uint32_t message_bits = phy::kMessageBits;
+
+  /// Blacklisting by the network manager (set `use_blacklist` to false
+  /// to measure the raw hopping behaviour).
+  bool use_blacklist = true;
+  link::ChannelBlacklist::Config blacklist;
+
+  /// Bursty interference: each channel independently toggles between
+  /// quiet and jammed with these per-slot probabilities (0 = static
+  /// channels).  While jammed a channel transmits at `jammed_ber`.
+  double jam_probability = 0.0;
+  double clear_probability = 0.1;
+  double jammed_ber = 5e-3;
+};
+
+/// Simulate `slots` consecutive transmission slots; trace[t] = true when
+/// the slot's message went through error-free.  Deterministic in `seed`.
+std::vector<bool> simulate_link_trace(const LinkTraceConfig& config,
+                                      std::uint64_t slots,
+                                      std::uint64_t seed);
+
+}  // namespace whart::sim

@@ -1,0 +1,214 @@
+#include "whart/sim/simulator.hpp"
+
+#include <cmath>
+
+#include "whart/common/contracts.hpp"
+#include "whart/link/blacklist.hpp"
+#include "whart/phy/frame.hpp"
+
+namespace whart::sim {
+
+double PathStatistics::reachability() const noexcept {
+  if (messages == 0) return 0.0;
+  std::uint64_t delivered = 0;
+  for (std::uint64_t d : delivered_per_cycle) delivered += d;
+  return static_cast<double>(delivered) / static_cast<double>(messages);
+}
+
+std::vector<double> PathStatistics::cycle_frequencies() const {
+  std::vector<double> result(delivered_per_cycle.size(), 0.0);
+  if (messages == 0) return result;
+  for (std::size_t i = 0; i < result.size(); ++i)
+    result[i] = static_cast<double>(delivered_per_cycle[i]) /
+                static_cast<double>(messages);
+  return result;
+}
+
+Interval PathStatistics::reachability_interval(double z) const {
+  std::uint64_t delivered = 0;
+  for (std::uint64_t d : delivered_per_cycle) delivered += d;
+  return wilson_interval(delivered, messages, z);
+}
+
+double PathStatistics::utilization(std::uint32_t uplink_slots,
+                                   std::uint32_t reporting_interval) const {
+  if (messages == 0) return 0.0;
+  return static_cast<double>(transmissions) /
+         (static_cast<double>(messages) * reporting_interval * uplink_slots);
+}
+
+/// Lazily-evolved per-link simulation state.  Between uses the Gilbert
+/// chain is advanced analytically: the state after t slots given the
+/// current state follows the closed-form transient probability, so we
+/// sample it directly instead of stepping slot by slot.
+struct NetworkSimulator::LinkRuntime {
+  link::LinkModel model{0.5, 0.5};
+  bool up = true;
+  std::uint64_t last_slot = 0;
+
+  // Physical-regime companions.
+  link::ChannelBlacklist blacklist;
+  link::ChannelHopper hopper{0};
+
+  explicit LinkRuntime(link::LinkModel m, std::uint64_t hopper_seed)
+      : model(m), hopper(hopper_seed) {}
+};
+
+NetworkSimulator::~NetworkSimulator() = default;
+
+NetworkSimulator::NetworkSimulator(const net::Network& network,
+                                   std::vector<net::Path> paths,
+                                   const net::Schedule& schedule,
+                                   SimulatorConfig config)
+    : network_(network),
+      paths_(std::move(paths)),
+      schedule_(schedule),
+      config_(config),
+      rng_(config.seed) {
+  expects(!paths_.empty(), "at least one path");
+  expects(config_.reporting_interval >= 1, "Is >= 1");
+  expects(config_.intervals >= 1, "at least one interval");
+  expects(schedule_.uplink_slots() == config_.superframe.uplink_slots,
+          "schedule length matches the superframe uplink size");
+  expects(config_.physical.bad_channels < phy::kChannelCount,
+          "some channels must be clean");
+
+  link_runtime_.reserve(network_.link_count());
+  for (net::LinkId id : network_.links()) {
+    link_runtime_.emplace_back(network_.link(id).model, rng_.next());
+    // Start each link in a steady-state sample.
+    link_runtime_.back().up = rng_.bernoulli(
+        network_.link(id).model.steady_state_availability());
+  }
+
+  hop_links_.reserve(paths_.size());
+  for (const net::Path& path : paths_) {
+    std::vector<std::size_t> links;
+    for (net::LinkId id : path.resolve_links(network_))
+      links.push_back(id.value);
+    hop_links_.push_back(std::move(links));
+  }
+}
+
+bool NetworkSimulator::attempt(std::size_t link_index,
+                               std::uint64_t absolute_slot) {
+  LinkRuntime& rt = link_runtime_[link_index];
+
+  // Scripted failures: the link is deterministically DOWN inside its
+  // per-interval window; the Gilbert chain then recovers from DOWN.
+  // Windows the link slept through (no attempt inside them) still pin
+  // the state: the latest forced-DOWN slot not later than `absolute_slot`
+  // becomes the evolution anchor.
+  const std::uint64_t interval_slots =
+      static_cast<std::uint64_t>(config_.reporting_interval) *
+      config_.superframe.cycle_slots();
+  const std::uint64_t slot_in_interval = absolute_slot % interval_slots;
+  const std::uint64_t interval_base = absolute_slot - slot_in_interval;
+  for (const ScriptedLinkFailure& failure : config_.scripted_failures) {
+    if (failure.link.value != link_index) continue;
+    const link::FailureWindow& window = failure.window_per_interval;
+    if (window.contains(slot_in_interval)) {
+      rt.up = false;
+      rt.last_slot = absolute_slot;
+      return false;
+    }
+    // Latest forced-DOWN slot at or before absolute_slot.
+    std::uint64_t last_down = 0;
+    bool have_down = false;
+    if (slot_in_interval >= window.end) {
+      last_down = interval_base + window.end - 1;
+      have_down = true;
+    } else if (interval_base >= interval_slots) {
+      last_down = interval_base - interval_slots + window.end - 1;
+      have_down = true;
+    }
+    if (have_down && last_down > rt.last_slot) {
+      rt.up = false;
+      rt.last_slot = last_down;
+    }
+  }
+
+  if (config_.regime == LinkRegime::kPhysical) {
+    // Hop to a fresh channel, transmit the 1016-bit message as a BSC
+    // word, and report the outcome to the network manager's blacklist.
+    const link::ChannelId channel = rt.hopper.next(rt.blacklist);
+    const double ber = channel < config_.physical.bad_channels
+                           ? config_.physical.bad_ber
+                           : config_.physical.good_ber;
+    const double success_probability =
+        std::pow(1.0 - ber, static_cast<double>(phy::kMessageBits));
+    const bool success = rng_.bernoulli(success_probability);
+    rt.blacklist.record_result(channel, success);
+    return success;
+  }
+
+  // Gilbert regime: advance the chain analytically to this slot.
+  ensures(absolute_slot >= rt.last_slot, "time moves forward");
+  const std::uint64_t elapsed = absolute_slot - rt.last_slot;
+  if (elapsed > 0) {
+    const double p_up = rt.model.up_probability_after(
+        rt.up ? link::LinkState::kUp : link::LinkState::kDown, elapsed);
+    rt.up = rng_.bernoulli(p_up);
+    rt.last_slot = absolute_slot;
+  }
+  return rt.up;
+}
+
+SimulationReport NetworkSimulator::run() {
+  SimulationReport report;
+  report.per_path.resize(paths_.size());
+  for (PathStatistics& stats : report.per_path)
+    stats.delivered_per_cycle.assign(config_.reporting_interval, 0);
+
+  const std::uint32_t fup = config_.superframe.uplink_slots;
+  const std::uint32_t cycle_slots = config_.superframe.cycle_slots();
+  const std::uint32_t cycles = config_.reporting_interval;
+
+  // Per-path in-flight message: current hop, or delivered/discarded.
+  struct Message {
+    std::size_t hop = 0;
+    bool in_flight = true;
+  };
+  std::vector<Message> messages(paths_.size());
+
+  std::uint64_t interval_base_slot = 0;
+  for (std::uint64_t interval = 0; interval < config_.intervals; ++interval) {
+    for (std::size_t p = 0; p < paths_.size(); ++p) {
+      messages[p] = Message{};
+      ++report.per_path[p].messages;
+    }
+    for (std::uint32_t cycle = 0; cycle < cycles; ++cycle) {
+      for (std::uint32_t slot = 1; slot <= fup; ++slot) {
+        const auto& entry = schedule_.entry(slot);
+        if (!entry.has_value()) continue;
+        Message& msg = messages[entry->path_index];
+        if (!msg.in_flight || msg.hop != entry->hop) continue;
+        const std::uint64_t absolute_slot =
+            interval_base_slot + cycle * cycle_slots + (slot - 1);
+        PathStatistics& stats = report.per_path[entry->path_index];
+        ++stats.transmissions;
+        if (attempt(hop_links_[entry->path_index][entry->hop],
+                    absolute_slot)) {
+          ++msg.hop;
+          if (msg.hop == hop_links_[entry->path_index].size()) {
+            msg.in_flight = false;
+            ++stats.delivered_per_cycle[cycle];
+            const double delay_ms =
+                (static_cast<double>(slot) + cycle * cycle_slots) *
+                phy::kSlotMilliseconds;
+            stats.delay_ms.add(delay_ms);
+          }
+        }
+      }
+      // The downlink half of the cycle: links keep evolving (they are
+      // advanced lazily), uplink messages sleep.
+    }
+    for (std::size_t p = 0; p < paths_.size(); ++p)
+      if (messages[p].in_flight) ++report.per_path[p].discarded;
+    interval_base_slot += static_cast<std::uint64_t>(cycles) * cycle_slots;
+  }
+  report.total_slots_simulated = interval_base_slot;
+  return report;
+}
+
+}  // namespace whart::sim

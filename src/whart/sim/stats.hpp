@@ -1,0 +1,46 @@
+// Small statistics utilities for the Monte-Carlo simulator: online
+// mean/variance (Welford) and binomial confidence intervals for empirical
+// probabilities.
+#pragma once
+
+#include <cstdint>
+
+namespace whart::sim {
+
+/// Online mean and variance accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+
+  /// Unbiased sample variance; 0 with fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Standard error of the mean; 0 with fewer than two samples.
+  [[nodiscard]] double standard_error() const noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// A two-sided confidence interval.
+struct Interval {
+  double low = 0.0;
+  double high = 0.0;
+
+  [[nodiscard]] bool contains(double value) const noexcept {
+    return value >= low && value <= high;
+  }
+};
+
+/// Wilson score interval for a binomial proportion at z standard
+/// deviations (z = 1.96 for 95%, 3.29 for 99.9%).
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                         double z = 1.96);
+
+}  // namespace whart::sim

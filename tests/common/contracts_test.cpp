@@ -1,0 +1,55 @@
+#include "whart/common/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+namespace whart {
+namespace {
+
+TEST(Contracts, PassingChecksAreSilent) {
+  EXPECT_NO_THROW(expects(true, "always"));
+  EXPECT_NO_THROW(ensures(true, "always"));
+  EXPECT_NO_THROW(WHART_EXPECTS(1 + 1 == 2));
+  EXPECT_NO_THROW(WHART_ENSURES(2 * 2 == 4));
+}
+
+TEST(Contracts, ViolationsThrowTheRightTypes) {
+  EXPECT_THROW(expects(false, "cond"), precondition_error);
+  EXPECT_THROW(ensures(false, "cond"), invariant_error);
+  // precondition_error is an invalid_argument; invariant_error a
+  // logic_error — both catchable as std::logic_error.
+  EXPECT_THROW(expects(false, "cond"), std::invalid_argument);
+  EXPECT_THROW(ensures(false, "cond"), std::logic_error);
+}
+
+TEST(Contracts, MessagesNameTheExpressionAndLocation) {
+  try {
+    expects(false, "x > 0", "x was -3");
+    FAIL() << "expected precondition_error";
+  } catch (const precondition_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("precondition violated"), std::string::npos);
+    EXPECT_NE(what.find("(x > 0)"), std::string::npos);
+    EXPECT_NE(what.find("x was -3"), std::string::npos);
+    EXPECT_NE(what.find("contracts_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contracts, MacrosStringifyTheCondition) {
+  try {
+    WHART_EXPECTS(1 == 2);
+    FAIL() << "expected precondition_error";
+  } catch (const precondition_error& error) {
+    EXPECT_NE(std::string(error.what()).find("1 == 2"),
+              std::string::npos);
+  }
+  try {
+    WHART_ENSURES_MSG(false, "custom detail");
+    FAIL() << "expected invariant_error";
+  } catch (const invariant_error& error) {
+    EXPECT_NE(std::string(error.what()).find("custom detail"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace whart

@@ -1,0 +1,118 @@
+#include "whart/hart/analytic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::hart {
+namespace {
+
+PathModelConfig example_config(std::uint32_t is) {
+  PathModelConfig config;
+  config.hop_slots = {3, 6, 7};
+  config.superframe = net::SuperframeConfig::symmetric(7);
+  config.reporting_interval = is;
+  return config;
+}
+
+TEST(Analytic, HomogeneousMatchesExactDtmc) {
+  for (double ps : {0.693, 0.75, 0.83, 0.903, 0.948}) {
+    const PathModelConfig config = example_config(4);
+    const PathModel model(config);
+    const SteadyStateLinks links(3,
+                                 link::LinkModel::from_availability(ps));
+    const PathTransientResult exact = model.analyze(links);
+    const auto analytic = analytic_cycle_probabilities(3, ps, 4);
+    for (std::size_t i = 0; i < 4; ++i)
+      EXPECT_NEAR(analytic[i], exact.cycle_probabilities[i], 1e-12)
+          << "ps=" << ps << " cycle=" << i + 1;
+  }
+}
+
+TEST(Analytic, InhomogeneousMatchesExactDtmc) {
+  const PathModelConfig config = example_config(4);
+  const PathModel model(config);
+  const std::vector<double> per_hop{0.95, 0.80, 0.70};
+  std::vector<link::LinkModel> models;
+  for (double ps : per_hop)
+    models.push_back(link::LinkModel::from_availability(ps));
+  const SteadyStateLinks links(models);
+  const PathTransientResult exact = model.analyze(links);
+  const auto analytic = analytic_cycle_probabilities(per_hop, 4);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(analytic[i], exact.cycle_probabilities[i], 1e-12);
+}
+
+TEST(Analytic, InhomogeneousReducesToHomogeneous) {
+  const auto homo = analytic_cycle_probabilities(3, 0.83, 5);
+  const auto inhomo =
+      analytic_cycle_probabilities(std::vector<double>{0.83, 0.83, 0.83}, 5);
+  for (std::size_t i = 0; i < 5; ++i)
+    EXPECT_NEAR(homo[i], inhomo[i], 1e-12);
+}
+
+TEST(Analytic, HopOrderDoesNotChangeCycleProbabilities) {
+  // With in-order slots, only the multiset of per-hop availabilities
+  // matters for delivery cycles.
+  const auto a =
+      analytic_cycle_probabilities(std::vector<double>{0.9, 0.7}, 6);
+  const auto b =
+      analytic_cycle_probabilities(std::vector<double>{0.7, 0.9}, 6);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(Analytic, MeasuresMatchPaperExample) {
+  const PathMeasures m = analytic_path_measures(example_config(4), 0.75);
+  EXPECT_NEAR(m.reachability, 0.9624, 5e-5);
+  EXPECT_NEAR(m.expected_delay_ms, 190.8, 0.05);
+}
+
+TEST(Analytic, RejectsOutOfOrderSlots) {
+  PathModelConfig config;
+  config.hop_slots = {5, 2};
+  config.superframe = net::SuperframeConfig::symmetric(6);
+  config.reporting_interval = 2;
+  EXPECT_THROW(analytic_path_measures(config, 0.9), precondition_error);
+}
+
+TEST(Analytic, RejectsCustomTtl) {
+  PathModelConfig config = example_config(4);
+  config.ttl = 7;
+  EXPECT_THROW(analytic_path_measures(config, 0.9), precondition_error);
+}
+
+TEST(Analytic, RejectsWrongHopCount) {
+  EXPECT_THROW(analytic_path_measures(example_config(4),
+                                      std::vector<double>{0.9, 0.9}),
+               precondition_error);
+}
+
+class AnalyticVsExactSweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint32_t, double, std::uint32_t>> {};
+
+TEST_P(AnalyticVsExactSweep, AgreeAcrossHopCountsAndIntervals) {
+  const auto [hops, ps, is] = GetParam();
+  PathModelConfig config;
+  for (std::uint32_t h = 0; h < hops; ++h)
+    config.hop_slots.push_back(h + 1);
+  config.superframe = net::SuperframeConfig::symmetric(hops + 2);
+  config.reporting_interval = is;
+  const PathModel model(config);
+  const SteadyStateLinks links(hops,
+                               link::LinkModel::from_availability(ps));
+  const PathTransientResult exact = model.analyze(links);
+  const auto analytic = analytic_cycle_probabilities(hops, ps, is);
+  for (std::size_t i = 0; i < is; ++i)
+    EXPECT_NEAR(analytic[i], exact.cycle_probabilities[i], 1e-12)
+        << "hops=" << hops << " ps=" << ps << " cycle=" << i + 1;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AnalyticVsExactSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u),
+                       ::testing::Values(0.7, 0.83, 0.95),
+                       ::testing::Values(1u, 2u, 4u, 8u)));
+
+}  // namespace
+}  // namespace whart::hart

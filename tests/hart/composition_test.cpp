@@ -1,0 +1,118 @@
+#include "whart/hart/composition.hpp"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+#include "whart/hart/analytic.hpp"
+
+namespace whart::hart {
+namespace {
+
+TEST(Composition, DeltaPeerIsIdentityShift) {
+  // A perfect 1-hop peer (delivers in cycle 1 surely) composes to the
+  // existing path's own cycle distribution.
+  const std::vector<double> peer{1.0};
+  const std::vector<double> existing{0.6, 0.3, 0.1};
+  const auto composed = compose_cycle_probabilities(peer, existing, 3);
+  EXPECT_EQ(composed, existing);
+}
+
+TEST(Composition, MatchesDirectAnalyticModel) {
+  // Composing a 1-hop peer with a 2-hop path must equal the 3-hop path
+  // computed directly (homogeneous links, enough cycles that truncation
+  // is negligible... here exact because convolution is exact per cycle).
+  const double ps = 0.83;
+  const std::uint32_t is = 4;
+  const auto peer = analytic_cycle_probabilities(1, ps, is);
+  const auto existing = analytic_cycle_probabilities(2, ps, is);
+  const auto composed = compose_cycle_probabilities(peer, existing, is);
+  const auto direct = analytic_cycle_probabilities(3, ps, is);
+  for (std::size_t i = 0; i < is; ++i)
+    EXPECT_NEAR(composed[i], direct[i], 1e-12) << "cycle " << i + 1;
+}
+
+TEST(Composition, CommutesLikeConvolution) {
+  const auto a = analytic_cycle_probabilities(1, 0.9, 4);
+  const auto b = analytic_cycle_probabilities(2, 0.7, 4);
+  EXPECT_EQ(compose_cycle_probabilities(a, b, 4),
+            compose_cycle_probabilities(b, a, 4));
+}
+
+TEST(Composition, EmptyInputsThrow) {
+  const std::vector<double> empty;
+  const std::vector<double> some{1.0};
+  EXPECT_THROW(compose_cycle_probabilities(empty, some, 4),
+               precondition_error);
+  EXPECT_THROW(compose_cycle_probabilities(some, empty, 4),
+               precondition_error);
+}
+
+TEST(OneHopCycles, GeometricInAvailability) {
+  const link::LinkModel link = link::LinkModel::from_availability(0.83);
+  const auto g = one_hop_cycle_probabilities(link, 4);
+  EXPECT_NEAR(g[0], 0.83, 1e-12);
+  EXPECT_NEAR(g[1], 0.17 * 0.83, 1e-12);
+  EXPECT_NEAR(g[2], 0.17 * 0.17 * 0.83, 1e-12);
+}
+
+TEST(Prediction, PaperTableIVPathAlpha) {
+  // Peer link 5 -> 3 with Eb/N0 = 7 composed with the 2-hop existing
+  // path 1 at pi(up) = 0.83: gc = [0.6274, 0.2694, 0.0784, 0.0193],
+  // R_alpha = 99.46%.
+  const auto existing = analytic_cycle_probabilities(2, 0.83, 4);
+  const RoutePrediction alpha =
+      predict_route(phy::EbN0::from_linear(7.0), existing, 2, 4);
+  ASSERT_EQ(alpha.composed_cycles.size(), 4u);
+  EXPECT_NEAR(alpha.composed_cycles[0], 0.6274, 1e-3);
+  EXPECT_NEAR(alpha.composed_cycles[1], 0.2694, 1e-3);
+  EXPECT_NEAR(alpha.composed_cycles[2], 0.0784, 1e-3);
+  EXPECT_NEAR(alpha.composed_cycles[3], 0.0193, 1e-3);
+  EXPECT_NEAR(alpha.reachability, 0.9946, 1e-3);
+  EXPECT_EQ(alpha.total_hops, 3u);
+}
+
+TEST(Prediction, PaperTableIVPathBeta) {
+  // Peer link 5 -> 4 with Eb/N0 = 6 composed with the 1-hop existing
+  // path 2: gc = [0.6573, 0.2485, 0.0707, 0.0180], R_beta = 99.45%.
+  const auto existing = analytic_cycle_probabilities(1, 0.83, 4);
+  const RoutePrediction beta =
+      predict_route(phy::EbN0::from_linear(6.0), existing, 1, 4);
+  EXPECT_NEAR(beta.composed_cycles[0], 0.6573, 2e-3);
+  EXPECT_NEAR(beta.composed_cycles[1], 0.2485, 2e-3);
+  EXPECT_NEAR(beta.composed_cycles[2], 0.0707, 2e-3);
+  EXPECT_NEAR(beta.composed_cycles[3], 0.0180, 2e-3);
+  EXPECT_NEAR(beta.reachability, 0.9945, 1e-3);
+  EXPECT_EQ(beta.total_hops, 2u);
+}
+
+TEST(Prediction, PaperDecisionPrefersBetaOnFewerHops) {
+  // Reachabilities tie within tolerance; beta wins with fewer hops
+  // (Section VI-E's conclusion).
+  const auto existing_alpha = analytic_cycle_probabilities(2, 0.83, 4);
+  const auto existing_beta = analytic_cycle_probabilities(1, 0.83, 4);
+  const std::vector<RoutePrediction> candidates{
+      predict_route(phy::EbN0::from_linear(7.0), existing_alpha, 2, 4),
+      predict_route(phy::EbN0::from_linear(6.0), existing_beta, 1, 4)};
+  EXPECT_EQ(best_route(candidates), 1u);
+  // With zero tolerance the marginally higher reachability wins instead.
+  EXPECT_EQ(best_route(candidates, 0.0), 0u);
+}
+
+TEST(Prediction, BestRouteOfEmptyThrows) {
+  EXPECT_THROW(best_route({}), precondition_error);
+}
+
+TEST(Prediction, ClearlyBetterReachabilityWinsDespiteHops) {
+  RoutePrediction good;
+  good.reachability = 0.99;
+  good.total_hops = 4;
+  RoutePrediction bad;
+  bad.reachability = 0.90;
+  bad.total_hops = 2;
+  EXPECT_EQ(best_route({bad, good}), 1u);
+}
+
+}  // namespace
+}  // namespace whart::hart

@@ -1,0 +1,164 @@
+#include "whart/hart/control_loop.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+#include "whart/hart/path_model.hpp"
+
+namespace whart::hart {
+namespace {
+
+PathMeasures example_measures(double availability) {
+  PathModelConfig config;
+  config.hop_slots = {3, 6, 7};
+  config.superframe = net::SuperframeConfig::symmetric(7);
+  config.reporting_interval = 4;
+  const PathModel model(config);
+  const SteadyStateLinks links(
+      3, link::LinkModel::from_availability(availability));
+  return compute_path_measures(model, links);
+}
+
+TEST(ControlLoop, PaperFirstCycleProbability) {
+  // Paper Section V-A: with a symmetric setup the loop closes in one
+  // cycle with probability 0.4219^2 = 0.178.
+  const PathMeasures uplink = example_measures(0.75);
+  const ControlLoopMeasures loop = analyze_symmetric_control_loop(uplink);
+  EXPECT_NEAR(loop.first_cycle_probability, 0.178, 5e-4);
+}
+
+TEST(ControlLoop, LoopReachabilityBelowPathReachability) {
+  const PathMeasures uplink = example_measures(0.83);
+  const ControlLoopMeasures loop = analyze_symmetric_control_loop(uplink);
+  EXPECT_LT(loop.loop_reachability, uplink.reachability);
+  EXPECT_GT(loop.loop_reachability, 0.9);
+}
+
+TEST(ControlLoop, PerfectPathsCloseEveryLoop) {
+  const PathMeasures uplink = example_measures(1.0);
+  const ControlLoopMeasures loop = analyze_symmetric_control_loop(uplink);
+  EXPECT_DOUBLE_EQ(loop.loop_reachability, 1.0);
+  EXPECT_DOUBLE_EQ(loop.first_cycle_probability, 1.0);
+  EXPECT_TRUE(std::isinf(loop.expected_intervals_to_first_open_loop));
+  // Latency = two one-cycle traversals of 70 ms each.
+  EXPECT_DOUBLE_EQ(loop.expected_latency_ms, 140.0);
+}
+
+TEST(ControlLoop, LatencyAddsProcessingTime) {
+  const PathMeasures uplink = example_measures(0.83);
+  const ControlLoopMeasures without = analyze_symmetric_control_loop(uplink);
+  const ControlLoopMeasures with =
+      analyze_symmetric_control_loop(uplink, 5.0);
+  EXPECT_NEAR(with.expected_latency_ms, without.expected_latency_ms + 5.0,
+              1e-12);
+}
+
+TEST(ControlLoop, AsymmetricLoopUsesBothDirections) {
+  const PathMeasures good = example_measures(0.95);
+  const PathMeasures bad = example_measures(0.75);
+  const ControlLoopMeasures loop = analyze_control_loop(good, bad);
+  EXPECT_NEAR(loop.first_cycle_probability,
+              good.cycle_probabilities[0] * bad.cycle_probabilities[0],
+              1e-12);
+  EXPECT_NEAR(loop.expected_latency_ms,
+              good.expected_delay_ms + bad.expected_delay_ms, 1e-12);
+}
+
+TEST(ControlLoop, CycleDistributionIsShiftedConvolution) {
+  const PathMeasures m = example_measures(0.83);
+  const ControlLoopMeasures loop = analyze_symmetric_control_loop(m);
+  // Combined cycle 2 = (1,2) or (2,1).
+  EXPECT_NEAR(loop.loop_cycle_probabilities[1],
+              2.0 * m.cycle_probabilities[0] * m.cycle_probabilities[1],
+              1e-12);
+}
+
+TEST(ControlLoopExact, SymmetricCaseMatchesConvolutionShorthand) {
+  PathModelConfig up_config;
+  up_config.hop_slots = {3, 6, 7};
+  up_config.superframe = net::SuperframeConfig::symmetric(7);
+  up_config.reporting_interval = 4;
+  PathModelConfig down_config = up_config;  // symmetric: same slot layout
+
+  const PathModel up(up_config);
+  const PathModel down(down_config);
+  const SteadyStateLinks links(3, link::LinkModel::from_availability(0.75));
+
+  const ControlLoopMeasures exact =
+      analyze_control_loop_exact(up, links, down, links);
+  const ControlLoopMeasures shorthand =
+      analyze_symmetric_control_loop(compute_path_measures(up, links));
+
+  ASSERT_EQ(exact.loop_cycle_probabilities.size(),
+            shorthand.loop_cycle_probabilities.size());
+  for (std::size_t k = 0; k < 4; ++k)
+    EXPECT_NEAR(exact.loop_cycle_probabilities[k],
+                shorthand.loop_cycle_probabilities[k], 1e-12);
+  EXPECT_NEAR(exact.loop_reachability, shorthand.loop_reachability, 1e-12);
+  EXPECT_NEAR(exact.first_cycle_probability, 0.178, 5e-4);
+}
+
+TEST(ControlLoopExact, PerfectLinksLatencyIsSlotExact) {
+  // Uplink delivered at slot 7; downlink chain's last slot is 5 within
+  // the downlink half: loop closes at (7 + 5) slots = 120 ms.
+  PathModelConfig up_config;
+  up_config.hop_slots = {3, 6, 7};
+  up_config.superframe = net::SuperframeConfig::symmetric(7);
+  up_config.reporting_interval = 2;
+  PathModelConfig down_config;
+  down_config.hop_slots = {1, 3, 5};
+  down_config.superframe = net::SuperframeConfig::symmetric(7);
+  down_config.reporting_interval = 2;
+
+  const PathModel up(up_config);
+  const PathModel down(down_config);
+  const SteadyStateLinks links(3, link::LinkModel::from_availability(1.0));
+  const ControlLoopMeasures loop =
+      analyze_control_loop_exact(up, links, down, links, 2.5);
+  EXPECT_DOUBLE_EQ(loop.loop_reachability, 1.0);
+  EXPECT_DOUBLE_EQ(loop.expected_latency_ms, 120.0 + 2.5);
+}
+
+TEST(ControlLoopExact, AsymmetricDownlinkSuperframe) {
+  // Uplink half 6 slots, downlink half 4: the downlink model ages over
+  // its own 4-slot half.
+  PathModelConfig up_config;
+  up_config.hop_slots = {1, 2};
+  up_config.superframe = net::SuperframeConfig{6, 4};
+  up_config.reporting_interval = 3;
+  PathModelConfig down_config;
+  down_config.hop_slots = {2, 4};
+  down_config.superframe = net::SuperframeConfig{4, 6};
+  down_config.reporting_interval = 3;
+
+  const PathModel up(up_config);
+  const PathModel down(down_config);
+  const SteadyStateLinks links(2, link::LinkModel::from_availability(0.9));
+  const ControlLoopMeasures loop =
+      analyze_control_loop_exact(up, links, down, links);
+  EXPECT_GT(loop.loop_reachability, 0.9);
+  // First-cycle latency: 6 uplink slots + downlink slot 4 = 100 ms, plus
+  // retries: the expectation is >= that.
+  EXPECT_GE(loop.expected_latency_ms, 100.0);
+
+  // Mismatched halves are rejected.
+  PathModelConfig bad = down_config;
+  bad.superframe = net::SuperframeConfig{5, 6};
+  EXPECT_THROW(
+      analyze_control_loop_exact(up, links, PathModel(bad), links),
+      precondition_error);
+}
+
+TEST(ControlLoop, MismatchedIntervalsThrow) {
+  const PathMeasures uplink = example_measures(0.83);
+  PathMeasures downlink = uplink;
+  downlink.cycle_probabilities.pop_back();
+  EXPECT_THROW(analyze_control_loop(uplink, downlink), precondition_error);
+  EXPECT_THROW(analyze_symmetric_control_loop(uplink, -1.0),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace whart::hart

@@ -1,0 +1,104 @@
+#include "whart/hart/energy.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+#include "whart/hart/network_analysis.hpp"
+#include "whart/net/typical_network.hpp"
+
+namespace whart::hart {
+namespace {
+
+std::vector<NodeEnergy> typical_energy(double availability) {
+  const net::TypicalNetwork t = net::make_typical_network(
+      link::LinkModel::from_availability(availability));
+  return estimate_node_energy(t.network, t.paths, t.eta_a, t.superframe,
+                              4);
+}
+
+TEST(Energy, GatewayReceivesEveryPathsTraffic) {
+  const auto energies = typical_energy(0.83);
+  // The gateway (node 0) transmits nothing on the uplink and receives
+  // from n1, n2 and n3.
+  EXPECT_DOUBLE_EQ(energies[0].tx_attempts_per_interval, 0.0);
+  EXPECT_GT(energies[0].rx_attempts_per_interval, 3.0);
+}
+
+TEST(Energy, RelayNodesPayForForwardedTraffic) {
+  const auto energies = typical_energy(0.83);
+  // n1 relays paths 4 and 5 in addition to its own report; n5 only
+  // sends its own.  Per-interval tx attempts: n1 ~ 3 messages' worth.
+  EXPECT_GT(energies[1].tx_attempts_per_interval,
+            2.5 * energies[5].tx_attempts_per_interval);
+  // Leaf nodes receive nothing.
+  EXPECT_DOUBLE_EQ(energies[5].rx_attempts_per_interval, 0.0);
+  EXPECT_DOUBLE_EQ(energies[10].rx_attempts_per_interval, 0.0);
+}
+
+TEST(Energy, LowerAvailabilityCostsMoreEnergy) {
+  const auto good = typical_energy(0.948);
+  const auto bad = typical_energy(0.774);
+  for (std::size_t node = 1; node < good.size(); ++node)
+    EXPECT_GE(bad[node].mj_per_interval, good[node].mj_per_interval)
+        << "node " << node;
+}
+
+TEST(Energy, PerHopAttemptsSumToPathTotal) {
+  // Energy accounting must conserve the expected-attempt count.
+  const net::TypicalNetwork t = net::make_typical_network(
+      link::LinkModel::from_availability(0.83));
+  const auto energies =
+      estimate_node_energy(t.network, t.paths, t.eta_a, t.superframe, 4);
+  double total_tx = 0.0;
+  double total_rx = 0.0;
+  for (const NodeEnergy& node : energies) {
+    total_tx += node.tx_attempts_per_interval;
+    total_rx += node.rx_attempts_per_interval;
+  }
+  EXPECT_NEAR(total_tx, total_rx, 1e-12);
+  // Total attempts equal network utilization * schedule slots.
+  const NetworkMeasures measures = analyze_network(
+      t.network, t.paths, t.eta_a, t.superframe, 4);
+  EXPECT_NEAR(total_tx, measures.network_utilization * 4 * 20, 1e-9);
+}
+
+TEST(Energy, HottestNodeIsABusyRelay) {
+  const auto energies = typical_energy(0.83);
+  const std::size_t hottest = hottest_node(energies);
+  // n3 forwards paths 7, 8 and 10 plus its own report — more traffic
+  // than any other field device; only the gateway rivals it.
+  EXPECT_TRUE(hottest == 0 || hottest == 3) << "hottest: " << hottest;
+}
+
+TEST(Energy, BatteryLifeComputation) {
+  NodeEnergy node;
+  node.mj_per_interval = 1.0;
+  EnergyParameters params;
+  params.battery_joules = 18000.0;
+  // 18e6 mJ / 1 mJ per 400 ms interval = 18e6 intervals = 7.2e9 ms.
+  EXPECT_NEAR(node.battery_life_days(params, 400.0),
+              7.2e9 / (1000.0 * 60 * 60 * 24), 1e-6);
+  NodeEnergy idle;
+  EXPECT_TRUE(std::isinf(idle.battery_life_days(params, 400.0)));
+}
+
+TEST(Energy, InvalidArgumentsThrow) {
+  const net::TypicalNetwork t = net::make_typical_network();
+  EXPECT_THROW(
+      estimate_node_energy(t.network, {}, t.eta_a, t.superframe, 4),
+      precondition_error);
+  EnergyParameters params;
+  params.tx_mj_per_attempt = -1.0;
+  EXPECT_THROW(estimate_node_energy(t.network, t.paths, t.eta_a,
+                                    t.superframe, 4, params),
+               precondition_error);
+  EXPECT_THROW(hottest_node({}), precondition_error);
+  NodeEnergy node;
+  EXPECT_THROW((void)node.battery_life_days(EnergyParameters{}, 0.0),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace whart::hart

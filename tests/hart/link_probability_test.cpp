@@ -1,0 +1,108 @@
+#include "whart/hart/link_probability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+#include "whart/hart/path_analysis.hpp"
+#include "whart/hart/path_model.hpp"
+
+namespace whart::hart {
+namespace {
+
+const link::LinkModel kLink{0.184, 0.9};
+
+TEST(SteadyStateLinks, ConstantAcrossSlots) {
+  const SteadyStateLinks links(2, kLink);
+  EXPECT_EQ(links.hop_count(), 2u);
+  const double pi = kLink.steady_state_availability();
+  EXPECT_DOUBLE_EQ(links.up_probability(0, 0), pi);
+  EXPECT_DOUBLE_EQ(links.up_probability(1, 12345), pi);
+  EXPECT_THROW((void)links.up_probability(2, 0), precondition_error);
+}
+
+TEST(SteadyStateLinks, InhomogeneousPerHop) {
+  const SteadyStateLinks links({link::LinkModel::from_availability(0.9),
+                                link::LinkModel::from_availability(0.7)});
+  EXPECT_NEAR(links.up_probability(0, 5), 0.9, 1e-12);
+  EXPECT_NEAR(links.up_probability(1, 5), 0.7, 1e-12);
+  EXPECT_THROW(SteadyStateLinks(std::vector<link::LinkModel>{}),
+               precondition_error);
+}
+
+TEST(TransientLinks, FollowsEq3FromInitialCondition) {
+  const TransientLinks links({kLink}, {0.0});  // starts DOWN
+  for (std::uint64_t t : {0ull, 1ull, 3ull, 10ull, 100ull})
+    EXPECT_NEAR(links.up_probability(0, t),
+                kLink.up_probability_after(0.0, t), 1e-15)
+        << "t=" << t;
+  // Converges to steady state.
+  EXPECT_NEAR(links.up_probability(0, 500),
+              kLink.steady_state_availability(), 1e-12);
+}
+
+TEST(TransientLinks, ValidatesInputs) {
+  EXPECT_THROW(TransientLinks({kLink}, {0.5, 0.5}), precondition_error);
+  EXPECT_THROW(TransientLinks({kLink}, {1.5}), precondition_error);
+  EXPECT_THROW(TransientLinks({}, {}), precondition_error);
+}
+
+TEST(TransientLinks, InitialStateChangesEarlyCyclesOnly) {
+  // A path whose links start DOWN loses most of its first cycle but
+  // recovers: the late-cycle probabilities approach the steady model's.
+  PathModelConfig config;
+  config.hop_slots = {1, 2, 3};
+  config.superframe = net::SuperframeConfig::symmetric(5);
+  config.reporting_interval = 4;
+  const PathModel model(config);
+
+  const TransientLinks down_start(
+      std::vector<link::LinkModel>(3, kLink), {0.0, 0.0, 0.0});
+  const SteadyStateLinks steady(3, kLink);
+  const auto from_down = model.analyze(down_start);
+  const auto from_steady = model.analyze(steady);
+
+  EXPECT_LT(from_down.cycle_probabilities[0],
+            from_steady.cycle_probabilities[0]);
+  double r_down = 0.0;
+  double r_steady = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    r_down += from_down.cycle_probabilities[i];
+    r_steady += from_steady.cycle_probabilities[i];
+  }
+  EXPECT_LT(r_down, r_steady);
+  // The paper's hierarchy: the gap is mostly gone by the later cycles
+  // because the links forget their initial state within a few slots.
+  EXPECT_NEAR(r_down, r_steady, 0.15);
+}
+
+TEST(TransientLinks, UpStartBeatsSteadyStart) {
+  PathModelConfig config;
+  config.hop_slots = {1};
+  config.superframe = net::SuperframeConfig::symmetric(2);
+  config.reporting_interval = 2;
+  const PathModel model(config);
+  const TransientLinks up_start({kLink}, {1.0});
+  const SteadyStateLinks steady(1, kLink);
+  EXPECT_GT(model.analyze(up_start).cycle_probabilities[0],
+            model.analyze(steady).cycle_probabilities[0]);
+}
+
+TEST(ScriptedLinksProvider, WindowsAndRecovery) {
+  const ScriptedLinks links(std::vector<link::LinkModel>(2, kLink), 1,
+                            {link::FailureWindow{4, 8}});
+  // Hop 0 never scripted: steady everywhere.
+  EXPECT_DOUBLE_EQ(links.up_probability(0, 5),
+                   kLink.steady_state_availability());
+  // Hop 1 forced down inside the window.
+  EXPECT_DOUBLE_EQ(links.up_probability(1, 5), 0.0);
+  // ... and recovering after it.
+  EXPECT_NEAR(links.up_probability(1, 8),
+              kLink.up_probability_after(link::LinkState::kDown, 1),
+              1e-15);
+  EXPECT_THROW(
+      ScriptedLinks(std::vector<link::LinkModel>(2, kLink), 2, {}),
+      precondition_error);
+}
+
+}  // namespace
+}  // namespace whart::hart

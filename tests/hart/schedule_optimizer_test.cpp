@@ -1,0 +1,90 @@
+#include "whart/hart/schedule_optimizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+#include "whart/hart/network_analysis.hpp"
+#include "whart/net/typical_network.hpp"
+
+namespace whart::hart {
+namespace {
+
+TEST(ScheduleOptimizer, ExtraCyclesGrowWithHopsAndBadLinks) {
+  const net::TypicalNetwork t = net::make_typical_network(
+      link::LinkModel::from_availability(0.83));
+  const auto extra = expected_extra_cycles(t.network, t.paths, 4);
+  ASSERT_EQ(extra.size(), 10u);
+  // 1-hop < 2-hop < 3-hop penalties.
+  EXPECT_LT(extra[0], extra[3]);
+  EXPECT_LT(extra[3], extra[8]);
+  // Homogeneous links: equal hop counts share the penalty.
+  EXPECT_DOUBLE_EQ(extra[0], extra[1]);
+  EXPECT_DOUBLE_EQ(extra[8], extra[9]);
+}
+
+TEST(ScheduleOptimizer, HomogeneousCaseReducesToEtaB) {
+  // With all links equal the optimizer's order is "longest first", so
+  // the resulting measures must match eta_b exactly.
+  const net::TypicalNetwork t = net::make_typical_network(
+      link::LinkModel::from_availability(0.83));
+  const net::Schedule optimized = build_min_worst_delay_schedule(
+      t.network, t.paths, t.superframe, 4);
+  const NetworkMeasures opt = analyze_network(t.network, t.paths,
+                                              optimized, t.superframe, 4);
+  const NetworkMeasures etab = analyze_network(t.network, t.paths, t.eta_b,
+                                               t.superframe, 4);
+  for (std::size_t p = 0; p < 10; ++p)
+    EXPECT_NEAR(opt.per_path[p].expected_delay_ms,
+                etab.per_path[p].expected_delay_ms, 1e-9)
+        << "path " << p + 1;
+}
+
+TEST(ScheduleOptimizer, BeatsBothPaperPoliciesOnWorstDelay) {
+  // Make the links inhomogeneous: the 2-hop path via n4 gets terrible
+  // links, so hop count alone no longer predicts the penalty.
+  net::TypicalNetwork t = net::make_typical_network(
+      link::LinkModel::from_availability(0.93));
+  const auto n4 = *t.network.find_node("n4");
+  const auto n1 = *t.network.find_node("n1");
+  t.network.set_link_model(*t.network.link_between(n4, n1),
+                           link::LinkModel::from_availability(0.70));
+  t.network.set_link_model(*t.network.link_between(n1, net::kGateway),
+                           link::LinkModel::from_availability(0.75));
+
+  const auto worst = [&](const net::Schedule& schedule) {
+    const NetworkMeasures m =
+        analyze_network(t.network, t.paths, schedule, t.superframe, 4);
+    return m.per_path[m.bottleneck_by_delay].expected_delay_ms;
+  };
+
+  const net::Schedule optimized = build_min_worst_delay_schedule(
+      t.network, t.paths, t.superframe, 4);
+  EXPECT_LE(worst(optimized), worst(t.eta_a) + 1e-9);
+  EXPECT_LE(worst(optimized), worst(t.eta_b) + 1e-9);
+  // And strictly better than eta_b here, because eta_b front-loads the
+  // 3-hop chains even though the lossy 2-hop path retries more.
+  EXPECT_LT(worst(optimized), worst(t.eta_b));
+}
+
+TEST(ScheduleOptimizer, ProducesAValidCompleteSchedule) {
+  const net::TypicalNetwork t = net::make_typical_network();
+  const net::Schedule schedule = build_min_worst_delay_schedule(
+      t.network, t.paths, t.superframe, 4);
+  EXPECT_NO_THROW(schedule.validate_complete(t.paths));
+}
+
+TEST(ScheduleOptimizer, OverfullFrameThrows) {
+  const net::TypicalNetwork t = net::make_typical_network();
+  EXPECT_THROW(build_min_worst_delay_schedule(
+                   t.network, t.paths, net::SuperframeConfig::symmetric(5),
+                   4),
+               precondition_error);
+}
+
+TEST(ScheduleOptimizer, EmptyPathsThrow) {
+  const net::TypicalNetwork t = net::make_typical_network();
+  EXPECT_THROW(expected_extra_cycles(t.network, {}, 4), precondition_error);
+}
+
+}  // namespace
+}  // namespace whart::hart

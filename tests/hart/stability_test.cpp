@@ -1,0 +1,74 @@
+#include "whart/hart/stability.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::hart {
+namespace {
+
+TEST(Stability, PerfectReachabilityIsAlwaysStable) {
+  const StabilityAssessment a =
+      assess_stability(1.0, StabilityRequirement{2, 0.99});
+  EXPECT_TRUE(a.stable());
+  EXPECT_TRUE(std::isinf(a.expected_intervals_to_violation));
+  EXPECT_TRUE(std::isinf(a.expected_intervals_to_first_loss));
+  EXPECT_DOUBLE_EQ(a.violation_probability, 0.0);
+}
+
+TEST(Stability, PaperExamplePathNumbers) {
+  // R = 0.9624 (example path): E[first loss] = 26.6 intervals; a run of
+  // two losses has probability 0.0376^2 = 1.41e-3.
+  const StabilityAssessment a =
+      assess_stability(0.9624, StabilityRequirement{2, 0.99});
+  EXPECT_NEAR(a.expected_intervals_to_first_loss, 26.6, 0.05);
+  EXPECT_NEAR(a.violation_probability, 0.0376 * 0.0376, 1e-6);
+  EXPECT_FALSE(a.meets_reachability);  // 0.9624 < 0.99
+}
+
+TEST(Stability, RunWaitingTimeMatchesSimulationFormula) {
+  // For q = 0.5, k = 2: E[T] = (1 - 0.25) / (0.5 * 0.25) = 6 — the
+  // classic expected tosses until two consecutive tails.
+  const StabilityAssessment a =
+      assess_stability(0.5, StabilityRequirement{2, 0.0});
+  EXPECT_NEAR(a.expected_intervals_to_violation, 6.0, 1e-12);
+}
+
+TEST(Stability, LongerRunsAreExponentiallyRarer) {
+  const double r = 0.99;
+  double previous = 0.0;
+  for (std::uint32_t k = 1; k <= 4; ++k) {
+    const StabilityAssessment a =
+        assess_stability(r, StabilityRequirement{k, 0.9});
+    EXPECT_GT(a.expected_intervals_to_violation, previous);
+    previous = a.expected_intervals_to_violation;
+  }
+}
+
+TEST(Stability, VerdictCombinesBothCriteria) {
+  // High reachability but tolerating only a single loss with a strict
+  // inter-violation gap: k = 1 means every loss violates.
+  const StabilityAssessment strict =
+      assess_stability(0.999, StabilityRequirement{1, 0.99}, 1e4);
+  EXPECT_TRUE(strict.meets_reachability);
+  EXPECT_FALSE(strict.meets_run_requirement);  // E = 1000 < 1e4
+  EXPECT_FALSE(strict.stable());
+
+  const StabilityAssessment relaxed =
+      assess_stability(0.999, StabilityRequirement{2, 0.99}, 1e4);
+  EXPECT_TRUE(relaxed.stable());  // E ~ 1e6 intervals between double losses
+}
+
+TEST(Stability, InvalidArgumentsThrow) {
+  EXPECT_THROW(assess_stability(1.5, StabilityRequirement{2, 0.9}),
+               precondition_error);
+  EXPECT_THROW(assess_stability(0.9, StabilityRequirement{0, 0.9}),
+               precondition_error);
+  EXPECT_THROW(assess_stability(0.9, StabilityRequirement{2, 0.9}, 0.0),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace whart::hart

@@ -1,0 +1,95 @@
+#include "whart/hart/sweep.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::hart {
+namespace {
+
+PathModelConfig example_config() {
+  PathModelConfig config;
+  config.hop_slots = {3, 6, 7};
+  config.superframe = net::SuperframeConfig::symmetric(7);
+  config.reporting_interval = 4;
+  return config;
+}
+
+TEST(Linspace, EvenSpacingWithExactEndpoints) {
+  const auto v = linspace(0.65, 0.95, 7);
+  ASSERT_EQ(v.size(), 7u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.65);
+  EXPECT_DOUBLE_EQ(v.back(), 0.95);
+  EXPECT_NEAR(v[1] - v[0], 0.05, 1e-12);
+  EXPECT_THROW(linspace(0.0, 1.0, 1), precondition_error);
+}
+
+TEST(SweepAvailability, ReachabilityIsMonotone) {
+  const SweepSeries series =
+      sweep_availability(example_config(), linspace(0.65, 0.95, 13));
+  EXPECT_EQ(series.parameter_name, "availability");
+  for (std::size_t i = 1; i < series.points.size(); ++i)
+    EXPECT_GT(series.points[i].measures.reachability,
+              series.points[i - 1].measures.reachability);
+}
+
+TEST(SweepBer, ReachabilityFallsWithBer) {
+  const SweepSeries series =
+      sweep_ber(example_config(), {1e-5, 5e-5, 1e-4, 2e-4, 3e-4});
+  for (std::size_t i = 1; i < series.points.size(); ++i)
+    EXPECT_LT(series.points[i].measures.reachability,
+              series.points[i - 1].measures.reachability);
+}
+
+TEST(SweepHopCount, MatchesPaperFig10Shape) {
+  const SweepSeries series = sweep_hop_count(
+      4, 0.83, net::SuperframeConfig::symmetric(7), 4);
+  ASSERT_EQ(series.points.size(), 4u);
+  for (std::size_t i = 1; i < series.points.size(); ++i)
+    EXPECT_LT(series.points[i].measures.reachability,
+              series.points[i - 1].measures.reachability);
+  EXPECT_NEAR(series.points[0].measures.reachability, 0.9992, 1e-4);
+  EXPECT_THROW(
+      sweep_hop_count(8, 0.83, net::SuperframeConfig::symmetric(7), 4),
+      precondition_error);
+}
+
+TEST(SweepReportingInterval, ReachabilityRisesDelayTailGrows) {
+  const SweepSeries series = sweep_reporting_interval_series(
+      example_config(), 0.83, {1, 2, 4, 8});
+  for (std::size_t i = 1; i < series.points.size(); ++i) {
+    EXPECT_GT(series.points[i].measures.reachability,
+              series.points[i - 1].measures.reachability);
+    EXPECT_GE(series.points[i].measures.delay_jitter_ms,
+              series.points[i - 1].measures.delay_jitter_ms);
+  }
+}
+
+TEST(SweepCsv, HeaderAndRowCount) {
+  const SweepSeries series =
+      sweep_availability(example_config(), {0.8, 0.9});
+  std::ostringstream out;
+  write_series_csv(out, series);
+  std::istringstream lines(out.str());
+  std::string header;
+  std::getline(lines, header);
+  EXPECT_EQ(header,
+            "availability,reachability,expected_delay_ms,delay_jitter_ms,"
+            "utilization,utilization_delivered");
+  std::size_t rows = 0;
+  for (std::string line; std::getline(lines, line);) ++rows;
+  EXPECT_EQ(rows, 2u);
+}
+
+TEST(SweepValidation, EmptyInputsThrow) {
+  EXPECT_THROW(sweep_availability(example_config(), {}),
+               precondition_error);
+  EXPECT_THROW(sweep_ber(example_config(), {}), precondition_error);
+  EXPECT_THROW(sweep_reporting_interval_series(example_config(), 0.9, {}),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace whart::hart

@@ -1,0 +1,57 @@
+#include "whart/hart/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+#include "whart/net/typical_network.hpp"
+
+namespace whart::hart {
+namespace {
+
+TEST(Validation, TypicalNetworkPasses) {
+  const net::TypicalNetwork t = net::make_typical_network(
+      link::LinkModel::from_availability(0.83));
+  ValidationConfig config;
+  config.intervals = 15000;
+  config.seed = 321;
+  const ValidationReport report = validate_against_simulation(
+      t.network, t.paths, t.eta_a, t.superframe, 4, config);
+  EXPECT_TRUE(report.passed);
+  ASSERT_EQ(report.per_path.size(), 10u);
+  for (const PathValidation& v : report.per_path) {
+    EXPECT_TRUE(v.reachability_within) << "path " << v.path_index + 1;
+    EXPECT_LE(v.delay_z_score, config.max_delay_z);
+    EXPECT_NEAR(v.model_utilization, v.simulated_utilization, 0.01);
+  }
+}
+
+TEST(Validation, DetectsADeliberatelyWrongModel) {
+  // Analyze with good links but simulate... the same network; instead,
+  // corrupt the comparison by analyzing a different availability: build
+  // two networks and cross-wire them through the API by validating the
+  // bad-link network against statistics gathered on paths whose model
+  // says otherwise.  Simplest honest probe: validate with a tiny sample
+  // so intervals are wide (must pass), then shrink tolerances to force
+  // a failure path through the z-score check.
+  const net::TypicalNetwork t = net::make_typical_network(
+      link::LinkModel::from_availability(0.83));
+  ValidationConfig strict;
+  strict.intervals = 15000;
+  strict.seed = 321;
+  strict.reachability_z = 0.005;  // absurdly narrow: must fail somewhere
+  const ValidationReport report = validate_against_simulation(
+      t.network, t.paths, t.eta_a, t.superframe, 4, strict);
+  EXPECT_FALSE(report.passed);
+}
+
+TEST(Validation, InvalidConfigThrows) {
+  const net::TypicalNetwork t = net::make_typical_network();
+  ValidationConfig config;
+  config.intervals = 0;
+  EXPECT_THROW(validate_against_simulation(t.network, t.paths, t.eta_a,
+                                           t.superframe, 4, config),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace whart::hart

@@ -1,0 +1,98 @@
+// Integration: physical channels -> simulated per-slot trace -> fitted
+// two-state model vs the analytic channel-hopping derivation
+// (LinkModel::from_channel_failures).  This closes the loop the paper
+// only argues qualitatively ("prc is very close to 1 because of
+// channel hopping and blacklisting").
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+#include "whart/link/fitting.hpp"
+#include "whart/link/link_model.hpp"
+#include "whart/phy/frame.hpp"
+#include "whart/sim/link_trace.hpp"
+
+namespace whart {
+namespace {
+
+std::vector<double> word_failures(const std::vector<double>& channel_ber,
+                                  std::uint32_t bits) {
+  std::vector<double> failures;
+  for (double ber : channel_ber)
+    failures.push_back(
+        1.0 - std::pow(1.0 - ber, static_cast<double>(bits)));
+  return failures;
+}
+
+TEST(ChannelGilbert, StaticChannelsMatchAnalyticDerivation) {
+  // Three noisy channels among sixteen; no blacklist, no interference:
+  // the fitted (pfl, prc) must match from_channel_failures.
+  std::vector<double> ber(16, 2e-5);
+  ber[0] = ber[1] = ber[2] = 2e-3;
+
+  sim::LinkTraceConfig config;
+  config.channel_ber = ber;
+  config.use_blacklist = false;
+  config.jam_probability = 0.0;
+
+  const auto trace = sim::simulate_link_trace(config, 400000, 71);
+  const link::GilbertFit fit = link::fit_gilbert(trace);
+  ASSERT_TRUE(fit.pfl.has_value() && fit.prc.has_value());
+
+  const link::LinkModel predicted = link::LinkModel::from_channel_failures(
+      word_failures(ber, phy::kMessageBits));
+  EXPECT_NEAR(*fit.pfl, predicted.failure_probability(), 0.01);
+  EXPECT_NEAR(*fit.prc, predicted.recovery_probability(), 0.03);
+  EXPECT_NEAR(fit.availability, predicted.steady_state_availability(),
+              0.01);
+}
+
+TEST(ChannelGilbert, BlacklistImprovesTheObservedLink) {
+  std::vector<double> ber(16, 2e-5);
+  ber[0] = ber[1] = ber[2] = 5e-3;  // persistently bad channels
+
+  sim::LinkTraceConfig without;
+  without.channel_ber = ber;
+  without.use_blacklist = false;
+  sim::LinkTraceConfig with = without;
+  with.use_blacklist = true;
+  with.blacklist.failure_threshold = 2;
+
+  const auto trace_without = sim::simulate_link_trace(without, 200000, 5);
+  const auto trace_with = sim::simulate_link_trace(with, 200000, 5);
+  const link::GilbertFit fit_without = link::fit_gilbert(trace_without);
+  const link::GilbertFit fit_with = link::fit_gilbert(trace_with);
+
+  // Blacklisting removes the bad channels from the hop set: higher
+  // availability and (the paper's claim) a recovery probability pushed
+  // toward 1.
+  EXPECT_GT(fit_with.availability, fit_without.availability + 0.05);
+  ASSERT_TRUE(fit_with.prc.has_value() && fit_without.prc.has_value());
+  EXPECT_GT(*fit_with.prc, *fit_without.prc);
+}
+
+TEST(ChannelGilbert, InterferenceBurstsLowerAvailability) {
+  sim::LinkTraceConfig quiet;
+  quiet.channel_ber.assign(16, 5e-5);
+  quiet.use_blacklist = false;
+  sim::LinkTraceConfig bursty = quiet;
+  bursty.jam_probability = 0.05;
+  bursty.clear_probability = 0.2;
+  bursty.jammed_ber = 5e-3;
+
+  const auto quiet_trace = sim::simulate_link_trace(quiet, 100000, 9);
+  const auto bursty_trace = sim::simulate_link_trace(bursty, 100000, 9);
+  EXPECT_LT(link::fit_gilbert(bursty_trace).availability,
+            link::fit_gilbert(quiet_trace).availability - 0.02);
+}
+
+TEST(ChannelGilbert, DeterministicInSeed) {
+  sim::LinkTraceConfig config;
+  EXPECT_EQ(sim::simulate_link_trace(config, 1000, 3),
+            sim::simulate_link_trace(config, 1000, 3));
+  EXPECT_THROW(sim::simulate_link_trace(config, 0, 3), precondition_error);
+}
+
+}  // namespace
+}  // namespace whart

@@ -1,0 +1,147 @@
+// Integration: three independent solution methods of the same path model
+// must coincide — (1) forward propagation (paper Eq. 5), (2) transient
+// analysis of the explicit Algorithm-1 DTMC, and (3) absorbing-chain
+// analysis via the fundamental matrix.
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "whart/hart/analytic.hpp"
+#include "whart/hart/path_model.hpp"
+#include "whart/markov/absorbing.hpp"
+#include "whart/markov/transient.hpp"
+
+namespace whart::hart {
+namespace {
+
+struct Scenario {
+  std::vector<net::SlotNumber> hop_slots;
+  std::uint32_t fup;
+  std::uint32_t is;
+  std::vector<double> availabilities;
+  const char* label;
+};
+
+std::vector<Scenario> scenarios() {
+  return {
+      {{3, 6, 7}, 7, 4, {0.75, 0.75, 0.75}, "paper example"},
+      {{1}, 5, 3, {0.83}, "one hop"},
+      {{2, 4}, 5, 2, {0.9, 0.7}, "inhomogeneous two hop"},
+      {{5, 2}, 6, 3, {0.8, 0.8}, "out of order"},
+      {{1, 2, 3, 4}, 6, 5, {0.95, 0.9, 0.85, 0.8}, "four hops"},
+  };
+}
+
+class DtmcConsistency : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DtmcConsistency, ForwardEqualsExplicitDtmcEqualsAbsorbing) {
+  const Scenario scenario = scenarios()[GetParam()];
+  SCOPED_TRACE(scenario.label);
+
+  PathModelConfig config;
+  config.hop_slots = scenario.hop_slots;
+  config.superframe = net::SuperframeConfig::symmetric(scenario.fup);
+  config.reporting_interval = scenario.is;
+  const PathModel model(config);
+
+  std::vector<link::LinkModel> links;
+  for (double pi : scenario.availabilities)
+    links.push_back(link::LinkModel::from_availability(pi));
+  const SteadyStateLinks provider(links);
+
+  // Method 1: forward propagation.
+  const PathTransientResult forward = model.analyze(provider);
+
+  // Method 2: explicit DTMC, iterated to the horizon.
+  const markov::Dtmc dtmc = model.to_dtmc(provider);
+  const linalg::Vector final = markov::distribution_after(
+      dtmc, markov::point_distribution(dtmc.num_states(), 0),
+      config.horizon());
+
+  // Method 3: absorbing-chain analysis (valid because by the horizon all
+  // mass is absorbed and absorption probabilities are time-independent).
+  const markov::AbsorbingAnalysis absorbing = markov::analyze_absorbing(dtmc);
+  const auto initial_row = std::find(absorbing.transient_states.begin(),
+                                     absorbing.transient_states.end(),
+                                     model.initial_state());
+  ASSERT_NE(initial_row, absorbing.transient_states.end());
+  const std::size_t row = static_cast<std::size_t>(
+      initial_row - absorbing.transient_states.begin());
+
+  double absorbed_mass = 0.0;
+  for (std::uint32_t cycle = 1; cycle <= scenario.is; ++cycle) {
+    const auto goal = dtmc.find_state(model.goal_state_name(cycle));
+    ASSERT_TRUE(goal.has_value()) << "cycle " << cycle;
+    EXPECT_NEAR(final[*goal], forward.cycle_probabilities[cycle - 1], 1e-12)
+        << "method 2, cycle " << cycle;
+    const auto col = std::find(absorbing.absorbing_states.begin(),
+                               absorbing.absorbing_states.end(), *goal);
+    ASSERT_NE(col, absorbing.absorbing_states.end());
+    const double b = absorbing.absorption_probability(
+        row, static_cast<std::size_t>(
+                 col - absorbing.absorbing_states.begin()));
+    EXPECT_NEAR(b, forward.cycle_probabilities[cycle - 1], 1e-12)
+        << "method 3, cycle " << cycle;
+    absorbed_mass += b;
+  }
+
+  const auto discard = dtmc.find_state("Discard");
+  ASSERT_TRUE(discard.has_value());
+  EXPECT_NEAR(final[*discard], forward.discard_probability, 1e-12);
+  EXPECT_NEAR(absorbed_mass + forward.discard_probability, 1.0, 1e-12);
+
+  // The expected number of steps to absorption never exceeds the horizon.
+  EXPECT_LE(absorbing.expected_steps[row],
+            static_cast<double>(config.horizon()) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, DtmcConsistency,
+                         ::testing::Range<std::size_t>(0, 5));
+
+TEST(DtmcConsistency, EveryRowOfEveryScenarioChainIsStochastic) {
+  for (const Scenario& scenario : scenarios()) {
+    PathModelConfig config;
+    config.hop_slots = scenario.hop_slots;
+    config.superframe = net::SuperframeConfig::symmetric(scenario.fup);
+    config.reporting_interval = scenario.is;
+    const PathModel model(config);
+    std::vector<link::LinkModel> links;
+    for (double pi : scenario.availabilities)
+      links.push_back(link::LinkModel::from_availability(pi));
+    // Dtmc's constructor validates stochasticity; this must not throw.
+    EXPECT_NO_THROW(model.to_dtmc(SteadyStateLinks(links)))
+        << scenario.label;
+  }
+}
+
+TEST(DtmcConsistency, ScriptedProviderAgreesBetweenMethods) {
+  // A failure window makes the chain time-inhomogeneous in link terms,
+  // but the unrolled DTMC still freezes per-state probabilities.
+  PathModelConfig config;
+  config.hop_slots = {1, 2};
+  config.superframe = net::SuperframeConfig::symmetric(3);
+  config.reporting_interval = 4;
+  const PathModel model(config);
+  const ScriptedLinks provider(
+      std::vector<link::LinkModel>(
+          2, link::LinkModel::from_availability(0.83)),
+      1, {link::cycle_window(0, 1, config.superframe.cycle_slots())});
+
+  const PathTransientResult forward = model.analyze(provider);
+  const markov::Dtmc dtmc = model.to_dtmc(provider);
+  const linalg::Vector final = markov::distribution_after(
+      dtmc, markov::point_distribution(dtmc.num_states(), 0),
+      config.horizon());
+  for (std::uint32_t cycle = 1; cycle <= 4; ++cycle) {
+    const auto goal = dtmc.find_state(model.goal_state_name(cycle));
+    ASSERT_TRUE(goal.has_value());
+    EXPECT_NEAR(final[*goal], forward.cycle_probabilities[cycle - 1],
+                1e-12);
+  }
+  // The first cycle is impossible: hop 2 is forced DOWN throughout it.
+  EXPECT_DOUBLE_EQ(forward.cycle_probabilities[0], 0.0);
+}
+
+}  // namespace
+}  // namespace whart::hart

@@ -1,0 +1,103 @@
+// Network-level property tests over randomized plants: the aggregate
+// measures must decompose exactly into the per-path analytics, for any
+// topology either generator produces.
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "whart/hart/analytic.hpp"
+#include "whart/hart/energy.hpp"
+#include "whart/hart/network_analysis.hpp"
+#include "whart/hart/schedule_optimizer.hpp"
+#include "whart/net/plant_generator.hpp"
+#include "whart/net/spatial_plant.hpp"
+
+namespace whart {
+namespace {
+
+class RandomPlant : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomPlant, AggregatesDecomposeIntoPathMeasures) {
+  net::PlantProfile profile;
+  profile.device_count = 14;
+  profile.seed = GetParam();
+  profile.min_availability = 0.75;
+  profile.max_availability = 0.98;
+  const net::GeneratedPlant plant = net::generate_plant(profile);
+  const hart::NetworkMeasures m = hart::analyze_network(
+      plant.network, plant.paths, plant.schedule, plant.superframe, 4);
+
+  // E[Gamma] is the mean of the per-path expected delays (Eq. 13).
+  double mean = 0.0;
+  double utilization = 0.0;
+  for (const auto& path : m.per_path) {
+    mean += path.expected_delay_ms;
+    utilization += path.utilization;
+  }
+  EXPECT_NEAR(m.mean_delay_ms, mean / m.per_path.size(), 1e-9);
+  EXPECT_NEAR(m.network_utilization, utilization, 1e-9);
+
+  // The overall delay pmf carries exactly the averaged per-path mass.
+  double gamma_mass = 0.0;
+  for (const auto& point : m.overall_delay_distribution)
+    gamma_mass += point.probability;
+  EXPECT_NEAR(gamma_mass, 1.0, 1e-9);
+
+  // Chains are scheduled in-order, so every path's cycle distribution
+  // matches the steady-state closed form for its hop availabilities.
+  for (std::size_t p = 0; p < plant.paths.size(); ++p) {
+    std::vector<double> per_hop;
+    for (const auto& model : plant.paths[p].hop_models(plant.network))
+      per_hop.push_back(model.steady_state_availability());
+    const auto analytic = hart::analytic_cycle_probabilities(per_hop, 4);
+    for (std::size_t i = 0; i < 4; ++i)
+      ASSERT_NEAR(analytic[i], m.per_path[p].cycle_probabilities[i],
+                  1e-12)
+          << "path " << p + 1 << " cycle " << i + 1;
+  }
+}
+
+TEST_P(RandomPlant, EnergyConservesAttempts) {
+  net::PlantProfile profile;
+  profile.device_count = 10;
+  profile.seed = GetParam() ^ 0x5555;
+  const net::GeneratedPlant plant = net::generate_plant(profile);
+  const auto energies = hart::estimate_node_energy(
+      plant.network, plant.paths, plant.schedule, plant.superframe, 4);
+  const hart::NetworkMeasures m = hart::analyze_network(
+      plant.network, plant.paths, plant.schedule, plant.superframe, 4);
+
+  double tx = 0.0;
+  for (const auto& node : energies) tx += node.tx_attempts_per_interval;
+  EXPECT_NEAR(tx,
+              m.network_utilization * 4.0 * plant.superframe.uplink_slots,
+              1e-9);
+}
+
+TEST_P(RandomPlant, OptimizerNeverWorsensTheWorstDelay) {
+  net::SpatialPlantProfile profile;
+  profile.device_count = 10;
+  profile.plant_radius_m = 140.0;
+  profile.propagation.exponent = 3.1;
+  profile.seed = GetParam();
+  const net::SpatialPlant plant = generate_spatial_plant(profile);
+
+  const auto worst = [&](const net::Schedule& schedule) {
+    const hart::NetworkMeasures m = hart::analyze_network(
+        plant.network, plant.paths, schedule, plant.superframe, 4);
+    return m.per_path[m.bottleneck_by_delay].expected_delay_ms;
+  };
+  const net::Schedule optimized = hart::build_min_worst_delay_schedule(
+      plant.network, plant.paths, plant.superframe, 4);
+  EXPECT_LE(worst(optimized), worst(plant.schedule) + 1e-9);
+  const net::Schedule longest = net::build_schedule(
+      plant.paths, plant.superframe.uplink_slots,
+      net::SchedulingPolicy::kLongestPathsFirst);
+  EXPECT_LE(worst(optimized), worst(longest) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPlant,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace whart

@@ -1,0 +1,41 @@
+// The umbrella header must compile and expose the whole public API.
+#include "whart/whart.hpp"
+
+#include <gtest/gtest.h>
+
+namespace whart {
+namespace {
+
+TEST(Umbrella, EndToEndThroughTheUmbrellaHeader) {
+  // Touch one symbol from every layer to keep the umbrella honest.
+  const auto link = link::LinkModel::from_snr(phy::EbN0::from_db(8.45));
+  EXPECT_GT(link.steady_state_availability(), 0.9);
+
+  const net::TypicalNetwork t = net::make_typical_network(link);
+  const hart::NetworkMeasures measures = hart::analyze_network(
+      t.network, t.paths, t.eta_a, t.superframe, 4);
+  EXPECT_EQ(measures.per_path.size(), 10u);
+
+  const auto energies = hart::estimate_node_energy(
+      t.network, t.paths, t.eta_a, t.superframe, 4);
+  EXPECT_EQ(energies.size(), t.network.node_count());
+
+  const hart::StabilityAssessment stability = hart::assess_stability(
+      measures.per_path[0].reachability, hart::StabilityRequirement{});
+  EXPECT_GT(stability.reachability, 0.99);
+
+  const linalg::Matrix identity = linalg::Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(linalg::LuDecomposition(identity).determinant(), 1.0);
+
+  numeric::Xoshiro256 rng(1);
+  sim::RunningStat stat;
+  for (int i = 0; i < 10; ++i) stat.add(rng.uniform());
+  EXPECT_EQ(stat.count(), 10u);
+
+  report::Table table({"ok"});
+  table.add_row({"yes"});
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+}  // namespace
+}  // namespace whart

@@ -1,0 +1,69 @@
+#include "whart/linalg/convolution.hpp"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace whart::linalg {
+namespace {
+
+TEST(Convolution, EmptyInputsGiveEmptyResult) {
+  EXPECT_TRUE(convolve(std::vector<double>{}, std::vector<double>{1.0})
+                  .empty());
+  EXPECT_TRUE(convolve(std::vector<double>{1.0}, std::vector<double>{})
+                  .empty());
+}
+
+TEST(Convolution, DeltaIsIdentity) {
+  const std::vector<double> delta{1.0};
+  const std::vector<double> f{0.2, 0.3, 0.5};
+  EXPECT_EQ(convolve(delta, f), f);
+  EXPECT_EQ(convolve(f, delta), f);
+}
+
+TEST(Convolution, KnownSmallCase) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{3.0, 4.0};
+  const auto c = convolve(a, b);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_DOUBLE_EQ(c[0], 3.0);
+  EXPECT_DOUBLE_EQ(c[1], 10.0);
+  EXPECT_DOUBLE_EQ(c[2], 8.0);
+}
+
+TEST(Convolution, Commutative) {
+  const std::vector<double> a{0.5, 0.25, 0.25};
+  const std::vector<double> b{0.1, 0.9};
+  EXPECT_EQ(convolve(a, b), convolve(b, a));
+}
+
+TEST(Convolution, MassIsProductOfMasses) {
+  const std::vector<double> a{0.5, 0.3};
+  const std::vector<double> b{0.6, 0.2, 0.1};
+  const auto c = convolve(a, b);
+  const double mass_a = std::accumulate(a.begin(), a.end(), 0.0);
+  const double mass_b = std::accumulate(b.begin(), b.end(), 0.0);
+  const double mass_c = std::accumulate(c.begin(), c.end(), 0.0);
+  EXPECT_NEAR(mass_c, mass_a * mass_b, 1e-12);
+}
+
+TEST(ConvolutionTruncated, TruncatesLongResults) {
+  const std::vector<double> a{1.0, 1.0};
+  const std::vector<double> b{1.0, 1.0};
+  const auto c = convolve_truncated(a, b, 2);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[1], 2.0);
+}
+
+TEST(ConvolutionTruncated, ZeroPadsShortResults) {
+  const std::vector<double> a{1.0};
+  const std::vector<double> b{1.0};
+  const auto c = convolve_truncated(a, b, 4);
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  EXPECT_DOUBLE_EQ(c[3], 0.0);
+}
+
+}  // namespace
+}  // namespace whart::linalg

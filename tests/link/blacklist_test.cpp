@@ -1,0 +1,108 @@
+#include "whart/link/blacklist.hpp"
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::link {
+namespace {
+
+TEST(Blacklist, DefaultsHaveSixteenActiveChannels) {
+  const ChannelBlacklist blacklist;
+  EXPECT_EQ(blacklist.active_count(), 16u);
+  EXPECT_EQ(blacklist.active_channels().size(), 16u);
+}
+
+TEST(Blacklist, InvalidConfigThrows) {
+  EXPECT_THROW(ChannelBlacklist(ChannelBlacklist::Config{0, 4, 1}),
+               precondition_error);
+  EXPECT_THROW(ChannelBlacklist(ChannelBlacklist::Config{16, 0, 5}),
+               precondition_error);
+  EXPECT_THROW(ChannelBlacklist(ChannelBlacklist::Config{16, 4, 17}),
+               precondition_error);
+}
+
+TEST(Blacklist, BansAfterConsecutiveFailures) {
+  ChannelBlacklist blacklist(ChannelBlacklist::Config{16, 3, 5});
+  for (int i = 0; i < 2; ++i) blacklist.record_result(2, false);
+  EXPECT_FALSE(blacklist.is_blacklisted(2));
+  blacklist.record_result(2, false);
+  EXPECT_TRUE(blacklist.is_blacklisted(2));
+  EXPECT_EQ(blacklist.active_count(), 15u);
+}
+
+TEST(Blacklist, SuccessResetsCounter) {
+  ChannelBlacklist blacklist(ChannelBlacklist::Config{16, 3, 5});
+  blacklist.record_result(2, false);
+  blacklist.record_result(2, false);
+  blacklist.record_result(2, true);
+  blacklist.record_result(2, false);
+  blacklist.record_result(2, false);
+  EXPECT_FALSE(blacklist.is_blacklisted(2));
+}
+
+TEST(Blacklist, NeverBansBelowMinimumActive) {
+  ChannelBlacklist blacklist(ChannelBlacklist::Config{4, 1, 3});
+  blacklist.record_result(0, false);
+  EXPECT_TRUE(blacklist.is_blacklisted(0));
+  blacklist.record_result(1, false);
+  blacklist.record_result(2, false);
+  // Only one ban possible: 4 - 3 = 1.
+  EXPECT_EQ(blacklist.active_count(), 3u);
+  EXPECT_FALSE(blacklist.is_blacklisted(1));
+}
+
+TEST(Blacklist, ResetReadmitsEverything) {
+  ChannelBlacklist blacklist(ChannelBlacklist::Config{8, 1, 2});
+  blacklist.record_result(5, false);
+  ASSERT_TRUE(blacklist.is_blacklisted(5));
+  blacklist.reset();
+  EXPECT_FALSE(blacklist.is_blacklisted(5));
+  EXPECT_EQ(blacklist.active_count(), 8u);
+}
+
+TEST(Blacklist, OutOfRangeChannelThrows) {
+  ChannelBlacklist blacklist;
+  EXPECT_THROW(blacklist.record_result(16, true), precondition_error);
+  EXPECT_THROW((void)blacklist.is_blacklisted(16), precondition_error);
+}
+
+TEST(Hopper, NeverReturnsBlacklistedChannel) {
+  ChannelBlacklist blacklist(ChannelBlacklist::Config{8, 1, 4});
+  for (ChannelId c : {0u, 1u, 2u, 3u}) blacklist.record_result(c, false);
+  ChannelHopper hopper(99);
+  for (int i = 0; i < 200; ++i) {
+    const ChannelId channel = hopper.next(blacklist);
+    EXPECT_FALSE(blacklist.is_blacklisted(channel));
+  }
+}
+
+TEST(Hopper, HopsToADifferentChannelEachSlot) {
+  const ChannelBlacklist blacklist;
+  ChannelHopper hopper(7);
+  ChannelId previous = hopper.next(blacklist);
+  for (int i = 0; i < 100; ++i) {
+    const ChannelId current = hopper.next(blacklist);
+    EXPECT_NE(current, previous);
+    previous = current;
+  }
+}
+
+TEST(Hopper, SingleActiveChannelIsRepeated) {
+  ChannelBlacklist blacklist(ChannelBlacklist::Config{2, 1, 1});
+  blacklist.record_result(0, false);
+  ChannelHopper hopper(3);
+  EXPECT_EQ(hopper.next(blacklist), 1u);
+  EXPECT_EQ(hopper.next(blacklist), 1u);
+}
+
+TEST(Hopper, DeterministicInSeed) {
+  const ChannelBlacklist blacklist;
+  ChannelHopper a(5);
+  ChannelHopper b(5);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(a.next(blacklist), b.next(blacklist));
+}
+
+}  // namespace
+}  // namespace whart::link

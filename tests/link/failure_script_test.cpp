@@ -1,0 +1,75 @@
+#include "whart/link/failure_script.hpp"
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::link {
+namespace {
+
+const LinkModel kLink{0.184, 0.9};
+
+TEST(FailureWindow, Contains) {
+  const FailureWindow w{10, 20};
+  EXPECT_FALSE(w.contains(9));
+  EXPECT_TRUE(w.contains(10));
+  EXPECT_TRUE(w.contains(19));
+  EXPECT_FALSE(w.contains(20));
+}
+
+TEST(ScriptedLink, NoWindowsIsSteadyState) {
+  const ScriptedLink link(kLink, {});
+  const double pi = kLink.steady_state_availability();
+  EXPECT_DOUBLE_EQ(link.up_probability(0), pi);
+  EXPECT_DOUBLE_EQ(link.up_probability(1000), pi);
+}
+
+TEST(ScriptedLink, DownInsideWindow) {
+  const ScriptedLink link(kLink, {{5, 10}});
+  EXPECT_DOUBLE_EQ(link.up_probability(5), 0.0);
+  EXPECT_DOUBLE_EQ(link.up_probability(9), 0.0);
+}
+
+TEST(ScriptedLink, SteadyBeforeFirstWindow) {
+  const ScriptedLink link(kLink, {{5, 10}});
+  EXPECT_DOUBLE_EQ(link.up_probability(4),
+                   kLink.steady_state_availability());
+}
+
+TEST(ScriptedLink, RecoversTransientlyAfterWindow) {
+  const ScriptedLink link(kLink, {{5, 10}});
+  // One slot after the window (slot 10): one recovery step from DOWN.
+  EXPECT_NEAR(link.up_probability(10),
+              kLink.up_probability_after(LinkState::kDown, 1), 1e-15);
+  EXPECT_NEAR(link.up_probability(12),
+              kLink.up_probability_after(LinkState::kDown, 3), 1e-15);
+  // Far in the future: steady state again.
+  EXPECT_NEAR(link.up_probability(500),
+              kLink.steady_state_availability(), 1e-12);
+}
+
+TEST(ScriptedLink, MultipleWindows) {
+  const ScriptedLink link(kLink, {{5, 10}, {20, 25}});
+  EXPECT_DOUBLE_EQ(link.up_probability(7), 0.0);
+  EXPECT_DOUBLE_EQ(link.up_probability(22), 0.0);
+  EXPECT_GT(link.up_probability(15), 0.0);
+  EXPECT_NEAR(link.up_probability(26),
+              kLink.up_probability_after(LinkState::kDown, 2), 1e-15);
+}
+
+TEST(ScriptedLink, InvalidWindowsThrow) {
+  EXPECT_THROW(ScriptedLink(kLink, {{10, 10}}), precondition_error);
+  EXPECT_THROW(ScriptedLink(kLink, {{10, 5}}), precondition_error);
+  EXPECT_THROW(ScriptedLink(kLink, {{10, 20}, {5, 8}}), precondition_error);
+  EXPECT_THROW(ScriptedLink(kLink, {{5, 12}, {10, 20}}), precondition_error);
+}
+
+TEST(CycleWindow, ComputesAbsoluteSlots) {
+  // Cycle 0 of a 40-slot cycle: [0, 40); cycles 2-3: [80, 160).
+  EXPECT_EQ(cycle_window(0, 1, 40), (FailureWindow{0, 40}));
+  EXPECT_EQ(cycle_window(2, 2, 40), (FailureWindow{80, 160}));
+  EXPECT_THROW(cycle_window(0, 0, 40), precondition_error);
+}
+
+}  // namespace
+}  // namespace whart::link

@@ -1,0 +1,72 @@
+#include "whart/link/fitting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+#include "whart/markov/simulate.hpp"
+
+namespace whart::link {
+namespace {
+
+TEST(Fitting, ExactCountsGiveExactEstimates) {
+  // 100 UP slots with 10 drops; 50 DOWN slots with 45 recoveries.
+  const GilbertFit fit = fit_gilbert_from_counts(10, 90, 45, 5);
+  ASSERT_TRUE(fit.pfl.has_value());
+  ASSERT_TRUE(fit.prc.has_value());
+  EXPECT_DOUBLE_EQ(*fit.pfl, 0.1);
+  EXPECT_DOUBLE_EQ(*fit.prc, 0.9);
+  EXPECT_NEAR(fit.availability, 100.0 / 150.0, 1e-12);
+  EXPECT_TRUE(fit.pfl_interval.contains(0.1));
+  EXPECT_TRUE(fit.prc_interval.contains(0.9));
+  EXPECT_EQ(fit.to_model(), LinkModel(0.1, 0.9));
+}
+
+TEST(Fitting, TraceTransitionsCountedCorrectly) {
+  // UP UP DOWN UP DOWN DOWN UP: transitions UU, UD, DU, UD, DD, DU.
+  const std::vector<bool> trace{true, true, false, true,
+                                false, false, true};
+  const GilbertFit fit = fit_gilbert(trace);
+  EXPECT_EQ(fit.up_to_down, 2u);
+  EXPECT_EQ(fit.down_to_up, 2u);
+  EXPECT_EQ(fit.up_slots, 3u);
+  EXPECT_EQ(fit.down_slots, 3u);
+  EXPECT_DOUBLE_EQ(*fit.pfl, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(*fit.prc, 2.0 / 3.0);
+}
+
+TEST(Fitting, AllUpTraceHasNoRecoveryEstimate) {
+  const std::vector<bool> trace(100, true);
+  const GilbertFit fit = fit_gilbert(trace);
+  ASSERT_TRUE(fit.pfl.has_value());
+  EXPECT_DOUBLE_EQ(*fit.pfl, 0.0);
+  EXPECT_FALSE(fit.prc.has_value());
+  EXPECT_THROW((void)fit.to_model(), precondition_error);
+}
+
+TEST(Fitting, RecoversTrueChainFromSampledTrajectory) {
+  // Round trip: sample a long trajectory of a known Gilbert chain and
+  // fit it back; estimates must land in their own confidence intervals
+  // around the truth.
+  const LinkModel truth(0.184, 0.9);
+  numeric::Xoshiro256 rng(4242);
+  const auto states =
+      markov::sample_trajectory(truth.to_dtmc(), 0, 200000, rng);
+  std::vector<bool> trace(states.size());
+  for (std::size_t t = 0; t < states.size(); ++t)
+    trace[t] = states[t] == 0;  // state 0 = UP
+  const GilbertFit fit = fit_gilbert(trace);
+  ASSERT_TRUE(fit.pfl.has_value() && fit.prc.has_value());
+  EXPECT_NEAR(*fit.pfl, 0.184, 0.005);
+  EXPECT_NEAR(*fit.prc, 0.9, 0.01);
+  EXPECT_TRUE(fit.pfl_interval.contains(0.184));
+  EXPECT_TRUE(fit.prc_interval.contains(0.9));
+  EXPECT_NEAR(fit.availability, truth.steady_state_availability(), 0.01);
+}
+
+TEST(Fitting, InvalidInputsThrow) {
+  EXPECT_THROW(fit_gilbert({true}), precondition_error);
+  EXPECT_THROW(fit_gilbert_from_counts(0, 0, 0, 0), precondition_error);
+}
+
+}  // namespace
+}  // namespace whart::link

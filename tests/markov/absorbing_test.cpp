@@ -1,0 +1,78 @@
+#include "whart/markov/absorbing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::markov {
+namespace {
+
+TEST(Absorbing, GamblersRuinAbsorptionProbabilities) {
+  // States 0..4; 0 and 4 absorbing; fair coin moves +-1.
+  std::vector<linalg::Triplet> t{{0, 0, 1.0}, {4, 4, 1.0}};
+  for (StateIndex s : {1, 2, 3}) {
+    t.push_back({s, s - 1, 0.5});
+    t.push_back({s, s + 1, 0.5});
+  }
+  const Dtmc chain(5, std::move(t));
+  const AbsorbingAnalysis analysis = analyze_absorbing(chain);
+
+  ASSERT_EQ(analysis.absorbing_states, (std::vector<StateIndex>{0, 4}));
+  ASSERT_EQ(analysis.transient_states, (std::vector<StateIndex>{1, 2, 3}));
+
+  // From state i, P(absorbed at 4) = i / 4 for the fair gambler's ruin.
+  EXPECT_NEAR(analysis.absorption_probability(0, 1), 0.25, 1e-12);
+  EXPECT_NEAR(analysis.absorption_probability(1, 1), 0.50, 1e-12);
+  EXPECT_NEAR(analysis.absorption_probability(2, 1), 0.75, 1e-12);
+
+  // Expected steps from the middle: i (4 - i) => 4 from state 2.
+  EXPECT_NEAR(analysis.expected_steps[1], 4.0, 1e-12);
+  EXPECT_NEAR(analysis.expected_steps[0], 3.0, 1e-12);
+}
+
+TEST(Absorbing, RowsOfBSumToOne) {
+  std::vector<linalg::Triplet> t{{0, 0, 1.0}, {3, 3, 1.0}};
+  t.push_back({1, 0, 0.3});
+  t.push_back({1, 2, 0.7});
+  t.push_back({2, 1, 0.4});
+  t.push_back({2, 3, 0.6});
+  const Dtmc chain(4, std::move(t));
+  const AbsorbingAnalysis analysis = analyze_absorbing(chain);
+  for (std::size_t i = 0; i < analysis.transient_states.size(); ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < analysis.absorbing_states.size(); ++j)
+      row += analysis.absorption_probability(i, j);
+    EXPECT_NEAR(row, 1.0, 1e-12);
+  }
+}
+
+TEST(Absorbing, FundamentalMatrixCountsVisits) {
+  // Single transient state looping with p = 0.5 before absorbing:
+  // expected visits = 1 / (1 - 0.5) = 2.
+  const Dtmc chain(2, {{0, 0, 0.5}, {0, 1, 0.5}, {1, 1, 1.0}});
+  const AbsorbingAnalysis analysis = analyze_absorbing(chain);
+  EXPECT_NEAR(analysis.expected_visits(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(analysis.expected_steps[0], 2.0, 1e-12);
+}
+
+TEST(Absorbing, NoAbsorbingStateThrows) {
+  const Dtmc chain(2, {{0, 1, 1.0}, {1, 0, 1.0}});
+  EXPECT_THROW(analyze_absorbing(chain), precondition_error);
+}
+
+TEST(Absorbing, UnreachableAbsorptionThrows) {
+  // State 1 loops to itself and state 2 forever; absorbing state 0 is
+  // unreachable from them => I - Q singular.
+  const Dtmc chain(3, {{0, 0, 1.0}, {1, 2, 1.0}, {2, 1, 1.0}});
+  EXPECT_THROW(analyze_absorbing(chain), invariant_error);
+}
+
+TEST(Absorbing, FullyAbsorbingChain) {
+  const Dtmc chain(2, {{0, 0, 1.0}, {1, 1, 1.0}});
+  const AbsorbingAnalysis analysis = analyze_absorbing(chain);
+  EXPECT_TRUE(analysis.transient_states.empty());
+  EXPECT_EQ(analysis.absorbing_states.size(), 2u);
+}
+
+}  // namespace
+}  // namespace whart::markov

@@ -1,0 +1,89 @@
+#include "whart/markov/dtmc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::markov {
+namespace {
+
+Dtmc two_state(double p01, double p10) {
+  return Dtmc(2, {{0, 0, 1.0 - p01},
+                  {0, 1, p01},
+                  {1, 0, p10},
+                  {1, 1, 1.0 - p10}});
+}
+
+TEST(Dtmc, ValidChainConstructs) {
+  const Dtmc chain = two_state(0.3, 0.9);
+  EXPECT_EQ(chain.num_states(), 2u);
+  EXPECT_DOUBLE_EQ(chain.transition_probability(0, 1), 0.3);
+}
+
+TEST(Dtmc, NonStochasticRowThrows) {
+  EXPECT_THROW(Dtmc(2, {{0, 0, 0.5}, {1, 1, 1.0}}), invariant_error);
+  EXPECT_THROW(Dtmc(2, {{0, 0, 0.6}, {0, 1, 0.6}, {1, 1, 1.0}}),
+               invariant_error);
+}
+
+TEST(Dtmc, NegativeProbabilityThrows) {
+  EXPECT_THROW(Dtmc(2, {{0, 0, 1.2}, {0, 1, -0.2}, {1, 1, 1.0}}),
+               invariant_error);
+}
+
+TEST(Dtmc, DuplicateTripletsAreSummed) {
+  const Dtmc chain(1, {{0, 0, 0.4}, {0, 0, 0.6}});
+  EXPECT_DOUBLE_EQ(chain.transition_probability(0, 0), 1.0);
+}
+
+TEST(Dtmc, StateNames) {
+  const Dtmc chain(2, {{0, 1, 1.0}, {1, 1, 1.0}}, {"start", "end"});
+  EXPECT_EQ(chain.state_name(0), "start");
+  EXPECT_EQ(chain.state_name(1), "end");
+  EXPECT_EQ(chain.find_state("end"), StateIndex{1});
+  EXPECT_FALSE(chain.find_state("missing").has_value());
+}
+
+TEST(Dtmc, DefaultStateNames) {
+  const Dtmc chain = two_state(0.5, 0.5);
+  EXPECT_EQ(chain.state_name(1), "s1");
+}
+
+TEST(Dtmc, WrongNameCountThrows) {
+  EXPECT_THROW(Dtmc(2, {{0, 1, 1.0}, {1, 1, 1.0}}, {"only-one"}),
+               precondition_error);
+}
+
+TEST(Dtmc, AbsorbingDetection) {
+  const Dtmc chain(3, {{0, 1, 1.0}, {1, 1, 1.0}, {2, 2, 1.0}});
+  EXPECT_FALSE(chain.is_absorbing(0));
+  EXPECT_TRUE(chain.is_absorbing(1));
+  EXPECT_TRUE(chain.is_absorbing(2));
+  EXPECT_EQ(chain.absorbing_states(),
+            (std::vector<StateIndex>{1, 2}));
+}
+
+TEST(Dtmc, StepPreservesMass) {
+  const Dtmc chain = two_state(0.3, 0.9);
+  linalg::Vector p{0.6, 0.4};
+  for (int i = 0; i < 10; ++i) {
+    p = chain.step(p);
+    EXPECT_NEAR(linalg::sum(p), 1.0, 1e-12);
+  }
+}
+
+TEST(Dtmc, StepMatchesHandComputation) {
+  const Dtmc chain = two_state(0.3, 0.9);
+  const linalg::Vector p = chain.step(linalg::Vector{1.0, 0.0});
+  EXPECT_DOUBLE_EQ(p[0], 0.7);
+  EXPECT_DOUBLE_EQ(p[1], 0.3);
+}
+
+TEST(Dtmc, PointDistribution) {
+  const linalg::Vector p = point_distribution(4, 2);
+  EXPECT_DOUBLE_EQ(p[2], 1.0);
+  EXPECT_DOUBLE_EQ(linalg::sum(p), 1.0);
+}
+
+}  // namespace
+}  // namespace whart::markov

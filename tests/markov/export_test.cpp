@@ -1,0 +1,91 @@
+#include "whart/markov/export.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+#include "whart/hart/path_model.hpp"
+
+namespace whart::markov {
+namespace {
+
+Dtmc small_chain() {
+  return Dtmc(3, {{0, 1, 0.3}, {0, 0, 0.7}, {1, 1, 1.0}, {2, 2, 1.0}},
+              {"start", "goal", "sink"});
+}
+
+TEST(ExportDot, ContainsStatesAndEdges) {
+  std::ostringstream out;
+  write_dot(out, small_chain());
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("digraph dtmc"), std::string::npos);
+  EXPECT_NE(dot.find("rankdir=LR"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"start\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"goal\", shape=doublecircle"),
+            std::string::npos);
+  EXPECT_NE(dot.find("s0 -> s1 [label=\"0.3\"]"), std::string::npos);
+  // Absorbing self-loops are suppressed for readability.
+  EXPECT_EQ(dot.find("s1 -> s1"), std::string::npos);
+}
+
+TEST(ExportDot, MinProbabilityFiltersEdges) {
+  DotOptions options;
+  options.min_probability = 0.5;
+  std::ostringstream out;
+  write_dot(out, small_chain(), options);
+  EXPECT_EQ(out.str().find("s0 -> s1"), std::string::npos);
+  EXPECT_NE(out.str().find("s0 -> s0"), std::string::npos);
+}
+
+TEST(ExportPrism, TransitionFileFormat) {
+  std::ostringstream out;
+  write_prism_transitions(out, small_chain());
+  EXPECT_EQ(out.str(),
+            "3 4\n0 0 0.7\n0 1 0.3\n1 1 1\n2 2 1\n");
+}
+
+TEST(ExportPrism, LabelFileMarksInitAndAbsorbing) {
+  std::ostringstream out;
+  write_prism_labels(out, small_chain());
+  EXPECT_EQ(out.str(),
+            "0=\"init\" 1=\"goal\" 2=\"sink\"\n0: 0\n1: 1\n2: 2\n");
+}
+
+TEST(ExportPrism, InitialOutOfRangeThrows) {
+  std::ostringstream out;
+  EXPECT_THROW(write_prism_labels(out, small_chain(), 5),
+               precondition_error);
+}
+
+TEST(Export, PathModelChainRoundTripsThroughBothFormats) {
+  hart::PathModelConfig config;
+  config.hop_slots = {3, 6, 7};
+  config.superframe = net::SuperframeConfig::symmetric(7);
+  config.reporting_interval = 2;
+  const hart::PathModel model(config);
+  const hart::SteadyStateLinks links(
+      3, link::LinkModel::from_availability(0.75));
+  const Dtmc chain = model.to_dtmc(links);
+
+  std::ostringstream dot;
+  write_dot(dot, chain);
+  EXPECT_NE(dot.str().find("(1,-,-)"), std::string::npos);
+  EXPECT_NE(dot.str().find("R7"), std::string::npos);
+  EXPECT_NE(dot.str().find("Discard"), std::string::npos);
+
+  std::ostringstream tra;
+  write_prism_transitions(tra, chain);
+  // Header announces the state and transition counts; count the lines.
+  std::istringstream lines(tra.str());
+  std::string first;
+  std::getline(lines, first);
+  EXPECT_EQ(first, std::to_string(chain.num_states()) + " " +
+                       std::to_string(chain.matrix().nonzeros()));
+  std::size_t count = 0;
+  for (std::string line; std::getline(lines, line);) ++count;
+  EXPECT_EQ(count, chain.matrix().nonzeros());
+}
+
+}  // namespace
+}  // namespace whart::markov

@@ -1,0 +1,96 @@
+#include "whart/markov/hitting.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+#include "whart/link/link_model.hpp"
+
+namespace whart::markov {
+namespace {
+
+Dtmc link_chain(double pfl, double prc) {
+  return Dtmc(2, {{0, 0, 1.0 - pfl},
+                  {0, 1, pfl},
+                  {1, 0, prc},
+                  {1, 1, 1.0 - prc}});
+}
+
+TEST(Hitting, LinkRecoveryTimeIsGeometricMean) {
+  // From DOWN (state 1), hitting UP (state 0) takes 1/prc steps.
+  const Dtmc chain = link_chain(0.2, 0.4);
+  const linalg::Vector k = expected_hitting_times(chain, {0});
+  EXPECT_DOUBLE_EQ(k[0], 0.0);
+  EXPECT_NEAR(k[1], 1.0 / 0.4, 1e-12);
+}
+
+TEST(Hitting, ProbabilitiesAreOneInAnIrreducibleChain) {
+  const Dtmc chain = link_chain(0.3, 0.9);
+  const linalg::Vector h = hitting_probabilities(chain, {1});
+  EXPECT_NEAR(h[0], 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(h[1], 1.0);
+}
+
+TEST(Hitting, GamblersRuinProbabilities) {
+  // Fair walk on 0..4, both ends absorbing; P(hit 4 | start i) = i/4.
+  std::vector<linalg::Triplet> t{{0, 0, 1.0}, {4, 4, 1.0}};
+  for (StateIndex s : {1, 2, 3}) {
+    t.push_back({s, s - 1, 0.5});
+    t.push_back({s, s + 1, 0.5});
+  }
+  const Dtmc chain(5, std::move(t));
+  const linalg::Vector h = hitting_probabilities(chain, {4});
+  EXPECT_NEAR(h[1], 0.25, 1e-12);
+  EXPECT_NEAR(h[2], 0.50, 1e-12);
+  EXPECT_NEAR(h[3], 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(h[0], 0.0);  // absorbed at the wrong end
+
+  // Expected time to hit 4 is infinite from every interior state
+  // (positive probability of ruin at 0 first).
+  const linalg::Vector k = expected_hitting_times(chain, {4});
+  EXPECT_TRUE(std::isinf(k[2]));
+  EXPECT_DOUBLE_EQ(k[4], 0.0);
+}
+
+TEST(Hitting, BothEndsAsTargetsGivesFiniteTimes) {
+  std::vector<linalg::Triplet> t{{0, 0, 1.0}, {4, 4, 1.0}};
+  for (StateIndex s : {1, 2, 3}) {
+    t.push_back({s, s - 1, 0.5});
+    t.push_back({s, s + 1, 0.5});
+  }
+  const Dtmc chain(5, std::move(t));
+  const linalg::Vector k = expected_hitting_times(chain, {0, 4});
+  // Classic i(4-i): 3, 4, 3 from the interior.
+  EXPECT_NEAR(k[1], 3.0, 1e-12);
+  EXPECT_NEAR(k[2], 4.0, 1e-12);
+  EXPECT_NEAR(k[3], 3.0, 1e-12);
+}
+
+TEST(Hitting, UnreachableTargetsGiveZeroProbAndInfiniteTime) {
+  const Dtmc chain(3, {{0, 1, 1.0}, {1, 0, 1.0}, {2, 2, 1.0}});
+  const linalg::Vector h = hitting_probabilities(chain, {2});
+  EXPECT_DOUBLE_EQ(h[0], 0.0);
+  EXPECT_DOUBLE_EQ(h[1], 0.0);
+  const linalg::Vector k = expected_hitting_times(chain, {2});
+  EXPECT_TRUE(std::isinf(k[0]));
+  EXPECT_DOUBLE_EQ(k[2], 0.0);
+}
+
+TEST(Hitting, MatchesLinkModelSlotsToSteadyStateScale) {
+  // Cross-module check: the expected DOWN->UP hitting time of a link
+  // chain is 1/prc, matching LinkModel's recovery dynamics.
+  const link::LinkModel model(0.184, 0.9);
+  const linalg::Vector k =
+      expected_hitting_times(model.to_dtmc(), {0});
+  EXPECT_NEAR(k[1], 1.0 / model.recovery_probability(), 1e-12);
+}
+
+TEST(Hitting, EmptyTargetsThrow) {
+  const Dtmc chain = link_chain(0.2, 0.9);
+  EXPECT_THROW(hitting_probabilities(chain, {}), precondition_error);
+  EXPECT_THROW(expected_hitting_times(chain, {}), precondition_error);
+}
+
+}  // namespace
+}  // namespace whart::markov

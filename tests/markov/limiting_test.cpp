@@ -1,0 +1,109 @@
+#include "whart/markov/limiting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+#include "whart/markov/steady_state.hpp"
+#include "whart/markov/transient.hpp"
+
+namespace whart::markov {
+namespace {
+
+TEST(Limiting, IrreducibleChainGivesStationaryDistribution) {
+  const Dtmc chain(2, {{0, 0, 0.8},
+                       {0, 1, 0.2},
+                       {1, 0, 0.9},
+                       {1, 1, 0.1}});
+  const linalg::Vector from_up =
+      long_run_distribution(chain, {1.0, 0.0});
+  const linalg::Vector stationary = steady_state_direct(chain);
+  EXPECT_LT(linalg::max_abs_diff(from_up, stationary), 1e-12);
+  // Independent of the start.
+  const linalg::Vector from_down =
+      long_run_distribution(chain, {0.0, 1.0});
+  EXPECT_LT(linalg::max_abs_diff(from_down, stationary), 1e-12);
+}
+
+TEST(Limiting, GamblersRuinSplitsMassBetweenAbsorbers) {
+  std::vector<linalg::Triplet> t{{0, 0, 1.0}, {4, 4, 1.0}};
+  for (StateIndex s : {1, 2, 3}) {
+    t.push_back({s, s - 1, 0.5});
+    t.push_back({s, s + 1, 0.5});
+  }
+  const Dtmc chain(5, std::move(t));
+  const linalg::Vector limit =
+      long_run_distribution(chain, point_distribution(5, 1));
+  EXPECT_NEAR(limit[0], 0.75, 1e-12);
+  EXPECT_NEAR(limit[4], 0.25, 1e-12);
+  EXPECT_NEAR(limit[1] + limit[2] + limit[3], 0.0, 1e-12);
+
+  const linalg::Vector capture =
+      capture_probabilities(chain, point_distribution(5, 3));
+  ASSERT_EQ(capture.size(), 2u);  // classes {0} and {4}
+  EXPECT_NEAR(capture[0], 0.25, 1e-12);
+  EXPECT_NEAR(capture[1], 0.75, 1e-12);
+}
+
+TEST(Limiting, TransientFeedsAMultiStateClosedClass) {
+  // 0 -> closed class {1, 2} with an asymmetric internal chain.
+  const Dtmc chain(3, {{0, 1, 1.0},
+                       {1, 1, 0.6},
+                       {1, 2, 0.4},
+                       {2, 1, 0.8},
+                       {2, 2, 0.2}});
+  const linalg::Vector limit =
+      long_run_distribution(chain, point_distribution(3, 0));
+  // Stationary of the {1,2} chain: pi1 * 0.4 = pi2 * 0.8.
+  EXPECT_NEAR(limit[1], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(limit[2], 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(limit[0], 0.0);
+}
+
+TEST(Limiting, MatchesLongTransientIterationWhenAperiodic) {
+  // Mixed chain: one transient state, two closed classes (one of them
+  // two states).  Compare with brute-force iteration.
+  const Dtmc chain(4, {{0, 1, 0.3},
+                       {0, 2, 0.5},
+                       {0, 0, 0.2},
+                       {1, 1, 1.0},
+                       {2, 2, 0.5},
+                       {2, 3, 0.5},
+                       {3, 2, 0.7},
+                       {3, 3, 0.3}});
+  const linalg::Vector initial{1.0, 0.0, 0.0, 0.0};
+  const linalg::Vector analytic = long_run_distribution(chain, initial);
+  const linalg::Vector iterated =
+      distribution_after(chain, initial, 2000);
+  EXPECT_LT(linalg::max_abs_diff(analytic, iterated), 1e-10);
+}
+
+TEST(Limiting, CesaroLimitOfAPeriodicClassIsUniform) {
+  // The plain limit of a 2-cycle does not exist; the Cesàro limit is the
+  // stationary (uniform) distribution.
+  const Dtmc chain(2, {{0, 1, 1.0}, {1, 0, 1.0}});
+  const linalg::Vector limit =
+      long_run_distribution(chain, {1.0, 0.0});
+  EXPECT_NEAR(limit[0], 0.5, 1e-12);
+  EXPECT_NEAR(limit[1], 0.5, 1e-12);
+}
+
+TEST(Limiting, MassIsConserved) {
+  const Dtmc chain(3, {{0, 1, 0.5}, {0, 2, 0.5}, {1, 1, 1.0}, {2, 2, 1.0}});
+  const linalg::Vector limit =
+      long_run_distribution(chain, {0.6, 0.3, 0.1});
+  EXPECT_NEAR(linalg::sum(limit), 1.0, 1e-12);
+  const linalg::Vector capture =
+      capture_probabilities(chain, {0.6, 0.3, 0.1});
+  EXPECT_NEAR(linalg::sum(capture), 1.0, 1e-12);
+}
+
+TEST(Limiting, SizeMismatchThrows) {
+  const Dtmc chain(2, {{0, 0, 1.0}, {1, 1, 1.0}});
+  EXPECT_THROW(long_run_distribution(chain, linalg::Vector(3)),
+               precondition_error);
+  EXPECT_THROW(capture_probabilities(chain, linalg::Vector(1)),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace whart::markov

@@ -1,0 +1,91 @@
+#include "whart/markov/simulate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+#include "whart/markov/transient.hpp"
+
+namespace whart::markov {
+namespace {
+
+Dtmc link_chain(double pfl, double prc) {
+  return Dtmc(2, {{0, 0, 1.0 - pfl},
+                  {0, 1, pfl},
+                  {1, 0, prc},
+                  {1, 1, 1.0 - prc}});
+}
+
+TEST(Simulate, TrajectoryShapeAndDeterminism) {
+  const Dtmc chain = link_chain(0.3, 0.9);
+  numeric::Xoshiro256 rng_a(12);
+  numeric::Xoshiro256 rng_b(12);
+  const auto a = sample_trajectory(chain, 0, 50, rng_a);
+  const auto b = sample_trajectory(chain, 0, 50, rng_b);
+  ASSERT_EQ(a.size(), 51u);
+  EXPECT_EQ(a.front(), 0u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Simulate, DeterministicChainFollowsTheOnlyEdge) {
+  const Dtmc chain(3, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 0, 1.0}});
+  numeric::Xoshiro256 rng(5);
+  const auto trajectory = sample_trajectory(chain, 0, 6, rng);
+  EXPECT_EQ(trajectory,
+            (std::vector<StateIndex>{0, 1, 2, 0, 1, 2, 0}));
+}
+
+TEST(Simulate, AbsorbingStateStaysPut) {
+  const Dtmc chain(2, {{0, 1, 1.0}, {1, 1, 1.0}});
+  numeric::Xoshiro256 rng(3);
+  EXPECT_EQ(sample_step(chain, 1, rng), 1u);
+}
+
+TEST(Simulate, EmpiricalDistributionMatchesTransientAnalysis) {
+  const Dtmc chain = link_chain(0.184, 0.9);
+  numeric::Xoshiro256 rng(77);
+  const linalg::Vector empirical =
+      empirical_distribution(chain, 1, 4, 50000, rng);
+  const linalg::Vector exact =
+      distribution_after(chain, point_distribution(2, 1), 4);
+  EXPECT_NEAR(empirical[0], exact[0], 0.01);
+  EXPECT_NEAR(empirical[1], exact[1], 0.01);
+}
+
+TEST(Simulate, HittingTimesMatchGeometricMean) {
+  // From DOWN, hitting UP is geometric with p = prc = 0.5: mean 2.
+  const Dtmc chain = link_chain(0.2, 0.5);
+  numeric::Xoshiro256 rng(11);
+  double total = 0.0;
+  const int runs = 20000;
+  for (int i = 0; i < runs; ++i) {
+    const auto t = sample_hitting_time(chain, 1, {0}, 1000, rng);
+    ASSERT_TRUE(t.has_value());
+    total += static_cast<double>(*t);
+  }
+  EXPECT_NEAR(total / runs, 2.0, 0.05);
+}
+
+TEST(Simulate, HittingTargetAtStartIsZero) {
+  const Dtmc chain = link_chain(0.2, 0.5);
+  numeric::Xoshiro256 rng(1);
+  EXPECT_EQ(sample_hitting_time(chain, 0, {0}, 10, rng), 0u);
+}
+
+TEST(Simulate, UnreachableTargetGivesNullopt) {
+  const Dtmc chain(2, {{0, 0, 1.0}, {1, 1, 1.0}});
+  numeric::Xoshiro256 rng(1);
+  EXPECT_FALSE(sample_hitting_time(chain, 0, {1}, 100, rng).has_value());
+}
+
+TEST(Simulate, InvalidArgumentsThrow) {
+  const Dtmc chain = link_chain(0.2, 0.5);
+  numeric::Xoshiro256 rng(1);
+  EXPECT_THROW(sample_trajectory(chain, 5, 10, rng), precondition_error);
+  EXPECT_THROW(empirical_distribution(chain, 0, 1, 0, rng),
+               precondition_error);
+  EXPECT_THROW(sample_hitting_time(chain, 0, {}, 10, rng),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace whart::markov

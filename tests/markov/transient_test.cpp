@@ -1,0 +1,95 @@
+#include "whart/markov/transient.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+#include "whart/linalg/matrix.hpp"
+
+namespace whart::markov {
+namespace {
+
+Dtmc link_chain(double pfl, double prc) {
+  return Dtmc(2, {{0, 0, 1.0 - pfl},
+                  {0, 1, pfl},
+                  {1, 0, prc},
+                  {1, 1, 1.0 - prc}});
+}
+
+TEST(Transient, ZeroStepsIsInitial) {
+  const Dtmc chain = link_chain(0.2, 0.9);
+  const linalg::Vector p0{0.3, 0.7};
+  EXPECT_EQ(distribution_after(chain, p0, 0), p0);
+}
+
+TEST(Transient, OneStepMatchesMatrixProduct) {
+  const Dtmc chain = link_chain(0.2, 0.9);
+  const linalg::Vector p0{1.0, 0.0};
+  const linalg::Vector p1 = distribution_after(chain, p0, 1);
+  EXPECT_DOUBLE_EQ(p1[0], 0.8);
+  EXPECT_DOUBLE_EQ(p1[1], 0.2);
+}
+
+TEST(Transient, ManyStepsApproachSteadyState) {
+  // pi(up) = prc / (prc + pfl) = 0.9 / 1.1.
+  const Dtmc chain = link_chain(0.2, 0.9);
+  const linalg::Vector p = distribution_after(chain, {0.0, 1.0}, 200);
+  EXPECT_NEAR(p[0], 0.9 / 1.1, 1e-12);
+}
+
+TEST(Transient, MatchesClosedFormEq3) {
+  // Paper Eq. 3 closed form: p_up(t) = pi + (p0 - pi) (1-pfl-prc)^t.
+  const double pfl = 0.184;
+  const double prc = 0.9;
+  const Dtmc chain = link_chain(pfl, prc);
+  const double pi = prc / (prc + pfl);
+  const double lambda = 1.0 - pfl - prc;
+  linalg::Vector p{0.0, 1.0};  // start DOWN
+  for (int t = 1; t <= 6; ++t) {
+    p = chain.step(p);
+    const double expected = pi + (0.0 - pi) * std::pow(lambda, t);
+    EXPECT_NEAR(p[0], expected, 1e-14) << "t=" << t;
+  }
+}
+
+TEST(Transient, TrajectoryHasOneEntryPerStep) {
+  const Dtmc chain = link_chain(0.1, 0.9);
+  const auto traj = distribution_trajectory(chain, {1.0, 0.0}, 5);
+  ASSERT_EQ(traj.size(), 6u);
+  EXPECT_EQ(traj[0], (linalg::Vector{1.0, 0.0}));
+  EXPECT_EQ(traj[1], chain.step(traj[0]));
+  EXPECT_EQ(traj[5], chain.step(traj[4]));
+}
+
+TEST(Transient, SizeMismatchThrows) {
+  const Dtmc chain = link_chain(0.1, 0.9);
+  EXPECT_THROW(distribution_after(chain, linalg::Vector(3), 1),
+               precondition_error);
+}
+
+TEST(Transient, TransientProbabilityOfState) {
+  const Dtmc chain = link_chain(0.5, 0.5);
+  EXPECT_DOUBLE_EQ(
+      transient_probability(chain, {1.0, 0.0}, 1, 1), 0.5);
+  EXPECT_THROW(transient_probability(chain, {1.0, 0.0}, 2, 1),
+               precondition_error);
+}
+
+TEST(Transient, InhomogeneousStepsApplyPerStepMatrices) {
+  // Step 1 uses a chain that always moves 0 -> 1, step 2 one that always
+  // moves 1 -> 0.
+  const linalg::CsrMatrix move01(2, 2, {{0, 1, 1.0}, {1, 1, 1.0}});
+  const linalg::CsrMatrix move10(2, 2, {{0, 0, 1.0}, {1, 0, 1.0}});
+  const auto matrix_for_step =
+      [&](std::uint64_t step) -> const linalg::CsrMatrix& {
+    return step == 1 ? move01 : move10;
+  };
+  const linalg::Vector p =
+      distribution_after_inhomogeneous(matrix_for_step, {1.0, 0.0}, 2);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+}
+
+}  // namespace
+}  // namespace whart::markov

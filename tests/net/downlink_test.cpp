@@ -1,0 +1,62 @@
+#include "whart/net/downlink.hpp"
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+#include "whart/net/typical_network.hpp"
+
+namespace whart::net {
+namespace {
+
+TEST(Downlink, MirrorReversesTheChain) {
+  const TypicalNetwork t = make_typical_network();
+  const Path down = mirrored_downlink_path(t.paths[9]);  // n10 3-hop
+  EXPECT_EQ(down.source(), kGateway);
+  EXPECT_EQ(down.destination(), *t.network.find_node("n10"));
+  EXPECT_EQ(down.hop_count(), t.paths[9].hop_count());
+  EXPECT_FALSE(down.is_uplink());
+  EXPECT_EQ(down.to_string(t.network), "G -> n3 -> n7 -> n10");
+}
+
+TEST(Downlink, MirrorRequiresUplinkPath) {
+  const TypicalNetwork t = make_typical_network();
+  const Path peer({*t.network.find_node("n4"), *t.network.find_node("n1")});
+  EXPECT_THROW(mirrored_downlink_path(peer), precondition_error);
+}
+
+TEST(Downlink, MirroredSetPreservesOrderAndLinks) {
+  const TypicalNetwork t = make_typical_network();
+  const auto downs = mirrored_downlink_paths(t.paths);
+  ASSERT_EQ(downs.size(), t.paths.size());
+  for (std::size_t p = 0; p < downs.size(); ++p) {
+    // The same physical links are traversed (undirected), in reverse.
+    auto up_links = t.paths[p].resolve_links(t.network);
+    auto down_links = downs[p].resolve_links(t.network);
+    std::reverse(down_links.begin(), down_links.end());
+    EXPECT_EQ(up_links, down_links) << "path " << p + 1;
+  }
+}
+
+TEST(Downlink, ScheduleBuildsAndValidates) {
+  const TypicalNetwork t = make_typical_network();
+  const auto downs = mirrored_downlink_paths(t.paths);
+  const Schedule schedule = build_downlink_schedule(
+      downs, t.superframe.downlink_slots,
+      SchedulingPolicy::kShortestPathsFirst);
+  EXPECT_NO_THROW(schedule.validate_complete(downs));
+  // First slot carries the gateway's transmission for the first 1-hop
+  // downlink.
+  const auto& entry = schedule.entry(1);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->from, kGateway);
+}
+
+TEST(Downlink, RejectsNonGatewaySources) {
+  const TypicalNetwork t = make_typical_network();
+  EXPECT_THROW(build_downlink_schedule(t.paths, 20,
+                                       SchedulingPolicy::kShortestPathsFirst),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace whart::net

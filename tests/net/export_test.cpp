@@ -1,0 +1,63 @@
+#include "whart/net/export.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "whart/net/typical_network.hpp"
+
+namespace whart::net {
+namespace {
+
+TEST(TopologyExport, TypicalNetworkRendersAllNodesAndLinks) {
+  const TypicalNetwork t = make_typical_network();
+  std::ostringstream out;
+  write_topology_dot(out, t.network, t.paths);
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("graph plant"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"G\", shape=doublecircle"),
+            std::string::npos);
+  for (int i = 1; i <= 10; ++i)
+    EXPECT_NE(dot.find("label=\"n" + std::to_string(i) + "\""),
+              std::string::npos);
+  // Ten undirected edges, all on routes in a tree topology.
+  std::size_t edges = 0;
+  for (std::size_t pos = dot.find(" -- "); pos != std::string::npos;
+       pos = dot.find(" -- ", pos + 1))
+    ++edges;
+  EXPECT_EQ(edges, 10u);
+  EXPECT_NE(dot.find("penwidth=2.5"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"0.83\""), std::string::npos);
+}
+
+TEST(TopologyExport, OptionsDisableLabelsAndHighlights) {
+  const TypicalNetwork t = make_typical_network();
+  TopologyDotOptions options;
+  options.label_availability = false;
+  options.highlight_routes = false;
+  std::ostringstream out;
+  write_topology_dot(out, t.network, {}, options);
+  EXPECT_EQ(out.str().find("penwidth"), std::string::npos);
+  EXPECT_EQ(out.str().find("label=\"0.8"), std::string::npos);
+  EXPECT_NE(out.str().find("style=solid"), std::string::npos);
+}
+
+TEST(TopologyExport, SpatialVariantPinsPositions) {
+  SpatialPlantProfile profile;
+  profile.device_count = 5;
+  profile.seed = 3;
+  const SpatialPlant plant = generate_spatial_plant(profile);
+  std::ostringstream out;
+  write_topology_dot(out, plant);
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("pos=\"0,0!\""), std::string::npos);  // gateway
+  // Every node carries a pinned position.
+  std::size_t pins = 0;
+  for (std::size_t pos = dot.find("pos=\""); pos != std::string::npos;
+       pos = dot.find("pos=\"", pos + 1))
+    ++pins;
+  EXPECT_EQ(pins, plant.network.node_count());
+}
+
+}  // namespace
+}  // namespace whart::net

@@ -1,0 +1,114 @@
+#include "whart/net/plant_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+#include "whart/net/routing.hpp"
+
+namespace whart::net {
+namespace {
+
+TEST(PlantGenerator, DeterministicInSeed) {
+  PlantProfile profile;
+  profile.seed = 7;
+  const GeneratedPlant a = generate_plant(profile);
+  const GeneratedPlant b = generate_plant(profile);
+  ASSERT_EQ(a.paths.size(), b.paths.size());
+  for (std::size_t i = 0; i < a.paths.size(); ++i)
+    EXPECT_EQ(a.paths[i], b.paths[i]);
+}
+
+TEST(PlantGenerator, DifferentSeedsUsuallyDiffer) {
+  PlantProfile profile;
+  profile.device_count = 20;
+  profile.seed = 1;
+  const GeneratedPlant a = generate_plant(profile);
+  profile.seed = 2;
+  const GeneratedPlant b = generate_plant(profile);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.paths.size() && !any_difference; ++i)
+    any_difference = !(a.paths[i] == b.paths[i]);
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(PlantGenerator, HopMixFollowsProfile) {
+  PlantProfile profile;
+  profile.device_count = 20;
+  const GeneratedPlant plant = generate_plant(profile);
+  int hops[5] = {0, 0, 0, 0, 0};
+  for (const Path& p : plant.paths) ++hops[p.hop_count()];
+  EXPECT_EQ(hops[1], 6);  // 30% of 20
+  EXPECT_EQ(hops[2], 10); // 50% of 20
+  EXPECT_EQ(hops[3], 3);  // 15% of 20
+  EXPECT_EQ(hops[4], 1);  // 5% of 20
+}
+
+TEST(PlantGenerator, EveryDeviceHasAPathToTheGateway) {
+  PlantProfile profile;
+  profile.device_count = 30;
+  profile.seed = 11;
+  const GeneratedPlant plant = generate_plant(profile);
+  EXPECT_EQ(plant.paths.size(), 30u);
+  for (const Path& p : plant.paths) {
+    EXPECT_TRUE(p.is_uplink());
+    EXPECT_NO_THROW(p.resolve_links(plant.network));
+  }
+}
+
+TEST(PlantGenerator, ScheduleCoversEveryHop) {
+  const GeneratedPlant plant = generate_plant(PlantProfile{});
+  EXPECT_NO_THROW(plant.schedule.validate_complete(plant.paths));
+  EXPECT_EQ(plant.superframe.uplink_slots,
+            required_uplink_slots(plant.paths));
+}
+
+TEST(PlantGenerator, LinkAvailabilitiesWithinRange) {
+  PlantProfile profile;
+  profile.min_availability = 0.85;
+  profile.max_availability = 0.95;
+  profile.device_count = 25;
+  const GeneratedPlant plant = generate_plant(profile);
+  for (LinkId id : plant.network.links()) {
+    const double pi =
+        plant.network.link(id).model.steady_state_availability();
+    EXPECT_GE(pi, 0.85 - 1e-12);
+    EXPECT_LE(pi, 0.95 + 1e-12);
+  }
+}
+
+TEST(PlantGenerator, SingleDevicePlant) {
+  PlantProfile profile;
+  profile.device_count = 1;
+  const GeneratedPlant plant = generate_plant(profile);
+  EXPECT_EQ(plant.paths.size(), 1u);
+  EXPECT_EQ(plant.paths[0].hop_count(), 1u);
+}
+
+TEST(PlantGenerator, InvalidProfileThrows) {
+  PlantProfile profile;
+  profile.device_count = 0;
+  EXPECT_THROW(generate_plant(profile), precondition_error);
+  profile = PlantProfile{};
+  profile.min_availability = 0.9;
+  profile.max_availability = 0.8;
+  EXPECT_THROW(generate_plant(profile), precondition_error);
+  profile = PlantProfile{};
+  profile.fraction_one_hop = 0.5;  // fractions no longer sum to 1
+  EXPECT_THROW(generate_plant(profile), precondition_error);
+}
+
+TEST(PlantGenerator, RoutedDistancesMatchAssignedDepths) {
+  PlantProfile profile;
+  profile.device_count = 40;
+  profile.seed = 3;
+  const GeneratedPlant plant = generate_plant(profile);
+  const auto distances = hop_distances(plant.network);
+  for (std::size_t i = 0; i < plant.paths.size(); ++i) {
+    const NodeId source = plant.paths[i].source();
+    ASSERT_TRUE(distances[source.value].has_value());
+    EXPECT_EQ(*distances[source.value], plant.paths[i].hop_count());
+  }
+}
+
+}  // namespace
+}  // namespace whart::net

@@ -1,0 +1,112 @@
+#include "whart/net/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+#include "whart/net/typical_network.hpp"
+
+namespace whart::net {
+namespace {
+
+TEST(Routing, SingleHop) {
+  Network network;
+  const NodeId n1 = network.add_node("n1");
+  network.add_link(n1, kGateway, link::LinkModel::from_availability(0.9));
+  const auto path = shortest_uplink_path(network, n1);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->nodes(), (std::vector<NodeId>{n1, kGateway}));
+}
+
+TEST(Routing, PicksShortestOfTwoRoutes) {
+  Network network;
+  const NodeId a = network.add_node("a");
+  const NodeId b = network.add_node("b");
+  const NodeId c = network.add_node("c");
+  const auto m = link::LinkModel::from_availability(0.9);
+  // c -- G directly, and c -- b -- a -- G.
+  network.add_link(a, kGateway, m);
+  network.add_link(b, a, m);
+  network.add_link(c, b, m);
+  network.add_link(c, kGateway, m);
+  const auto path = shortest_uplink_path(network, c);
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->hop_count(), 1u);
+}
+
+TEST(Routing, BreaksTiesByAvailability) {
+  Network network;
+  const NodeId a = network.add_node("a");
+  const NodeId b = network.add_node("b");
+  const NodeId c = network.add_node("c");
+  network.add_link(a, kGateway, link::LinkModel::from_availability(0.80));
+  network.add_link(b, kGateway, link::LinkModel::from_availability(0.95));
+  network.add_link(c, a, link::LinkModel::from_availability(0.9));
+  network.add_link(c, b, link::LinkModel::from_availability(0.9));
+  const auto path = shortest_uplink_path(network, c);
+  ASSERT_TRUE(path.has_value());
+  ASSERT_EQ(path->hop_count(), 2u);
+  EXPECT_EQ(path->nodes()[1], b) << "should relay via the better link";
+}
+
+TEST(Routing, UnreachableNodeGivesNullopt) {
+  Network network;
+  const NodeId lonely = network.add_node("lonely");
+  EXPECT_FALSE(shortest_uplink_path(network, lonely).has_value());
+}
+
+TEST(Routing, GatewayAsSourceThrows) {
+  Network network;
+  network.add_node("n1");
+  EXPECT_THROW(shortest_uplink_path(network, kGateway), precondition_error);
+}
+
+TEST(Routing, AvoidingALinkReroutes) {
+  Network network;
+  const NodeId a = network.add_node("a");
+  const NodeId b = network.add_node("b");
+  const auto m = link::LinkModel::from_availability(0.9);
+  const LinkId direct = network.add_link(a, kGateway, m);
+  network.add_link(a, b, m);
+  network.add_link(b, kGateway, m);
+  const auto path = shortest_uplink_path_avoiding(network, a, {direct});
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->nodes(), (std::vector<NodeId>{a, b, kGateway}));
+}
+
+TEST(Routing, AvoidingOnlyRouteGivesNullopt) {
+  Network network;
+  const NodeId a = network.add_node("a");
+  const LinkId only =
+      network.add_link(a, kGateway, link::LinkModel::from_availability(0.9));
+  EXPECT_FALSE(shortest_uplink_path_avoiding(network, a, {only}).has_value());
+}
+
+TEST(Routing, UplinkPathsRecoverTypicalNetworkPaths) {
+  const TypicalNetwork typical = make_typical_network();
+  const std::vector<Path> routed = uplink_paths(typical.network);
+  ASSERT_EQ(routed.size(), typical.paths.size());
+  for (std::size_t i = 0; i < routed.size(); ++i)
+    EXPECT_EQ(routed[i], typical.paths[i]) << "path " << i + 1;
+}
+
+TEST(Routing, HopDistancesOfTypicalNetwork) {
+  const TypicalNetwork typical = make_typical_network();
+  const auto distances = hop_distances(typical.network);
+  EXPECT_EQ(distances[0], 0u);
+  // n1..n3 one hop, n4..n8 two hops, n9/n10 three hops.
+  for (std::uint32_t i = 1; i <= 3; ++i) EXPECT_EQ(distances[i], 1u);
+  for (std::uint32_t i = 4; i <= 8; ++i) EXPECT_EQ(distances[i], 2u);
+  for (std::uint32_t i = 9; i <= 10; ++i) EXPECT_EQ(distances[i], 3u);
+}
+
+TEST(Routing, DisconnectedDeviceMakesUplinkPathsThrow) {
+  Network network;
+  network.add_node("connected");
+  network.add_node("island");
+  network.add_link(*network.find_node("connected"), kGateway,
+                   link::LinkModel::from_availability(0.9));
+  EXPECT_THROW(uplink_paths(network), precondition_error);
+}
+
+}  // namespace
+}  // namespace whart::net

@@ -1,0 +1,115 @@
+#include "whart/net/schedule_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+#include "whart/net/typical_network.hpp"
+
+namespace whart::net {
+namespace {
+
+struct SmallNet {
+  Network network;
+  std::vector<Path> paths;
+};
+
+SmallNet make_small() {
+  SmallNet s;
+  const auto m = link::LinkModel::from_availability(0.9);
+  const NodeId a = s.network.add_node("a");
+  const NodeId b = s.network.add_node("b");
+  const NodeId c = s.network.add_node("c");
+  s.network.add_link(a, kGateway, m);
+  s.network.add_link(b, a, m);
+  s.network.add_link(c, b, m);
+  s.paths.emplace_back(std::vector<NodeId>{a, kGateway});            // 1 hop
+  s.paths.emplace_back(std::vector<NodeId>{b, a, kGateway});         // 2 hops
+  s.paths.emplace_back(std::vector<NodeId>{c, b, a, kGateway});      // 3 hops
+  return s;
+}
+
+TEST(ScheduleBuilder, RequiredSlotsIsTotalHops) {
+  const SmallNet s = make_small();
+  EXPECT_EQ(required_uplink_slots(s.paths), 6u);
+}
+
+TEST(ScheduleBuilder, ShortestFirstOrdering) {
+  const SmallNet s = make_small();
+  const Schedule schedule =
+      build_schedule(s.paths, 6, SchedulingPolicy::kShortestPathsFirst);
+  EXPECT_EQ(schedule.path_slots(0).hop_slots, (std::vector<SlotNumber>{1}));
+  EXPECT_EQ(schedule.path_slots(1).hop_slots,
+            (std::vector<SlotNumber>{2, 3}));
+  EXPECT_EQ(schedule.path_slots(2).hop_slots,
+            (std::vector<SlotNumber>{4, 5, 6}));
+}
+
+TEST(ScheduleBuilder, LongestFirstOrdering) {
+  const SmallNet s = make_small();
+  const Schedule schedule =
+      build_schedule(s.paths, 6, SchedulingPolicy::kLongestPathsFirst);
+  EXPECT_EQ(schedule.path_slots(2).hop_slots,
+            (std::vector<SlotNumber>{1, 2, 3}));
+  EXPECT_EQ(schedule.path_slots(1).hop_slots,
+            (std::vector<SlotNumber>{4, 5}));
+  EXPECT_EQ(schedule.path_slots(0).hop_slots, (std::vector<SlotNumber>{6}));
+}
+
+TEST(ScheduleBuilder, DeclarationOrderKeepsInputOrder) {
+  const SmallNet s = make_small();
+  const Schedule schedule =
+      build_schedule(s.paths, 10, SchedulingPolicy::kDeclarationOrder);
+  EXPECT_EQ(schedule.path_slots(0).hop_slots, (std::vector<SlotNumber>{1}));
+  EXPECT_EQ(schedule.path_slots(1).hop_slots,
+            (std::vector<SlotNumber>{2, 3}));
+}
+
+TEST(ScheduleBuilder, ChainsAreContiguousAndInHopOrder) {
+  const SmallNet s = make_small();
+  for (const auto policy :
+       {SchedulingPolicy::kShortestPathsFirst,
+        SchedulingPolicy::kLongestPathsFirst,
+        SchedulingPolicy::kDeclarationOrder}) {
+    const Schedule schedule = build_schedule(s.paths, 6, policy);
+    for (std::size_t p = 0; p < s.paths.size(); ++p) {
+      const auto& slots = schedule.path_slots(p).hop_slots;
+      for (std::size_t h = 1; h < slots.size(); ++h)
+        EXPECT_EQ(slots[h], slots[h - 1] + 1) << "path " << p;
+    }
+  }
+}
+
+TEST(ScheduleBuilder, OverfullFrameThrows) {
+  const SmallNet s = make_small();
+  EXPECT_THROW(
+      build_schedule(s.paths, 5, SchedulingPolicy::kShortestPathsFirst),
+      precondition_error);
+}
+
+TEST(ScheduleBuilder, EmptyPathListThrows) {
+  EXPECT_THROW(
+      build_schedule({}, 5, SchedulingPolicy::kShortestPathsFirst),
+      precondition_error);
+}
+
+TEST(ScheduleBuilder, ReproducesPaperEtaA) {
+  // The paper's eta_a, verbatim (Section VI-A).
+  const TypicalNetwork t = make_typical_network();
+  const std::vector<std::pair<std::string, std::string>> expected{
+      {"n1", "G"},  {"n2", "G"},  {"n3", "G"},  {"n4", "n1"}, {"n1", "G"},
+      {"n5", "n1"}, {"n1", "G"},  {"n6", "n2"}, {"n2", "G"},  {"n7", "n3"},
+      {"n3", "G"},  {"n8", "n3"}, {"n3", "G"},  {"n9", "n6"}, {"n6", "n2"},
+      {"n2", "G"},  {"n10", "n7"}, {"n7", "n3"}, {"n3", "G"}};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const auto& entry = t.eta_a.entry(static_cast<SlotNumber>(i + 1));
+    ASSERT_TRUE(entry.has_value()) << "slot " << i + 1;
+    EXPECT_EQ(t.network.node_name(entry->from), expected[i].first)
+        << "slot " << i + 1;
+    EXPECT_EQ(t.network.node_name(entry->to), expected[i].second)
+        << "slot " << i + 1;
+  }
+  EXPECT_FALSE(t.eta_a.entry(20).has_value()) << "slot 20 is idle";
+}
+
+}  // namespace
+}  // namespace whart::net

@@ -1,0 +1,99 @@
+#include "whart/net/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::net {
+namespace {
+
+TEST(Schedule, StartsEmpty) {
+  const Schedule schedule(7, 2);
+  EXPECT_EQ(schedule.uplink_slots(), 7u);
+  EXPECT_EQ(schedule.path_count(), 2u);
+  for (SlotNumber s = 1; s <= 7; ++s)
+    EXPECT_FALSE(schedule.entry(s).has_value());
+}
+
+TEST(Schedule, AssignRecordsOwnership) {
+  Schedule schedule(7, 1);
+  schedule.assign(3, 0, 0, NodeId{1}, NodeId{2});
+  schedule.assign(6, 0, 1, NodeId{2}, NodeId{0});
+  const auto& entry = schedule.entry(3);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->from, NodeId{1});
+  EXPECT_EQ(entry->to, NodeId{2});
+  EXPECT_EQ(entry->path_index, 0u);
+  EXPECT_EQ(entry->hop, 0u);
+  EXPECT_EQ(schedule.path_slots(0).hop_slots,
+            (std::vector<SlotNumber>{3, 6}));
+}
+
+TEST(Schedule, TdmaForbidsDoubleBooking) {
+  Schedule schedule(7, 2);
+  schedule.assign(3, 0, 0, NodeId{1}, NodeId{2});
+  EXPECT_THROW(schedule.assign(3, 1, 0, NodeId{3}, NodeId{4}),
+               precondition_error);
+}
+
+TEST(Schedule, HopsMustBeAssignedInOrder) {
+  Schedule schedule(7, 1);
+  EXPECT_THROW(schedule.assign(3, 0, 1, NodeId{1}, NodeId{2}),
+               precondition_error);
+}
+
+TEST(Schedule, SlotOutOfRangeThrows) {
+  Schedule schedule(7, 1);
+  EXPECT_THROW(schedule.assign(0, 0, 0, NodeId{1}, NodeId{2}),
+               precondition_error);
+  EXPECT_THROW(schedule.assign(8, 0, 0, NodeId{1}, NodeId{2}),
+               precondition_error);
+  EXPECT_THROW((void)schedule.entry(0), precondition_error);
+}
+
+TEST(Schedule, ValidateCompleteAcceptsFullAssignment) {
+  Network network;
+  const NodeId n1 = network.add_node("n1");
+  const NodeId n2 = network.add_node("n2");
+  network.add_link(n1, n2, link::LinkModel::from_availability(0.9));
+  network.add_link(n2, kGateway, link::LinkModel::from_availability(0.9));
+  const std::vector<Path> paths{Path({n1, n2, kGateway})};
+
+  Schedule schedule(7, 1);
+  schedule.assign(3, 0, 0, n1, n2);
+  schedule.assign(6, 0, 1, n2, kGateway);
+  EXPECT_NO_THROW(schedule.validate_complete(paths));
+}
+
+TEST(Schedule, ValidateCompleteRejectsMissingHop) {
+  Network network;
+  const NodeId n1 = network.add_node("n1");
+  const NodeId n2 = network.add_node("n2");
+  const std::vector<Path> paths{Path({n1, n2, kGateway})};
+  Schedule schedule(7, 1);
+  schedule.assign(3, 0, 0, n1, n2);
+  EXPECT_THROW(schedule.validate_complete(paths), invariant_error);
+}
+
+TEST(Schedule, ValidateCompleteRejectsWrongEndpoints) {
+  Network network;
+  const NodeId n1 = network.add_node("n1");
+  const NodeId n2 = network.add_node("n2");
+  const std::vector<Path> paths{Path({n1, kGateway})};
+  Schedule schedule(7, 1);
+  schedule.assign(1, 0, 0, n2, kGateway);  // wrong source
+  EXPECT_THROW(schedule.validate_complete(paths), invariant_error);
+}
+
+TEST(Schedule, ToStringPaperNotation) {
+  Network network;
+  const NodeId n1 = network.add_node("n1");
+  const NodeId n2 = network.add_node("n2");
+  network.add_link(n1, n2, link::LinkModel::from_availability(0.9));
+  Schedule schedule(3, 1);
+  schedule.assign(2, 0, 0, n1, n2);
+  EXPECT_EQ(schedule.to_string(network), "(*, <n1,n2>, *)");
+}
+
+}  // namespace
+}  // namespace whart::net

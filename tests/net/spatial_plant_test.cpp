@@ -1,0 +1,105 @@
+#include "whart/net/spatial_plant.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+#include "whart/hart/network_analysis.hpp"
+
+namespace whart::net {
+namespace {
+
+SpatialPlantProfile small_profile(std::uint64_t seed) {
+  SpatialPlantProfile profile;
+  profile.device_count = 12;
+  profile.plant_radius_m = 100.0;
+  profile.propagation.exponent = 3.2;
+  profile.seed = seed;
+  return profile;
+}
+
+TEST(SpatialPlant, DeterministicInSeed) {
+  const SpatialPlant a = generate_spatial_plant(small_profile(4));
+  const SpatialPlant b = generate_spatial_plant(small_profile(4));
+  ASSERT_EQ(a.positions.size(), b.positions.size());
+  for (std::size_t i = 0; i < a.positions.size(); ++i)
+    EXPECT_EQ(a.positions[i], b.positions[i]);
+  ASSERT_EQ(a.paths.size(), b.paths.size());
+  for (std::size_t i = 0; i < a.paths.size(); ++i)
+    EXPECT_EQ(a.paths[i], b.paths[i]);
+}
+
+TEST(SpatialPlant, GatewayAtOriginDevicesInsideDisc) {
+  const SpatialPlant plant = generate_spatial_plant(small_profile(7));
+  EXPECT_EQ(plant.positions[0], (Position{0.0, 0.0}));
+  for (std::size_t i = 1; i < plant.positions.size(); ++i)
+    EXPECT_LE(std::hypot(plant.positions[i].x, plant.positions[i].y),
+              100.0 + 1e-9);
+}
+
+TEST(SpatialPlant, EveryDeviceReachesTheGateway) {
+  const SpatialPlant plant = generate_spatial_plant(small_profile(11));
+  EXPECT_EQ(plant.paths.size(), 12u);
+  for (const Path& path : plant.paths) {
+    EXPECT_TRUE(path.is_uplink());
+    EXPECT_NO_THROW(path.resolve_links(plant.network));
+  }
+  EXPECT_NO_THROW(plant.schedule.validate_complete(plant.paths));
+}
+
+TEST(SpatialPlant, LinkQualityDecreasesWithDistance) {
+  const SpatialPlant plant = generate_spatial_plant(small_profile(3));
+  // Compare every pair of links: longer distance => no better
+  // availability (deterministic propagation is monotone).
+  for (LinkId id_a : plant.network.links()) {
+    for (LinkId id_b : plant.network.links()) {
+      const Link& a = plant.network.link(id_a);
+      const Link& b = plant.network.link(id_b);
+      const double da = distance_m(plant.positions[a.a.value],
+                                   plant.positions[a.b.value]);
+      const double db = distance_m(plant.positions[b.a.value],
+                                   plant.positions[b.b.value]);
+      if (da + 1e-9 < db) {
+        EXPECT_GE(a.model.steady_state_availability() + 1e-12,
+                  b.model.steady_state_availability());
+      }
+    }
+  }
+}
+
+TEST(SpatialPlant, DenseCoreUsesFewHops) {
+  // A tiny plant well inside radio range: everyone talks to the gateway
+  // directly.
+  SpatialPlantProfile profile = small_profile(5);
+  profile.device_count = 6;
+  profile.plant_radius_m = 10.0;
+  const SpatialPlant plant = generate_spatial_plant(profile);
+  for (const Path& path : plant.paths) EXPECT_EQ(path.hop_count(), 1u);
+}
+
+TEST(SpatialPlant, AnalyzableEndToEnd) {
+  const SpatialPlant plant = generate_spatial_plant(small_profile(21));
+  const hart::NetworkMeasures measures = hart::analyze_network(
+      plant.network, plant.paths, plant.schedule, plant.superframe, 4);
+  EXPECT_EQ(measures.per_path.size(), plant.paths.size());
+  for (const auto& m : measures.per_path) {
+    EXPECT_GT(m.reachability, 0.0);
+    EXPECT_LE(m.reachability, 1.0);
+  }
+}
+
+TEST(SpatialPlant, InvalidProfilesThrow) {
+  SpatialPlantProfile profile = small_profile(1);
+  profile.device_count = 0;
+  EXPECT_THROW(generate_spatial_plant(profile), precondition_error);
+  profile = small_profile(1);
+  profile.plant_radius_m = 0.0;
+  EXPECT_THROW(generate_spatial_plant(profile), precondition_error);
+  profile = small_profile(1);
+  profile.min_link_availability = 1.5;
+  EXPECT_THROW(generate_spatial_plant(profile), precondition_error);
+}
+
+}  // namespace
+}  // namespace whart::net

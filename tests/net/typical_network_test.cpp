@@ -1,0 +1,77 @@
+#include "whart/net/typical_network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace whart::net {
+namespace {
+
+TEST(TypicalNetwork, TenDevicesPlusGateway) {
+  const TypicalNetwork t = make_typical_network();
+  EXPECT_EQ(t.network.node_count(), 11u);
+  EXPECT_EQ(t.network.link_count(), 10u);
+  EXPECT_EQ(t.paths.size(), 10u);
+}
+
+TEST(TypicalNetwork, HopCountMixMatchesHartStatistics) {
+  // 30% one hop, 50% two hops, 20% three hops (paper Section VI-A).
+  const TypicalNetwork t = make_typical_network();
+  int hops[4] = {0, 0, 0, 0};
+  for (const Path& p : t.paths) ++hops[p.hop_count()];
+  EXPECT_EQ(hops[1], 3);
+  EXPECT_EQ(hops[2], 5);
+  EXPECT_EQ(hops[3], 2);
+}
+
+TEST(TypicalNetwork, PathNumberingMatchesPaper) {
+  const TypicalNetwork t = make_typical_network();
+  EXPECT_EQ(t.paths[0].to_string(t.network), "n1 -> G");
+  EXPECT_EQ(t.paths[3].to_string(t.network), "n4 -> n1 -> G");
+  EXPECT_EQ(t.paths[8].to_string(t.network), "n9 -> n6 -> n2 -> G");
+  EXPECT_EQ(t.paths[9].to_string(t.network), "n10 -> n7 -> n3 -> G");
+}
+
+TEST(TypicalNetwork, SuperframeIsSymmetricTwenty) {
+  const TypicalNetwork t = make_typical_network();
+  EXPECT_EQ(t.superframe.uplink_slots, 20u);
+  EXPECT_EQ(t.superframe.downlink_slots, 20u);
+  EXPECT_EQ(t.superframe.cycle_slots(), 40u);
+  EXPECT_EQ(t.superframe.cycle_milliseconds(), 400u);
+}
+
+TEST(TypicalNetwork, SchedulesAreCompleteAndValid) {
+  const TypicalNetwork t = make_typical_network();
+  EXPECT_NO_THROW(t.eta_a.validate_complete(t.paths));
+  EXPECT_NO_THROW(t.eta_b.validate_complete(t.paths));
+}
+
+TEST(TypicalNetwork, EtaBPutsLongPathsFirst) {
+  const TypicalNetwork t = make_typical_network();
+  // Three-hop paths 9 and 10 take slots 1-3 and 4-6.
+  EXPECT_EQ(t.eta_b.path_slots(8).hop_slots,
+            (std::vector<SlotNumber>{1, 2, 3}));
+  EXPECT_EQ(t.eta_b.path_slots(9).hop_slots,
+            (std::vector<SlotNumber>{4, 5, 6}));
+  // One-hop paths go last.
+  EXPECT_EQ(t.eta_b.path_slots(0).hop_slots, (std::vector<SlotNumber>{17}));
+  EXPECT_EQ(t.eta_b.path_slots(2).hop_slots, (std::vector<SlotNumber>{19}));
+}
+
+TEST(TypicalNetwork, CustomLinkModelApplied) {
+  const auto model = link::LinkModel::from_availability(0.948);
+  const TypicalNetwork t = make_typical_network(model);
+  for (LinkId id : t.network.links())
+    EXPECT_EQ(t.network.link(id).model, model);
+}
+
+TEST(TypicalNetwork, AbsoluteSlotConversion) {
+  const TypicalNetwork t = make_typical_network();
+  // Uplink slot 1 -> absolute 0; slot 20 -> absolute 19; slot 21 (first
+  // uplink slot of cycle 2) -> absolute 40.
+  EXPECT_EQ(t.superframe.absolute_slot_of_uplink(1), 0u);
+  EXPECT_EQ(t.superframe.absolute_slot_of_uplink(20), 19u);
+  EXPECT_EQ(t.superframe.absolute_slot_of_uplink(21), 40u);
+  EXPECT_EQ(t.superframe.absolute_slot_of_uplink(41), 80u);
+}
+
+}  // namespace
+}  // namespace whart::net

@@ -1,0 +1,89 @@
+#include "whart/numeric/probability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::numeric {
+namespace {
+
+TEST(Probability, ValidConstruction) {
+  EXPECT_DOUBLE_EQ(Probability(0.0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(Probability(1.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(Probability(0.37).value(), 0.37);
+}
+
+TEST(Probability, DefaultIsZero) {
+  EXPECT_DOUBLE_EQ(Probability().value(), 0.0);
+}
+
+TEST(Probability, OutOfRangeThrows) {
+  EXPECT_THROW(Probability(-0.1), precondition_error);
+  EXPECT_THROW(Probability(1.1), precondition_error);
+}
+
+TEST(Probability, TinyRoundoffIsClamped) {
+  EXPECT_DOUBLE_EQ(Probability(-1e-15).value(), 0.0);
+  EXPECT_DOUBLE_EQ(Probability(1.0 + 1e-15).value(), 1.0);
+}
+
+TEST(Probability, Complement) {
+  EXPECT_DOUBLE_EQ(Probability(0.3).complement().value(), 0.7);
+  EXPECT_DOUBLE_EQ(Probability(1.0).complement().value(), 0.0);
+}
+
+TEST(Probability, ImplicitConversionToDouble) {
+  const Probability p(0.25);
+  EXPECT_DOUBLE_EQ(p * 4.0, 1.0);
+}
+
+TEST(IsPmf, AcceptsValidPmf) {
+  const std::vector<double> pmf{0.2, 0.3, 0.5};
+  EXPECT_TRUE(is_pmf(pmf));
+}
+
+TEST(IsPmf, RejectsWrongMass) {
+  const std::vector<double> pmf{0.2, 0.3};
+  EXPECT_FALSE(is_pmf(pmf));
+}
+
+TEST(IsPmf, RejectsNegativeEntry) {
+  const std::vector<double> pmf{1.2, -0.2};
+  EXPECT_FALSE(is_pmf(pmf));
+}
+
+TEST(Normalized, RescalesToUnitMass) {
+  const std::vector<double> weights{1.0, 3.0};
+  const auto pmf = normalized(weights);
+  EXPECT_DOUBLE_EQ(pmf[0], 0.25);
+  EXPECT_DOUBLE_EQ(pmf[1], 0.75);
+}
+
+TEST(Normalized, ZeroMassThrows) {
+  const std::vector<double> weights{0.0, 0.0};
+  EXPECT_THROW(normalized(weights), precondition_error);
+}
+
+TEST(Expectation, WeightedSum) {
+  const std::vector<double> values{10.0, 20.0};
+  const std::vector<double> pmf{0.25, 0.75};
+  EXPECT_DOUBLE_EQ(expectation(values, pmf), 17.5);
+}
+
+TEST(Expectation, SizeMismatchThrows) {
+  const std::vector<double> values{10.0};
+  const std::vector<double> pmf{0.5, 0.5};
+  EXPECT_THROW(expectation(values, pmf), precondition_error);
+}
+
+TEST(Cumulative, PrefixSums) {
+  const std::vector<double> pmf{0.1, 0.2, 0.7};
+  const auto cdf = cumulative(pmf);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0], 0.1);
+  EXPECT_DOUBLE_EQ(cdf[1], 0.3);
+  EXPECT_DOUBLE_EQ(cdf[2], 1.0);
+}
+
+}  // namespace
+}  // namespace whart::numeric

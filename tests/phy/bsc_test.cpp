@@ -1,0 +1,61 @@
+#include "whart/phy/bsc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::phy {
+namespace {
+
+TEST(Bsc, InvalidCrossoverThrows) {
+  EXPECT_THROW(BinarySymmetricChannel(-0.1), precondition_error);
+  EXPECT_THROW(BinarySymmetricChannel(1.1), precondition_error);
+}
+
+TEST(Bsc, WordProbabilities) {
+  const BinarySymmetricChannel channel(0.1);
+  EXPECT_NEAR(channel.word_success_probability(1), 0.9, 1e-15);
+  EXPECT_NEAR(channel.word_success_probability(2), 0.81, 1e-15);
+  EXPECT_NEAR(channel.word_failure_probability(2), 0.19, 1e-15);
+}
+
+TEST(Bsc, PerfectChannelNeverFails) {
+  const BinarySymmetricChannel channel(0.0);
+  EXPECT_DOUBLE_EQ(channel.word_failure_probability(1016), 0.0);
+  numeric::Xoshiro256 rng(1);
+  EXPECT_TRUE(channel.transmit_bit(true, rng));
+  EXPECT_FALSE(channel.transmit_bit(false, rng));
+}
+
+TEST(Bsc, AlwaysFlippingChannel) {
+  const BinarySymmetricChannel channel(1.0);
+  numeric::Xoshiro256 rng(1);
+  EXPECT_FALSE(channel.transmit_bit(true, rng));
+  EXPECT_TRUE(channel.transmit_bit(false, rng));
+}
+
+TEST(Bsc, TransmitWordPreservesLength) {
+  const BinarySymmetricChannel channel(0.5);
+  numeric::Xoshiro256 rng(2);
+  const std::vector<bool> word{true, false, true, true};
+  EXPECT_EQ(channel.transmit_word(word, rng).size(), word.size());
+}
+
+TEST(Bsc, SimulatedFailureRateMatchesEquation2) {
+  // Cross-validate paper Eq. 2 by Monte Carlo: BER = 1e-3, L = 127 bits.
+  const BinarySymmetricChannel channel(1e-3);
+  numeric::Xoshiro256 rng(42);
+  const double analytic = channel.word_failure_probability(127);
+  const double simulated = channel.simulate_word_failure_rate(127, 50000, rng);
+  EXPECT_NEAR(simulated, analytic, 0.01);
+}
+
+TEST(Bsc, ZeroTrialsThrows) {
+  const BinarySymmetricChannel channel(0.1);
+  numeric::Xoshiro256 rng(1);
+  EXPECT_THROW((void)channel.simulate_word_failure_rate(8, 0, rng),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace whart::phy

@@ -1,0 +1,80 @@
+#include "whart/phy/modulation.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::phy {
+namespace {
+
+TEST(Modulation, Names) {
+  EXPECT_EQ(name(Modulation::kOqpsk), "OQPSK");
+  EXPECT_EQ(name(Modulation::kBpsk), "BPSK");
+  EXPECT_EQ(name(Modulation::kQpsk), "QPSK");
+  EXPECT_EQ(name(Modulation::kDbpsk), "DBPSK");
+  EXPECT_EQ(name(Modulation::kNcfsk), "NCFSK");
+}
+
+TEST(QFunction, KnownValues) {
+  EXPECT_NEAR(q_function(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(q_function(1.0), 0.158655, 1e-6);
+  EXPECT_NEAR(q_function(3.0), 1.349898e-3, 1e-8);
+}
+
+TEST(OqpskBer, PaperTableIVValues) {
+  // Paper Section VI-E: BER3 = 1/2 erfc(sqrt(7)) = 9.14e-5 and
+  // BER4 = 1/2 erfc(sqrt(6)) = 2.66e-4.
+  EXPECT_NEAR(oqpsk_ber(EbN0::from_linear(7.0)), 9.14e-5, 5e-7);
+  EXPECT_NEAR(oqpsk_ber(EbN0::from_linear(6.0)), 2.66e-4, 5e-6);
+}
+
+TEST(OqpskBer, ZeroSnrIsHalf) {
+  EXPECT_NEAR(oqpsk_ber(EbN0::from_linear(0.0)), 0.5, 1e-12);
+}
+
+TEST(OqpskBer, MonotoneDecreasingInSnr) {
+  double previous = 1.0;
+  for (double snr = 0.0; snr <= 12.0; snr += 0.5) {
+    const double ber = oqpsk_ber(EbN0::from_linear(snr));
+    EXPECT_LT(ber, previous);
+    previous = ber;
+  }
+}
+
+TEST(BitErrorRate, CoherentSchemesShareCurve) {
+  const EbN0 snr = EbN0::from_linear(4.0);
+  const double oqpsk = bit_error_rate(Modulation::kOqpsk, snr);
+  EXPECT_DOUBLE_EQ(bit_error_rate(Modulation::kBpsk, snr), oqpsk);
+  EXPECT_DOUBLE_EQ(bit_error_rate(Modulation::kQpsk, snr), oqpsk);
+}
+
+TEST(BitErrorRate, NonCoherentSchemesAreWorse) {
+  const EbN0 snr = EbN0::from_linear(4.0);
+  const double coherent = bit_error_rate(Modulation::kOqpsk, snr);
+  EXPECT_GT(bit_error_rate(Modulation::kDbpsk, snr), coherent);
+  EXPECT_GT(bit_error_rate(Modulation::kNcfsk, snr),
+            bit_error_rate(Modulation::kDbpsk, snr));
+}
+
+TEST(BitErrorRate, DbpskClosedForm) {
+  EXPECT_NEAR(bit_error_rate(Modulation::kDbpsk, EbN0::from_linear(2.0)),
+              0.5 * std::exp(-2.0), 1e-15);
+}
+
+TEST(RequiredEbN0, InvertsTheBerCurve) {
+  for (double ber : {1e-3, 1e-4, 1e-5, 1e-6}) {
+    const EbN0 snr = oqpsk_required_ebn0(ber);
+    EXPECT_NEAR(oqpsk_ber(snr) / ber, 1.0, 1e-9) << "ber=" << ber;
+  }
+}
+
+TEST(RequiredEbN0, InvalidBerThrows) {
+  EXPECT_THROW(oqpsk_required_ebn0(0.0), precondition_error);
+  EXPECT_THROW(oqpsk_required_ebn0(0.5), precondition_error);
+  EXPECT_THROW(oqpsk_required_ebn0(0.7), precondition_error);
+}
+
+}  // namespace
+}  // namespace whart::phy

@@ -1,0 +1,82 @@
+#include "whart/phy/pilot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+#include "whart/phy/modulation.hpp"
+
+namespace whart::phy {
+namespace {
+
+TEST(Pilot, EstimateFromCountsPointAndInterval) {
+  const ChannelEstimate e = estimate_from_counts(100000, 10);
+  EXPECT_DOUBLE_EQ(e.ber, 1e-4);
+  EXPECT_LT(e.ber_low, 1e-4);
+  EXPECT_GT(e.ber_high, 1e-4);
+  ASSERT_TRUE(e.ebn0.has_value());
+  // Inverting then applying the curve must round-trip.
+  EXPECT_NEAR(oqpsk_ber(*e.ebn0), 1e-4, 1e-10);
+  // The conservative figure assumes more noise: lower Eb/N0.
+  ASSERT_TRUE(e.ebn0_conservative.has_value());
+  EXPECT_LT(e.ebn0_conservative->linear(), e.ebn0->linear());
+}
+
+TEST(Pilot, ZeroErrorsReportsUpperBound) {
+  const ChannelEstimate e = estimate_from_counts(10000, 0);
+  EXPECT_GT(e.ber, 0.0);  // the Wilson upper bound, not zero
+  EXPECT_DOUBLE_EQ(e.ber, e.ber_high);
+  EXPECT_TRUE(e.ebn0.has_value());
+}
+
+TEST(Pilot, HopelessChannelHasNoSnr) {
+  const ChannelEstimate e = estimate_from_counts(1000, 600);
+  EXPECT_FALSE(e.ebn0.has_value());
+}
+
+TEST(Pilot, InvalidCountsThrow) {
+  EXPECT_THROW(estimate_from_counts(0, 0), precondition_error);
+  EXPECT_THROW(estimate_from_counts(10, 11), precondition_error);
+}
+
+TEST(Pilot, CampaignRecoversTrueBer) {
+  PilotCampaign campaign;
+  campaign.packages = 2000;
+  campaign.bits_per_package = 1000;  // 2e6 bits: tight estimate at 1e-4
+  numeric::Xoshiro256 rng(99);
+  const ChannelEstimate e = measure_channel(1e-4, campaign, rng);
+  EXPECT_EQ(e.bits_sent, 2000000u);
+  EXPECT_NEAR(e.ber, 1e-4, 3e-5);
+  EXPECT_LE(e.ber_low, 1e-4 + 1e-12);
+  EXPECT_GE(e.ber_high, 1e-4 - 1e-12);
+  ASSERT_TRUE(e.ebn0.has_value());
+  // The recovered Eb/N0 sits near the true channel's requirement.
+  const EbN0 truth = oqpsk_required_ebn0(1e-4);
+  EXPECT_NEAR(e.ebn0->db(), truth.db(), 0.5);
+}
+
+TEST(Pilot, ShortCampaignsHaveWiderIntervals) {
+  numeric::Xoshiro256 rng(7);
+  PilotCampaign quick;
+  quick.packages = 10;
+  quick.bits_per_package = 128;
+  PilotCampaign thorough;
+  thorough.packages = 1000;
+  thorough.bits_per_package = 128;
+  const ChannelEstimate fast = measure_channel(5e-3, quick, rng);
+  const ChannelEstimate slow = measure_channel(5e-3, thorough, rng);
+  EXPECT_GT(fast.ber_high - fast.ber_low, slow.ber_high - slow.ber_low);
+}
+
+TEST(Pilot, DegenerateChannels) {
+  PilotCampaign campaign;
+  numeric::Xoshiro256 rng(3);
+  const ChannelEstimate clean = measure_channel(0.0, campaign, rng);
+  EXPECT_EQ(clean.bit_errors, 0u);
+  const ChannelEstimate jammed = measure_channel(1.0, campaign, rng);
+  EXPECT_EQ(jammed.bit_errors, jammed.bits_sent);
+  EXPECT_FALSE(jammed.ebn0.has_value());
+  EXPECT_THROW(measure_channel(1.5, campaign, rng), precondition_error);
+}
+
+}  // namespace
+}  // namespace whart::phy

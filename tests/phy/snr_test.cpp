@@ -1,0 +1,40 @@
+#include "whart/phy/snr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::phy {
+namespace {
+
+TEST(EbN0, LinearRoundTrip) {
+  const EbN0 snr = EbN0::from_linear(7.0);
+  EXPECT_DOUBLE_EQ(snr.linear(), 7.0);
+}
+
+TEST(EbN0, DbConversion) {
+  EXPECT_NEAR(EbN0::from_db(10.0).linear(), 10.0, 1e-12);
+  EXPECT_NEAR(EbN0::from_db(0.0).linear(), 1.0, 1e-12);
+  EXPECT_NEAR(EbN0::from_db(3.0).linear(), 1.9953, 1e-4);
+}
+
+TEST(EbN0, DbRoundTrip) {
+  const EbN0 snr = EbN0::from_linear(6.0);
+  EXPECT_NEAR(EbN0::from_db(snr.db()).linear(), 6.0, 1e-12);
+}
+
+TEST(EbN0, NegativeLinearThrows) {
+  EXPECT_THROW(EbN0::from_linear(-1.0), precondition_error);
+}
+
+TEST(EbN0, Ordering) {
+  EXPECT_LT(EbN0::from_linear(1.0), EbN0::from_linear(2.0));
+  EXPECT_EQ(EbN0::from_linear(2.0), EbN0::from_db(EbN0::from_linear(2.0).db()));
+}
+
+TEST(Rssi, Ordering) {
+  EXPECT_LT((Rssi{-90.0}), (Rssi{-40.0}));
+}
+
+}  // namespace
+}  // namespace whart::phy

@@ -1,0 +1,49 @@
+#include "whart/report/csv.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace whart::report {
+namespace {
+
+TEST(Csv, PlainFieldsUnquoted) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(Csv, FieldsWithCommasAreQuoted) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"a,b", "c"});
+  EXPECT_EQ(out.str(), "\"a,b\",c\n");
+}
+
+TEST(Csv, QuotesAreDoubled) {
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, NewlinesAreQuoted) {
+  EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, EmptyRowAndField) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({});
+  writer.write_row({""});
+  EXPECT_EQ(out.str(), "\n\n");
+}
+
+TEST(Csv, MultipleRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"h1", "h2"});
+  writer.write_row({"1", "2"});
+  EXPECT_EQ(out.str(), "h1,h2\n1,2\n");
+}
+
+}  // namespace
+}  // namespace whart::report

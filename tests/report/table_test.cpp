@@ -1,0 +1,59 @@
+#include "whart/report/table.hpp"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::report {
+namespace {
+
+TEST(Table, EmptyHeadersThrow) {
+  EXPECT_THROW(Table{std::vector<std::string>{}}, precondition_error);
+}
+
+TEST(Table, RowWidthMustMatchHeader) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), precondition_error);
+  table.add_row({"1", "2"});
+  EXPECT_EQ(table.row_count(), 1u);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  const std::string rendered = table.to_string();
+  EXPECT_NE(rendered.find("name    value"), std::string::npos);
+  EXPECT_NE(rendered.find("longer  22"), std::string::npos);
+  EXPECT_NE(rendered.find("-----"), std::string::npos);
+}
+
+TEST(Table, FixedFormatting) {
+  EXPECT_EQ(Table::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fixed(3.0, 0), "3");
+  EXPECT_EQ(Table::fixed(-1.005, 1), "-1.0");
+}
+
+TEST(Table, PercentFormatting) {
+  EXPECT_EQ(Table::percent(0.9907), "99.07%");
+  EXPECT_EQ(Table::percent(0.5, 0), "50%");
+  EXPECT_EQ(Table::percent(1.0, 1), "100.0%");
+}
+
+TEST(Table, ScientificFormatting) {
+  EXPECT_EQ(Table::scientific(1e-4), "1.00e-04");
+  EXPECT_EQ(Table::scientific(9.14e-5, 2), "9.14e-05");
+}
+
+TEST(Table, PrintToStream) {
+  Table table({"h"});
+  table.add_row({"v"});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_FALSE(out.str().empty());
+}
+
+}  // namespace
+}  // namespace whart::report

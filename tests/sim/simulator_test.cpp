@@ -1,0 +1,162 @@
+#include "whart/sim/simulator.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+#include "whart/net/schedule_builder.hpp"
+#include "whart/net/typical_network.hpp"
+
+namespace whart::sim {
+namespace {
+
+struct OneHopSetup {
+  net::Network network;
+  std::vector<net::Path> paths;
+  net::Schedule schedule{1, 1};
+  net::SuperframeConfig superframe;
+};
+
+OneHopSetup one_hop(double availability) {
+  OneHopSetup s;
+  const auto n1 = s.network.add_node("n1");
+  s.network.add_link(n1, net::kGateway,
+                     link::LinkModel::from_availability(availability));
+  s.paths.emplace_back(std::vector<net::NodeId>{n1, net::kGateway});
+  s.superframe = net::SuperframeConfig::symmetric(1);
+  s.schedule = net::build_schedule(s.paths, 1,
+                                   net::SchedulingPolicy::kDeclarationOrder);
+  return s;
+}
+
+TEST(Simulator, DeterministicInSeed) {
+  const OneHopSetup s = one_hop(0.83);
+  SimulatorConfig config;
+  config.superframe = s.superframe;
+  config.intervals = 2000;
+  config.seed = 9;
+  NetworkSimulator sim_a(s.network, s.paths, s.schedule, config);
+  NetworkSimulator sim_b(s.network, s.paths, s.schedule, config);
+  const auto a = sim_a.run();
+  const auto b = sim_b.run();
+  EXPECT_EQ(a.per_path[0].delivered_per_cycle,
+            b.per_path[0].delivered_per_cycle);
+  EXPECT_EQ(a.per_path[0].transmissions, b.per_path[0].transmissions);
+}
+
+TEST(Simulator, PerfectLinkDeliversEverythingInCycleOne) {
+  const OneHopSetup s = one_hop(1.0);
+  SimulatorConfig config;
+  config.superframe = s.superframe;
+  config.intervals = 500;
+  NetworkSimulator simulator(s.network, s.paths, s.schedule, config);
+  const auto report = simulator.run();
+  const auto& stats = report.per_path[0];
+  EXPECT_EQ(stats.messages, 500u);
+  EXPECT_EQ(stats.delivered_per_cycle[0], 500u);
+  EXPECT_EQ(stats.discarded, 0u);
+  EXPECT_DOUBLE_EQ(stats.reachability(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.delay_ms.mean(), 10.0);
+}
+
+TEST(Simulator, ReachabilityMatchesGeometricModel) {
+  const OneHopSetup s = one_hop(0.83);
+  SimulatorConfig config;
+  config.superframe = s.superframe;
+  config.reporting_interval = 4;
+  config.intervals = 40000;
+  config.seed = 5;
+  NetworkSimulator simulator(s.network, s.paths, s.schedule, config);
+  const auto report = simulator.run();
+  const auto& stats = report.per_path[0];
+  // Analytic: R = 1 - 0.17^4 = 0.999165.
+  const auto ci = stats.reachability_interval(3.29);
+  EXPECT_TRUE(ci.contains(1.0 - std::pow(0.17, 4)))
+      << "[" << ci.low << ", " << ci.high << "]";
+  // First-cycle frequency ~ 0.83.
+  EXPECT_NEAR(stats.cycle_frequencies()[0], 0.83, 0.01);
+}
+
+TEST(Simulator, UtilizationCountsAttempts) {
+  const OneHopSetup s = one_hop(0.83);
+  SimulatorConfig config;
+  config.superframe = s.superframe;
+  config.reporting_interval = 4;
+  config.intervals = 20000;
+  NetworkSimulator simulator(s.network, s.paths, s.schedule, config);
+  const auto report = simulator.run();
+  // E[attempts] ~ sum g_i * i + (1-R) * 4 ~ 1.2 => U ~ 1.2 / 4 = 0.3.
+  EXPECT_NEAR(report.per_path[0].utilization(1, 4), 0.30, 0.01);
+}
+
+TEST(Simulator, TotalSlotsAccounting) {
+  const OneHopSetup s = one_hop(0.9);
+  SimulatorConfig config;
+  config.superframe = s.superframe;  // 2 slots per cycle
+  config.reporting_interval = 3;
+  config.intervals = 10;
+  NetworkSimulator simulator(s.network, s.paths, s.schedule, config);
+  EXPECT_EQ(simulator.run().total_slots_simulated, 10u * 3u * 2u);
+}
+
+TEST(Simulator, MismatchedScheduleLengthThrows) {
+  const OneHopSetup s = one_hop(0.9);
+  SimulatorConfig config;
+  config.superframe = net::SuperframeConfig::symmetric(2);  // schedule has 1
+  EXPECT_THROW(NetworkSimulator(s.network, s.paths, s.schedule, config),
+               precondition_error);
+}
+
+TEST(Simulator, PhysicalRegimeRuns) {
+  const net::TypicalNetwork t = net::make_typical_network();
+  SimulatorConfig config;
+  config.superframe = t.superframe;
+  config.intervals = 500;
+  config.regime = LinkRegime::kPhysical;
+  config.physical.good_ber = 1e-5;
+  config.physical.bad_ber = 5e-3;
+  config.physical.bad_channels = 3;
+  NetworkSimulator simulator(t.network, t.paths, t.eta_a, config);
+  const auto report = simulator.run();
+  // Clean channels dominate, so reachability should be high but below 1.
+  for (const auto& stats : report.per_path) {
+    EXPECT_GT(stats.reachability(), 0.9);
+  }
+}
+
+TEST(Simulator, PhysicalRegimeWithAllBadChannelsDegrades) {
+  const OneHopSetup s = one_hop(0.9);
+  SimulatorConfig config;
+  config.superframe = s.superframe;
+  config.intervals = 2000;
+  config.regime = LinkRegime::kPhysical;
+  config.physical.good_ber = 4e-3;  // every channel is bad
+  config.physical.bad_ber = 4e-3;
+  config.physical.bad_channels = 0;
+  NetworkSimulator simulator(s.network, s.paths, s.schedule, config);
+  const auto report = simulator.run();
+  // Word failure probability = 1 - (1-4e-3)^1016 ~ 0.983: most messages
+  // need many cycles; reachability over 4 cycles is poor.
+  EXPECT_LT(report.per_path[0].reachability(), 0.2);
+}
+
+TEST(Simulator, SharedLinksServeAllPathsIndependently) {
+  const net::TypicalNetwork t = net::make_typical_network(
+      link::LinkModel::from_availability(0.83));
+  SimulatorConfig config;
+  config.superframe = t.superframe;
+  config.intervals = 5000;
+  config.seed = 77;
+  NetworkSimulator simulator(t.network, t.paths, t.eta_a, config);
+  const auto report = simulator.run();
+  ASSERT_EQ(report.per_path.size(), 10u);
+  for (const auto& stats : report.per_path)
+    EXPECT_EQ(stats.messages, 5000u);
+  // One-hop paths (1-3) reach more often than three-hop paths (9-10).
+  EXPECT_GT(report.per_path[0].reachability(),
+            report.per_path[9].reachability());
+}
+
+}  // namespace
+}  // namespace whart::sim

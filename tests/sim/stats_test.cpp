@@ -1,0 +1,101 @@
+#include "whart/sim/stats.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+#include "whart/numeric/rng.hpp"
+
+namespace whart::sim {
+namespace {
+
+TEST(RunningStat, EmptyStat) {
+  const RunningStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.standard_error(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat stat;
+  stat.add(5.0);
+  EXPECT_EQ(stat.count(), 1u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownMeanAndVariance) {
+  RunningStat stat;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stat.add(v);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stat.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStat, MatchesBatchComputationOnRandomData) {
+  numeric::Xoshiro256 rng(21);
+  RunningStat stat;
+  std::vector<double> values;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform() * 100.0;
+    values.push_back(v);
+    stat.add(v);
+  }
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= values.size();
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= (values.size() - 1);
+  EXPECT_NEAR(stat.mean(), mean, 1e-9);
+  EXPECT_NEAR(stat.variance(), var, 1e-9);
+}
+
+TEST(Wilson, CenterNearProportion) {
+  const Interval ci = wilson_interval(500, 1000);
+  EXPECT_TRUE(ci.contains(0.5));
+  EXPECT_LT(ci.high - ci.low, 0.07);
+}
+
+TEST(Wilson, ExtremeProportionsStayInUnitInterval) {
+  const Interval zero = wilson_interval(0, 100);
+  EXPECT_GE(zero.low, 0.0);
+  EXPECT_GT(zero.high, 0.0);
+  const Interval one = wilson_interval(100, 100);
+  EXPECT_LE(one.high, 1.0);
+  EXPECT_LT(one.low, 1.0);
+}
+
+TEST(Wilson, WiderAtHigherConfidence) {
+  const Interval z95 = wilson_interval(80, 100, 1.96);
+  const Interval z999 = wilson_interval(80, 100, 3.29);
+  EXPECT_GT(z999.high - z999.low, z95.high - z95.low);
+}
+
+TEST(Wilson, InvalidArgumentsThrow) {
+  EXPECT_THROW(wilson_interval(1, 0), precondition_error);
+  EXPECT_THROW(wilson_interval(5, 4), precondition_error);
+  EXPECT_THROW(wilson_interval(1, 10, 0.0), precondition_error);
+}
+
+TEST(Wilson, CoversTrueParameterUsually) {
+  // Property check: ~95% of 95% intervals over Bernoulli(0.3) samples
+  // should contain 0.3; with 200 replications allow a wide margin.
+  numeric::Xoshiro256 rng(33);
+  int covered = 0;
+  const int replications = 200;
+  for (int r = 0; r < replications; ++r) {
+    std::uint64_t hits = 0;
+    const std::uint64_t n = 400;
+    for (std::uint64_t i = 0; i < n; ++i)
+      if (rng.bernoulli(0.3)) ++hits;
+    if (wilson_interval(hits, n).contains(0.3)) ++covered;
+  }
+  EXPECT_GT(covered, replications * 0.88);
+}
+
+}  // namespace
+}  // namespace whart::sim
