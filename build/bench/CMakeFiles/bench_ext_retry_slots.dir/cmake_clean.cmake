@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_retry_slots.dir/bench_ext_retry_slots.cpp.o"
+  "CMakeFiles/bench_ext_retry_slots.dir/bench_ext_retry_slots.cpp.o.d"
+  "bench_ext_retry_slots"
+  "bench_ext_retry_slots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_retry_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

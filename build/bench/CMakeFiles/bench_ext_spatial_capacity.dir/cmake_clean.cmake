@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_spatial_capacity.dir/bench_ext_spatial_capacity.cpp.o"
+  "CMakeFiles/bench_ext_spatial_capacity.dir/bench_ext_spatial_capacity.cpp.o.d"
+  "bench_ext_spatial_capacity"
+  "bench_ext_spatial_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_spatial_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_goal_transients.dir/bench_fig06_goal_transients.cpp.o"
+  "CMakeFiles/bench_fig06_goal_transients.dir/bench_fig06_goal_transients.cpp.o.d"
+  "bench_fig06_goal_transients"
+  "bench_fig06_goal_transients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_goal_transients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_reachability_vs_availability.dir/bench_fig08_reachability_vs_availability.cpp.o"
+  "CMakeFiles/bench_fig08_reachability_vs_availability.dir/bench_fig08_reachability_vs_availability.cpp.o.d"
+  "bench_fig08_reachability_vs_availability"
+  "bench_fig08_reachability_vs_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_reachability_vs_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_delay_vs_ber.dir/bench_fig09_delay_vs_ber.cpp.o"
+  "CMakeFiles/bench_fig09_delay_vs_ber.dir/bench_fig09_delay_vs_ber.cpp.o.d"
+  "bench_fig09_delay_vs_ber"
+  "bench_fig09_delay_vs_ber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_delay_vs_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

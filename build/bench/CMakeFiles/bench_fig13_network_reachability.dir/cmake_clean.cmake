@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_network_reachability.dir/bench_fig13_network_reachability.cpp.o"
+  "CMakeFiles/bench_fig13_network_reachability.dir/bench_fig13_network_reachability.cpp.o.d"
+  "bench_fig13_network_reachability"
+  "bench_fig13_network_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_network_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

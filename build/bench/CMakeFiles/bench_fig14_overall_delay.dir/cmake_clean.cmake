@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_overall_delay.dir/bench_fig14_overall_delay.cpp.o"
+  "CMakeFiles/bench_fig14_overall_delay.dir/bench_fig14_overall_delay.cpp.o.d"
+  "bench_fig14_overall_delay"
+  "bench_fig14_overall_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_overall_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

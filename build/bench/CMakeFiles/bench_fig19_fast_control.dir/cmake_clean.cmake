@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_fast_control.dir/bench_fig19_fast_control.cpp.o"
+  "CMakeFiles/bench_fig19_fast_control.dir/bench_fig19_fast_control.cpp.o.d"
+  "bench_fig19_fast_control"
+  "bench_fig19_fast_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_fast_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_availability.dir/bench_table1_availability.cpp.o"
+  "CMakeFiles/bench_table1_availability.dir/bench_table1_availability.cpp.o.d"
+  "bench_table1_availability"
+  "bench_table1_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_link_failure.dir/bench_table3_link_failure.cpp.o"
+  "CMakeFiles/bench_table3_link_failure.dir/bench_table3_link_failure.cpp.o.d"
+  "bench_table3_link_failure"
+  "bench_table3_link_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_link_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_drill.dir/failure_drill.cpp.o"
+  "CMakeFiles/failure_drill.dir/failure_drill.cpp.o.d"
+  "failure_drill"
+  "failure_drill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

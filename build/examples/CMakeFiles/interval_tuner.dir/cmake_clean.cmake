@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_tuner.dir/interval_tuner.cpp.o"
+  "CMakeFiles/interval_tuner.dir/interval_tuner.cpp.o.d"
+  "interval_tuner"
+  "interval_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

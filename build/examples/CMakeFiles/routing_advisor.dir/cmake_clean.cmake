@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_advisor.dir/routing_advisor.cpp.o"
+  "CMakeFiles/routing_advisor.dir/routing_advisor.cpp.o.d"
+  "routing_advisor"
+  "routing_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

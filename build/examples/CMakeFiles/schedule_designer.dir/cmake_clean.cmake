@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_designer.dir/schedule_designer.cpp.o"
+  "CMakeFiles/schedule_designer.dir/schedule_designer.cpp.o.d"
+  "schedule_designer"
+  "schedule_designer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_designer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typical_network.dir/typical_network.cpp.o"
+  "CMakeFiles/typical_network.dir/typical_network.cpp.o.d"
+  "typical_network"
+  "typical_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typical_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

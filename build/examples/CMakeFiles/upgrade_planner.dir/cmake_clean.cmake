@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upgrade_planner.dir/upgrade_planner.cpp.o"
+  "CMakeFiles/upgrade_planner.dir/upgrade_planner.cpp.o.d"
+  "upgrade_planner"
+  "upgrade_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upgrade_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

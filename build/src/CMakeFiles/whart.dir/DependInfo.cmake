@@ -1,0 +1,78 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/whart/cli/spec_parser.cpp" "src/CMakeFiles/whart.dir/whart/cli/spec_parser.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/cli/spec_parser.cpp.o.d"
+  "/root/repo/src/whart/hart/analytic.cpp" "src/CMakeFiles/whart.dir/whart/hart/analytic.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/hart/analytic.cpp.o.d"
+  "/root/repo/src/whart/hart/composition.cpp" "src/CMakeFiles/whart.dir/whart/hart/composition.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/hart/composition.cpp.o.d"
+  "/root/repo/src/whart/hart/control_loop.cpp" "src/CMakeFiles/whart.dir/whart/hart/control_loop.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/hart/control_loop.cpp.o.d"
+  "/root/repo/src/whart/hart/energy.cpp" "src/CMakeFiles/whart.dir/whart/hart/energy.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/hart/energy.cpp.o.d"
+  "/root/repo/src/whart/hart/failure.cpp" "src/CMakeFiles/whart.dir/whart/hart/failure.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/hart/failure.cpp.o.d"
+  "/root/repo/src/whart/hart/fast_control.cpp" "src/CMakeFiles/whart.dir/whart/hart/fast_control.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/hart/fast_control.cpp.o.d"
+  "/root/repo/src/whart/hart/link_probability.cpp" "src/CMakeFiles/whart.dir/whart/hart/link_probability.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/hart/link_probability.cpp.o.d"
+  "/root/repo/src/whart/hart/network_analysis.cpp" "src/CMakeFiles/whart.dir/whart/hart/network_analysis.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/hart/network_analysis.cpp.o.d"
+  "/root/repo/src/whart/hart/path_analysis.cpp" "src/CMakeFiles/whart.dir/whart/hart/path_analysis.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/hart/path_analysis.cpp.o.d"
+  "/root/repo/src/whart/hart/path_model.cpp" "src/CMakeFiles/whart.dir/whart/hart/path_model.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/hart/path_model.cpp.o.d"
+  "/root/repo/src/whart/hart/schedule_optimizer.cpp" "src/CMakeFiles/whart.dir/whart/hart/schedule_optimizer.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/hart/schedule_optimizer.cpp.o.d"
+  "/root/repo/src/whart/hart/sensitivity.cpp" "src/CMakeFiles/whart.dir/whart/hart/sensitivity.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/hart/sensitivity.cpp.o.d"
+  "/root/repo/src/whart/hart/stability.cpp" "src/CMakeFiles/whart.dir/whart/hart/stability.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/hart/stability.cpp.o.d"
+  "/root/repo/src/whart/hart/sweep.cpp" "src/CMakeFiles/whart.dir/whart/hart/sweep.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/hart/sweep.cpp.o.d"
+  "/root/repo/src/whart/hart/validation.cpp" "src/CMakeFiles/whart.dir/whart/hart/validation.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/hart/validation.cpp.o.d"
+  "/root/repo/src/whart/linalg/convolution.cpp" "src/CMakeFiles/whart.dir/whart/linalg/convolution.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/linalg/convolution.cpp.o.d"
+  "/root/repo/src/whart/linalg/lu.cpp" "src/CMakeFiles/whart.dir/whart/linalg/lu.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/linalg/lu.cpp.o.d"
+  "/root/repo/src/whart/linalg/matrix.cpp" "src/CMakeFiles/whart.dir/whart/linalg/matrix.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/linalg/matrix.cpp.o.d"
+  "/root/repo/src/whart/linalg/sparse.cpp" "src/CMakeFiles/whart.dir/whart/linalg/sparse.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/linalg/sparse.cpp.o.d"
+  "/root/repo/src/whart/linalg/vector.cpp" "src/CMakeFiles/whart.dir/whart/linalg/vector.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/linalg/vector.cpp.o.d"
+  "/root/repo/src/whart/link/blacklist.cpp" "src/CMakeFiles/whart.dir/whart/link/blacklist.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/link/blacklist.cpp.o.d"
+  "/root/repo/src/whart/link/failure_script.cpp" "src/CMakeFiles/whart.dir/whart/link/failure_script.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/link/failure_script.cpp.o.d"
+  "/root/repo/src/whart/link/fitting.cpp" "src/CMakeFiles/whart.dir/whart/link/fitting.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/link/fitting.cpp.o.d"
+  "/root/repo/src/whart/link/link_model.cpp" "src/CMakeFiles/whart.dir/whart/link/link_model.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/link/link_model.cpp.o.d"
+  "/root/repo/src/whart/markov/absorbing.cpp" "src/CMakeFiles/whart.dir/whart/markov/absorbing.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/markov/absorbing.cpp.o.d"
+  "/root/repo/src/whart/markov/dtmc.cpp" "src/CMakeFiles/whart.dir/whart/markov/dtmc.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/markov/dtmc.cpp.o.d"
+  "/root/repo/src/whart/markov/export.cpp" "src/CMakeFiles/whart.dir/whart/markov/export.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/markov/export.cpp.o.d"
+  "/root/repo/src/whart/markov/hitting.cpp" "src/CMakeFiles/whart.dir/whart/markov/hitting.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/markov/hitting.cpp.o.d"
+  "/root/repo/src/whart/markov/limiting.cpp" "src/CMakeFiles/whart.dir/whart/markov/limiting.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/markov/limiting.cpp.o.d"
+  "/root/repo/src/whart/markov/simulate.cpp" "src/CMakeFiles/whart.dir/whart/markov/simulate.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/markov/simulate.cpp.o.d"
+  "/root/repo/src/whart/markov/steady_state.cpp" "src/CMakeFiles/whart.dir/whart/markov/steady_state.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/markov/steady_state.cpp.o.d"
+  "/root/repo/src/whart/markov/structure.cpp" "src/CMakeFiles/whart.dir/whart/markov/structure.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/markov/structure.cpp.o.d"
+  "/root/repo/src/whart/markov/transient.cpp" "src/CMakeFiles/whart.dir/whart/markov/transient.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/markov/transient.cpp.o.d"
+  "/root/repo/src/whart/net/downlink.cpp" "src/CMakeFiles/whart.dir/whart/net/downlink.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/net/downlink.cpp.o.d"
+  "/root/repo/src/whart/net/export.cpp" "src/CMakeFiles/whart.dir/whart/net/export.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/net/export.cpp.o.d"
+  "/root/repo/src/whart/net/path.cpp" "src/CMakeFiles/whart.dir/whart/net/path.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/net/path.cpp.o.d"
+  "/root/repo/src/whart/net/plant_generator.cpp" "src/CMakeFiles/whart.dir/whart/net/plant_generator.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/net/plant_generator.cpp.o.d"
+  "/root/repo/src/whart/net/routing.cpp" "src/CMakeFiles/whart.dir/whart/net/routing.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/net/routing.cpp.o.d"
+  "/root/repo/src/whart/net/schedule.cpp" "src/CMakeFiles/whart.dir/whart/net/schedule.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/net/schedule.cpp.o.d"
+  "/root/repo/src/whart/net/schedule_builder.cpp" "src/CMakeFiles/whart.dir/whart/net/schedule_builder.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/net/schedule_builder.cpp.o.d"
+  "/root/repo/src/whart/net/spatial_plant.cpp" "src/CMakeFiles/whart.dir/whart/net/spatial_plant.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/net/spatial_plant.cpp.o.d"
+  "/root/repo/src/whart/net/topology.cpp" "src/CMakeFiles/whart.dir/whart/net/topology.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/net/topology.cpp.o.d"
+  "/root/repo/src/whart/net/typical_network.cpp" "src/CMakeFiles/whart.dir/whart/net/typical_network.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/net/typical_network.cpp.o.d"
+  "/root/repo/src/whart/numeric/combinatorics.cpp" "src/CMakeFiles/whart.dir/whart/numeric/combinatorics.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/numeric/combinatorics.cpp.o.d"
+  "/root/repo/src/whart/numeric/distributions.cpp" "src/CMakeFiles/whart.dir/whart/numeric/distributions.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/numeric/distributions.cpp.o.d"
+  "/root/repo/src/whart/numeric/probability.cpp" "src/CMakeFiles/whart.dir/whart/numeric/probability.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/numeric/probability.cpp.o.d"
+  "/root/repo/src/whart/numeric/rng.cpp" "src/CMakeFiles/whart.dir/whart/numeric/rng.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/numeric/rng.cpp.o.d"
+  "/root/repo/src/whart/phy/bsc.cpp" "src/CMakeFiles/whart.dir/whart/phy/bsc.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/phy/bsc.cpp.o.d"
+  "/root/repo/src/whart/phy/frame.cpp" "src/CMakeFiles/whart.dir/whart/phy/frame.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/phy/frame.cpp.o.d"
+  "/root/repo/src/whart/phy/modulation.cpp" "src/CMakeFiles/whart.dir/whart/phy/modulation.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/phy/modulation.cpp.o.d"
+  "/root/repo/src/whart/phy/path_loss.cpp" "src/CMakeFiles/whart.dir/whart/phy/path_loss.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/phy/path_loss.cpp.o.d"
+  "/root/repo/src/whart/phy/pilot.cpp" "src/CMakeFiles/whart.dir/whart/phy/pilot.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/phy/pilot.cpp.o.d"
+  "/root/repo/src/whart/phy/snr.cpp" "src/CMakeFiles/whart.dir/whart/phy/snr.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/phy/snr.cpp.o.d"
+  "/root/repo/src/whart/report/csv.cpp" "src/CMakeFiles/whart.dir/whart/report/csv.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/report/csv.cpp.o.d"
+  "/root/repo/src/whart/report/histogram.cpp" "src/CMakeFiles/whart.dir/whart/report/histogram.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/report/histogram.cpp.o.d"
+  "/root/repo/src/whart/report/table.cpp" "src/CMakeFiles/whart.dir/whart/report/table.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/report/table.cpp.o.d"
+  "/root/repo/src/whart/sim/link_trace.cpp" "src/CMakeFiles/whart.dir/whart/sim/link_trace.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/sim/link_trace.cpp.o.d"
+  "/root/repo/src/whart/sim/simulator.cpp" "src/CMakeFiles/whart.dir/whart/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/sim/simulator.cpp.o.d"
+  "/root/repo/src/whart/sim/stats.cpp" "src/CMakeFiles/whart.dir/whart/sim/stats.cpp.o" "gcc" "src/CMakeFiles/whart.dir/whart/sim/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

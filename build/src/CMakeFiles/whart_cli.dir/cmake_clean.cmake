@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whart_cli.dir/whart/cli/main.cpp.o"
+  "CMakeFiles/whart_cli.dir/whart/cli/main.cpp.o.d"
+  "whart_cli"
+  "whart_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whart_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

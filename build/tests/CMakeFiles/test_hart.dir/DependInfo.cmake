@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hart/analytic_test.cpp" "tests/CMakeFiles/test_hart.dir/hart/analytic_test.cpp.o" "gcc" "tests/CMakeFiles/test_hart.dir/hart/analytic_test.cpp.o.d"
+  "/root/repo/tests/hart/composition_test.cpp" "tests/CMakeFiles/test_hart.dir/hart/composition_test.cpp.o" "gcc" "tests/CMakeFiles/test_hart.dir/hart/composition_test.cpp.o.d"
+  "/root/repo/tests/hart/control_loop_test.cpp" "tests/CMakeFiles/test_hart.dir/hart/control_loop_test.cpp.o" "gcc" "tests/CMakeFiles/test_hart.dir/hart/control_loop_test.cpp.o.d"
+  "/root/repo/tests/hart/energy_test.cpp" "tests/CMakeFiles/test_hart.dir/hart/energy_test.cpp.o" "gcc" "tests/CMakeFiles/test_hart.dir/hart/energy_test.cpp.o.d"
+  "/root/repo/tests/hart/failure_test.cpp" "tests/CMakeFiles/test_hart.dir/hart/failure_test.cpp.o" "gcc" "tests/CMakeFiles/test_hart.dir/hart/failure_test.cpp.o.d"
+  "/root/repo/tests/hart/fast_control_test.cpp" "tests/CMakeFiles/test_hart.dir/hart/fast_control_test.cpp.o" "gcc" "tests/CMakeFiles/test_hart.dir/hart/fast_control_test.cpp.o.d"
+  "/root/repo/tests/hart/link_probability_test.cpp" "tests/CMakeFiles/test_hart.dir/hart/link_probability_test.cpp.o" "gcc" "tests/CMakeFiles/test_hart.dir/hart/link_probability_test.cpp.o.d"
+  "/root/repo/tests/hart/network_analysis_test.cpp" "tests/CMakeFiles/test_hart.dir/hart/network_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/test_hart.dir/hart/network_analysis_test.cpp.o.d"
+  "/root/repo/tests/hart/path_analysis_test.cpp" "tests/CMakeFiles/test_hart.dir/hart/path_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/test_hart.dir/hart/path_analysis_test.cpp.o.d"
+  "/root/repo/tests/hart/path_model_test.cpp" "tests/CMakeFiles/test_hart.dir/hart/path_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_hart.dir/hart/path_model_test.cpp.o.d"
+  "/root/repo/tests/hart/retry_slots_test.cpp" "tests/CMakeFiles/test_hart.dir/hart/retry_slots_test.cpp.o" "gcc" "tests/CMakeFiles/test_hart.dir/hart/retry_slots_test.cpp.o.d"
+  "/root/repo/tests/hart/schedule_optimizer_test.cpp" "tests/CMakeFiles/test_hart.dir/hart/schedule_optimizer_test.cpp.o" "gcc" "tests/CMakeFiles/test_hart.dir/hart/schedule_optimizer_test.cpp.o.d"
+  "/root/repo/tests/hart/sensitivity_test.cpp" "tests/CMakeFiles/test_hart.dir/hart/sensitivity_test.cpp.o" "gcc" "tests/CMakeFiles/test_hart.dir/hart/sensitivity_test.cpp.o.d"
+  "/root/repo/tests/hart/stability_test.cpp" "tests/CMakeFiles/test_hart.dir/hart/stability_test.cpp.o" "gcc" "tests/CMakeFiles/test_hart.dir/hart/stability_test.cpp.o.d"
+  "/root/repo/tests/hart/sweep_test.cpp" "tests/CMakeFiles/test_hart.dir/hart/sweep_test.cpp.o" "gcc" "tests/CMakeFiles/test_hart.dir/hart/sweep_test.cpp.o.d"
+  "/root/repo/tests/hart/validation_test.cpp" "tests/CMakeFiles/test_hart.dir/hart/validation_test.cpp.o" "gcc" "tests/CMakeFiles/test_hart.dir/hart/validation_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/whart.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/channel_gilbert_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/channel_gilbert_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/channel_gilbert_test.cpp.o.d"
+  "/root/repo/tests/integration/dtmc_consistency_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/dtmc_consistency_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/dtmc_consistency_test.cpp.o.d"
+  "/root/repo/tests/integration/model_vs_simulation_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/model_vs_simulation_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/model_vs_simulation_test.cpp.o.d"
+  "/root/repo/tests/integration/random_model_properties_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/random_model_properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/random_model_properties_test.cpp.o.d"
+  "/root/repo/tests/integration/random_network_properties_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/random_network_properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/random_network_properties_test.cpp.o.d"
+  "/root/repo/tests/integration/umbrella_test.cpp" "tests/CMakeFiles/test_integration.dir/integration/umbrella_test.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/umbrella_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/whart.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

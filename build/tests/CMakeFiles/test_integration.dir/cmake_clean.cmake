@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/channel_gilbert_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/channel_gilbert_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/dtmc_consistency_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/dtmc_consistency_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/model_vs_simulation_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/model_vs_simulation_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/random_model_properties_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/random_model_properties_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/random_network_properties_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/random_network_properties_test.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/umbrella_test.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/umbrella_test.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

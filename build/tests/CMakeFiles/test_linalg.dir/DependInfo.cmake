@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/linalg/convolution_test.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/convolution_test.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/convolution_test.cpp.o.d"
+  "/root/repo/tests/linalg/lu_test.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/lu_test.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/lu_test.cpp.o.d"
+  "/root/repo/tests/linalg/matrix_test.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/matrix_test.cpp.o.d"
+  "/root/repo/tests/linalg/sparse_test.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/sparse_test.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/sparse_test.cpp.o.d"
+  "/root/repo/tests/linalg/vector_test.cpp" "tests/CMakeFiles/test_linalg.dir/linalg/vector_test.cpp.o" "gcc" "tests/CMakeFiles/test_linalg.dir/linalg/vector_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/whart.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link.dir/link/blacklist_test.cpp.o"
+  "CMakeFiles/test_link.dir/link/blacklist_test.cpp.o.d"
+  "CMakeFiles/test_link.dir/link/failure_script_test.cpp.o"
+  "CMakeFiles/test_link.dir/link/failure_script_test.cpp.o.d"
+  "CMakeFiles/test_link.dir/link/fitting_test.cpp.o"
+  "CMakeFiles/test_link.dir/link/fitting_test.cpp.o.d"
+  "CMakeFiles/test_link.dir/link/link_model_test.cpp.o"
+  "CMakeFiles/test_link.dir/link/link_model_test.cpp.o.d"
+  "test_link"
+  "test_link.pdb"
+  "test_link[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

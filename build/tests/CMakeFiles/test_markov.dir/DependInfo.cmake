@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/markov/absorbing_test.cpp" "tests/CMakeFiles/test_markov.dir/markov/absorbing_test.cpp.o" "gcc" "tests/CMakeFiles/test_markov.dir/markov/absorbing_test.cpp.o.d"
+  "/root/repo/tests/markov/dtmc_test.cpp" "tests/CMakeFiles/test_markov.dir/markov/dtmc_test.cpp.o" "gcc" "tests/CMakeFiles/test_markov.dir/markov/dtmc_test.cpp.o.d"
+  "/root/repo/tests/markov/export_test.cpp" "tests/CMakeFiles/test_markov.dir/markov/export_test.cpp.o" "gcc" "tests/CMakeFiles/test_markov.dir/markov/export_test.cpp.o.d"
+  "/root/repo/tests/markov/hitting_test.cpp" "tests/CMakeFiles/test_markov.dir/markov/hitting_test.cpp.o" "gcc" "tests/CMakeFiles/test_markov.dir/markov/hitting_test.cpp.o.d"
+  "/root/repo/tests/markov/limiting_test.cpp" "tests/CMakeFiles/test_markov.dir/markov/limiting_test.cpp.o" "gcc" "tests/CMakeFiles/test_markov.dir/markov/limiting_test.cpp.o.d"
+  "/root/repo/tests/markov/simulate_test.cpp" "tests/CMakeFiles/test_markov.dir/markov/simulate_test.cpp.o" "gcc" "tests/CMakeFiles/test_markov.dir/markov/simulate_test.cpp.o.d"
+  "/root/repo/tests/markov/steady_state_test.cpp" "tests/CMakeFiles/test_markov.dir/markov/steady_state_test.cpp.o" "gcc" "tests/CMakeFiles/test_markov.dir/markov/steady_state_test.cpp.o.d"
+  "/root/repo/tests/markov/structure_test.cpp" "tests/CMakeFiles/test_markov.dir/markov/structure_test.cpp.o" "gcc" "tests/CMakeFiles/test_markov.dir/markov/structure_test.cpp.o.d"
+  "/root/repo/tests/markov/transient_test.cpp" "tests/CMakeFiles/test_markov.dir/markov/transient_test.cpp.o" "gcc" "tests/CMakeFiles/test_markov.dir/markov/transient_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/whart.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_markov.dir/markov/absorbing_test.cpp.o"
+  "CMakeFiles/test_markov.dir/markov/absorbing_test.cpp.o.d"
+  "CMakeFiles/test_markov.dir/markov/dtmc_test.cpp.o"
+  "CMakeFiles/test_markov.dir/markov/dtmc_test.cpp.o.d"
+  "CMakeFiles/test_markov.dir/markov/export_test.cpp.o"
+  "CMakeFiles/test_markov.dir/markov/export_test.cpp.o.d"
+  "CMakeFiles/test_markov.dir/markov/hitting_test.cpp.o"
+  "CMakeFiles/test_markov.dir/markov/hitting_test.cpp.o.d"
+  "CMakeFiles/test_markov.dir/markov/limiting_test.cpp.o"
+  "CMakeFiles/test_markov.dir/markov/limiting_test.cpp.o.d"
+  "CMakeFiles/test_markov.dir/markov/simulate_test.cpp.o"
+  "CMakeFiles/test_markov.dir/markov/simulate_test.cpp.o.d"
+  "CMakeFiles/test_markov.dir/markov/steady_state_test.cpp.o"
+  "CMakeFiles/test_markov.dir/markov/steady_state_test.cpp.o.d"
+  "CMakeFiles/test_markov.dir/markov/structure_test.cpp.o"
+  "CMakeFiles/test_markov.dir/markov/structure_test.cpp.o.d"
+  "CMakeFiles/test_markov.dir/markov/transient_test.cpp.o"
+  "CMakeFiles/test_markov.dir/markov/transient_test.cpp.o.d"
+  "test_markov"
+  "test_markov.pdb"
+  "test_markov[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

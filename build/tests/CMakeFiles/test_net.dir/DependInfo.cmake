@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/downlink_test.cpp" "tests/CMakeFiles/test_net.dir/net/downlink_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/downlink_test.cpp.o.d"
+  "/root/repo/tests/net/export_test.cpp" "tests/CMakeFiles/test_net.dir/net/export_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/export_test.cpp.o.d"
+  "/root/repo/tests/net/path_test.cpp" "tests/CMakeFiles/test_net.dir/net/path_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/path_test.cpp.o.d"
+  "/root/repo/tests/net/plant_generator_test.cpp" "tests/CMakeFiles/test_net.dir/net/plant_generator_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/plant_generator_test.cpp.o.d"
+  "/root/repo/tests/net/routing_test.cpp" "tests/CMakeFiles/test_net.dir/net/routing_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/routing_test.cpp.o.d"
+  "/root/repo/tests/net/schedule_builder_test.cpp" "tests/CMakeFiles/test_net.dir/net/schedule_builder_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/schedule_builder_test.cpp.o.d"
+  "/root/repo/tests/net/schedule_test.cpp" "tests/CMakeFiles/test_net.dir/net/schedule_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/schedule_test.cpp.o.d"
+  "/root/repo/tests/net/spatial_plant_test.cpp" "tests/CMakeFiles/test_net.dir/net/spatial_plant_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/spatial_plant_test.cpp.o.d"
+  "/root/repo/tests/net/topology_test.cpp" "tests/CMakeFiles/test_net.dir/net/topology_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/topology_test.cpp.o.d"
+  "/root/repo/tests/net/typical_network_test.cpp" "tests/CMakeFiles/test_net.dir/net/typical_network_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/typical_network_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/whart.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

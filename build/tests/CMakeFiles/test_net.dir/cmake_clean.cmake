@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/downlink_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/downlink_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/export_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/export_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/path_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/path_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/plant_generator_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/plant_generator_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/routing_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/routing_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/schedule_builder_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/schedule_builder_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/schedule_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/schedule_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/spatial_plant_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/spatial_plant_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/topology_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/topology_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/typical_network_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/typical_network_test.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_numeric.dir/numeric/combinatorics_test.cpp.o"
+  "CMakeFiles/test_numeric.dir/numeric/combinatorics_test.cpp.o.d"
+  "CMakeFiles/test_numeric.dir/numeric/distributions_test.cpp.o"
+  "CMakeFiles/test_numeric.dir/numeric/distributions_test.cpp.o.d"
+  "CMakeFiles/test_numeric.dir/numeric/probability_test.cpp.o"
+  "CMakeFiles/test_numeric.dir/numeric/probability_test.cpp.o.d"
+  "CMakeFiles/test_numeric.dir/numeric/rng_test.cpp.o"
+  "CMakeFiles/test_numeric.dir/numeric/rng_test.cpp.o.d"
+  "test_numeric"
+  "test_numeric.pdb"
+  "test_numeric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

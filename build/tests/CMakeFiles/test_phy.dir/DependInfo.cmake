@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/phy/bsc_test.cpp" "tests/CMakeFiles/test_phy.dir/phy/bsc_test.cpp.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/bsc_test.cpp.o.d"
+  "/root/repo/tests/phy/frame_test.cpp" "tests/CMakeFiles/test_phy.dir/phy/frame_test.cpp.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/frame_test.cpp.o.d"
+  "/root/repo/tests/phy/modulation_test.cpp" "tests/CMakeFiles/test_phy.dir/phy/modulation_test.cpp.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/modulation_test.cpp.o.d"
+  "/root/repo/tests/phy/path_loss_test.cpp" "tests/CMakeFiles/test_phy.dir/phy/path_loss_test.cpp.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/path_loss_test.cpp.o.d"
+  "/root/repo/tests/phy/pilot_test.cpp" "tests/CMakeFiles/test_phy.dir/phy/pilot_test.cpp.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/pilot_test.cpp.o.d"
+  "/root/repo/tests/phy/snr_test.cpp" "tests/CMakeFiles/test_phy.dir/phy/snr_test.cpp.o" "gcc" "tests/CMakeFiles/test_phy.dir/phy/snr_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/whart.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

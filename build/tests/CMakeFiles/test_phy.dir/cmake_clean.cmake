@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phy.dir/phy/bsc_test.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/bsc_test.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/frame_test.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/frame_test.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/modulation_test.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/modulation_test.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/path_loss_test.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/path_loss_test.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/pilot_test.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/pilot_test.cpp.o.d"
+  "CMakeFiles/test_phy.dir/phy/snr_test.cpp.o"
+  "CMakeFiles/test_phy.dir/phy/snr_test.cpp.o.d"
+  "test_phy"
+  "test_phy.pdb"
+  "test_phy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_cli.dir/cli/spec_parser_test.cpp.o"
+  "CMakeFiles/test_report_cli.dir/cli/spec_parser_test.cpp.o.d"
+  "CMakeFiles/test_report_cli.dir/report/csv_test.cpp.o"
+  "CMakeFiles/test_report_cli.dir/report/csv_test.cpp.o.d"
+  "CMakeFiles/test_report_cli.dir/report/histogram_test.cpp.o"
+  "CMakeFiles/test_report_cli.dir/report/histogram_test.cpp.o.d"
+  "CMakeFiles/test_report_cli.dir/report/table_test.cpp.o"
+  "CMakeFiles/test_report_cli.dir/report/table_test.cpp.o.d"
+  "test_report_cli"
+  "test_report_cli.pdb"
+  "test_report_cli[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_numeric[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_phy[1]_include.cmake")
+include("/root/repo/build/tests/test_markov[1]_include.cmake")
+include("/root/repo/build/tests/test_link[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_hart[1]_include.cmake")
+include("/root/repo/build/tests/test_paper[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_report_cli[1]_include.cmake")
+add_test(cli_typical "/root/repo/build/src/whart_cli" "--typical")
+set_tests_properties(cli_typical PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;104;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_typical_reports "/root/repo/build/src/whart_cli" "--typical" "--energy" "--stability" "0.99")
+set_tests_properties(cli_typical_reports PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;105;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_spec_file "/root/repo/build/src/whart_cli" "/root/repo/examples/specs/plant.spec")
+set_tests_properties(cli_spec_file PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;107;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_rejects_bad_flag "/root/repo/build/src/whart_cli" "--typical" "--bogus")
+set_tests_properties(cli_rejects_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;109;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_rejects_missing_file "/root/repo/build/src/whart_cli" "/no/such/file")
+set_tests_properties(cli_rejects_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;111;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_exports "/root/repo/build/src/whart_cli" "--typical" "--csv" "/root/repo/build/cli_test.csv" "--sweep" "/root/repo/build/cli_sweep.csv")
+set_tests_properties(cli_exports PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;113;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_simulate "/root/repo/build/src/whart_cli" "--typical" "--simulate" "2000")
+set_tests_properties(cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;116;add_test;/root/repo/tests/CMakeLists.txt;0;")
