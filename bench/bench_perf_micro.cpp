@@ -133,20 +133,60 @@ void BM_TypicalNetworkAnalysis(benchmark::State& state) {
 }
 BENCHMARK(BM_TypicalNetworkAnalysis);
 
+// The seed-equivalent baseline: strictly serial, no memoization —
+// exactly the per-path loop the repository shipped with.
 void BM_GeneratedPlantAnalysis(benchmark::State& state) {
   net::PlantProfile profile;
   profile.device_count = static_cast<std::uint32_t>(state.range(0));
   profile.seed = 7;
   const net::GeneratedPlant plant = net::generate_plant(profile);
+  hart::AnalysisOptions options;
+  options.threads = 1;
+  options.use_cache = false;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         hart::analyze_network(plant.network, plant.paths, plant.schedule,
-                              plant.superframe, 4)
+                              plant.superframe, 4, options)
             .mean_delay_ms);
   }
 }
 BENCHMARK(BM_GeneratedPlantAnalysis)->Arg(10)->Arg(50)->Arg(200);
 
+// The parallel engine on the same workload: Args are (devices, threads,
+// cache).  Cached runs share one PathAnalysisCache across iterations —
+// the steady state of a long-lived analysis service, where repeated and
+// structurally identical solves all hit.
+void BM_GeneratedPlantAnalysisParallel(benchmark::State& state) {
+  net::PlantProfile profile;
+  profile.device_count = static_cast<std::uint32_t>(state.range(0));
+  profile.seed = 7;
+  const net::GeneratedPlant plant = net::generate_plant(profile);
+  hart::PathAnalysisCache cache;
+  hart::AnalysisOptions options;
+  options.threads = static_cast<unsigned>(state.range(1));
+  options.use_cache = state.range(2) != 0;
+  options.cache = options.use_cache ? &cache : nullptr;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hart::analyze_network(plant.network, plant.paths, plant.schedule,
+                              plant.superframe, 4, options)
+            .mean_delay_ms);
+  }
+  const hart::PathAnalysisCache::Stats stats = cache.stats();
+  state.SetLabel("cache_hits=" + std::to_string(stats.hits) +
+                 " misses=" + std::to_string(stats.misses));
+}
+BENCHMARK(BM_GeneratedPlantAnalysisParallel)
+    ->Args({200, 1, 0})
+    ->Args({200, 2, 0})
+    ->Args({200, 4, 0})
+    ->Args({200, 8, 0})
+    ->Args({200, 1, 1})
+    ->Args({200, 2, 1})
+    ->Args({200, 4, 1})
+    ->Args({200, 8, 1});
+
+// The seed-equivalent Monte-Carlo baseline: one shard, one stream.
 void BM_MonteCarloPerInterval(benchmark::State& state) {
   const net::TypicalNetwork t = net::make_typical_network();
   sim::SimulatorConfig config;
@@ -159,6 +199,23 @@ void BM_MonteCarloPerInterval(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_MonteCarloPerInterval);
+
+// Sharded Monte Carlo: intervals split across `threads` shards, each on
+// its own RNG stream (results deterministic in (seed, shard count)).
+void BM_MonteCarloPerIntervalSharded(benchmark::State& state) {
+  const net::TypicalNetwork t = net::make_typical_network();
+  sim::SimulatorConfig config;
+  config.superframe = t.superframe;
+  config.intervals = 1000;
+  config.shards = static_cast<std::uint32_t>(state.range(0));
+  config.threads = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    sim::NetworkSimulator simulator(t.network, t.paths, t.eta_a, config);
+    benchmark::DoNotOptimize(simulator.run().total_slots_simulated);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_MonteCarloPerIntervalSharded)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 

@@ -1,0 +1,115 @@
+#include "whart/common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <charconv>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::common {
+
+unsigned resolve_thread_count(unsigned requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("WHART_THREADS")) {
+    unsigned parsed = 0;
+    const char* end = env + std::strlen(env);
+    const auto [ptr, ec] = std::from_chars(env, end, parsed);
+    if (ec == std::errc() && ptr == end) return parsed > 0 ? parsed : 1;
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? hardware : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads) {
+  expects(threads >= 1, "at least one worker");
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return in_flight_ == 0; });
+  // Reclaim the drained queue storage.
+  queue_.clear();
+  next_task_ = 0;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return stopping_ || next_task_ < queue_.size(); });
+      if (next_task_ >= queue_.size()) return;  // stopping, queue drained
+      task = std::move(queue_[next_task_++]);
+    }
+    task();
+    {
+      const std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+namespace detail {
+
+void parallel_for_impl(std::size_t n,
+                       const std::function<void(std::size_t)>& fn,
+                       unsigned threads) {
+  const auto workers =
+      static_cast<unsigned>(std::min<std::size_t>(threads, n));
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto drain = [&] {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        failed.store(true, std::memory_order_relaxed);
+        const std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  {
+    ThreadPool pool(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.submit(drain);
+    pool.wait_idle();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace detail
+
+}  // namespace whart::common

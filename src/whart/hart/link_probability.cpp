@@ -11,6 +11,13 @@ SteadyStateLinks::SteadyStateLinks(std::vector<link::LinkModel> links) {
     availability_.push_back(l.steady_state_availability());
 }
 
+SteadyStateLinks::SteadyStateLinks(std::vector<double> availabilities)
+    : availability_(std::move(availabilities)) {
+  expects(!availability_.empty(), "at least one link");
+  for (double a : availability_)
+    expects(a >= 0.0 && a <= 1.0, "0 <= availability <= 1");
+}
+
 SteadyStateLinks::SteadyStateLinks(std::size_t hops, link::LinkModel model)
     : SteadyStateLinks(std::vector<link::LinkModel>(hops, model)) {}
 

@@ -35,6 +35,9 @@ class SteadyStateLinks final : public LinkProbabilityProvider {
  public:
   explicit SteadyStateLinks(std::vector<link::LinkModel> links);
 
+  /// Directly from per-hop stationary UP probabilities (each in [0, 1]).
+  explicit SteadyStateLinks(std::vector<double> availabilities);
+
   /// Homogeneous shorthand: `hops` copies of the same model.
   SteadyStateLinks(std::size_t hops, link::LinkModel model);
 

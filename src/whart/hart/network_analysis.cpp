@@ -1,9 +1,13 @@
 #include "whart/hart/network_analysis.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <map>
 
 #include "whart/common/contracts.hpp"
+#include "whart/common/parallel.hpp"
+#include "whart/phy/frame.hpp"
 
 namespace whart::hart {
 
@@ -11,17 +15,33 @@ NetworkMeasures analyze_network(const net::Network& network,
                                 const std::vector<net::Path>& paths,
                                 const net::Schedule& schedule,
                                 net::SuperframeConfig superframe,
-                                std::uint32_t reporting_interval) {
+                                std::uint32_t reporting_interval,
+                                const AnalysisOptions& options) {
   expects(!paths.empty(), "at least one path");
-  std::vector<PathMeasures> per_path;
-  per_path.reserve(paths.size());
-  for (std::size_t p = 0; p < paths.size(); ++p) {
-    const PathModelConfig config = PathModelConfig::from_schedule(
-        schedule, p, superframe, reporting_interval);
-    const PathModel model(config);
-    const SteadyStateLinks links(paths[p].hop_models(network));
-    per_path.push_back(compute_path_measures(model, links));
-  }
+  PathAnalysisCache local_cache;
+  PathAnalysisCache* cache =
+      options.cache != nullptr ? options.cache
+                               : (options.use_cache ? &local_cache : nullptr);
+
+  std::vector<PathMeasures> per_path(paths.size());
+  common::parallel_for(
+      paths.size(),
+      [&](std::size_t p) {
+        const PathModelConfig config = PathModelConfig::from_schedule(
+            schedule, p, superframe, reporting_interval);
+        std::vector<double> availability;
+        availability.reserve(config.hop_count());
+        for (const link::LinkModel& model : paths[p].hop_models(network))
+          availability.push_back(model.steady_state_availability());
+        if (cache != nullptr) {
+          per_path[p] = cache->measures(config, availability);
+        } else {
+          const PathModel model(config);
+          const SteadyStateLinks links(std::move(availability));
+          per_path[p] = compute_path_measures(model, links);
+        }
+      },
+      options.threads);
   return aggregate_measures(std::move(per_path));
 }
 
@@ -31,14 +51,19 @@ NetworkMeasures aggregate_measures(std::vector<PathMeasures> per_path) {
   result.per_path = std::move(per_path);
 
   const double path_count = static_cast<double>(result.per_path.size());
-  std::map<double, double> delay_mass;
+  // Mass is merged per 10 ms slot index, not per raw double delay: equal
+  // delays reached through different arithmetic (e.g. from paths solved
+  // via the canonical cache vs directly) must land in one bin.
+  std::map<std::int64_t, double> delay_mass;
   for (std::size_t p = 0; p < result.per_path.size(); ++p) {
     const PathMeasures& m = result.per_path[p];
     result.mean_delay_ms += m.expected_delay_ms / path_count;
     result.network_utilization += m.utilization;
     result.network_utilization_delivered += m.utilization_delivered;
     for (std::size_t i = 0; i < m.delays_ms.size(); ++i)
-      delay_mass[m.delays_ms[i]] += m.delay_distribution[i] / path_count;
+      delay_mass[static_cast<std::int64_t>(
+          std::llround(m.delays_ms[i] / phy::kSlotMilliseconds))] +=
+          m.delay_distribution[i] / path_count;
     if (m.expected_delay_ms >
         result.per_path[result.bottleneck_by_delay].expected_delay_ms)
       result.bottleneck_by_delay = p;
@@ -47,8 +72,9 @@ NetworkMeasures aggregate_measures(std::vector<PathMeasures> per_path) {
       result.bottleneck_by_reachability = p;
   }
   result.overall_delay_distribution.reserve(delay_mass.size());
-  for (const auto& [delay, probability] : delay_mass)
-    result.overall_delay_distribution.push_back({delay, probability});
+  for (const auto& [slot, probability] : delay_mass)
+    result.overall_delay_distribution.push_back(
+        {static_cast<double>(slot) * phy::kSlotMilliseconds, probability});
   return result;
 }
 

@@ -7,12 +7,32 @@
 #include <vector>
 
 #include "whart/hart/path_analysis.hpp"
+#include "whart/hart/path_cache.hpp"
 #include "whart/net/path.hpp"
 #include "whart/net/schedule.hpp"
 #include "whart/net/superframe.hpp"
 #include "whart/net/topology.hpp"
 
 namespace whart::hart {
+
+/// Execution knobs of analyze_network.  Neither threading nor caching
+/// changes the result: per-path measures land by index and the cache's
+/// canonical solves are bit-identical to direct ones.
+struct AnalysisOptions {
+  /// Worker threads for the per-path fan-out; 0 consults WHART_THREADS
+  /// and falls back to the hardware concurrency, 1 runs serially.
+  unsigned threads = 0;
+
+  /// Share solves between structurally identical paths (on by default;
+  /// purely a speedup).
+  bool use_cache = true;
+
+  /// Optional caller-owned cache reused across calls (e.g. across the
+  /// repeated analyses of a sweep or benchmark).  When null and
+  /// use_cache is true, a fresh per-call cache still deduplicates within
+  /// the call.
+  PathAnalysisCache* cache = nullptr;
+};
 
 /// One point of the network-wide delay distribution.
 struct DelayProbability {
@@ -49,12 +69,14 @@ struct NetworkMeasures {
 };
 
 /// Exact DTMC analysis of every path with steady-state links taken from
-/// the network's link models.
+/// the network's link models.  Paths are solved concurrently (see
+/// AnalysisOptions); the result is identical to the serial loop.
 NetworkMeasures analyze_network(const net::Network& network,
                                 const std::vector<net::Path>& paths,
                                 const net::Schedule& schedule,
                                 net::SuperframeConfig superframe,
-                                std::uint32_t reporting_interval);
+                                std::uint32_t reporting_interval,
+                                const AnalysisOptions& options = {});
 
 /// Aggregate precomputed per-path measures (used when paths were analyzed
 /// under non-steady regimes, e.g. failure scripts).

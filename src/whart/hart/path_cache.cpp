@@ -1,0 +1,143 @@
+#include "whart/hart/path_cache.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::hart {
+
+namespace {
+
+/// True when every firing event keeps its cycle under translation toward
+/// slot 1: the TTL must be the full horizon (a mid-frame TTL cuts a
+/// different number of attempts once the slots move).
+bool translation_invariant(const PathModelConfig& config) {
+  return config.effective_ttl() == config.horizon();
+}
+
+/// Smallest transmission-opportunity slot (hop or retry; retry slot 0
+/// means "none" and is ignored).
+net::SlotNumber min_opportunity_slot(const PathModelConfig& config) {
+  net::SlotNumber min_slot = std::numeric_limits<net::SlotNumber>::max();
+  for (net::SlotNumber s : config.hop_slots) min_slot = std::min(min_slot, s);
+  for (net::SlotNumber s : config.retry_slots)
+    if (s != 0) min_slot = std::min(min_slot, s);
+  return min_slot;
+}
+
+/// The config translated so its earliest opportunity sits in slot 1
+/// (identity when translation is not applicable).
+PathModelConfig canonicalize(const PathModelConfig& config) {
+  PathModelConfig canonical = config;
+  if (!translation_invariant(config)) return canonical;
+  const net::SlotNumber shift = min_opportunity_slot(config) - 1;
+  if (shift == 0) return canonical;
+  for (net::SlotNumber& s : canonical.hop_slots) s -= shift;
+  for (net::SlotNumber& s : canonical.retry_slots)
+    if (s != 0) s -= shift;
+  return canonical;
+}
+
+void append_u32(std::string& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8)
+    out.push_back(static_cast<char>((value >> shift) & 0xFF));
+}
+
+void append_double_bits(std::string& out, double value) {
+  const auto bits = std::bit_cast<std::uint64_t>(value);
+  for (int shift = 0; shift < 64; shift += 8)
+    out.push_back(static_cast<char>((bits >> shift) & 0xFF));
+}
+
+}  // namespace
+
+std::string PathAnalysisCache::fingerprint(
+    const PathModelConfig& config,
+    const std::vector<double>& hop_availability) {
+  const PathModelConfig canonical = canonicalize(config);
+  std::string key;
+  key.reserve(16 + 4 * canonical.hop_slots.size() +
+              4 * canonical.retry_slots.size() + 8 * hop_availability.size());
+  // The solve depends only on the uplink frame length, the reporting
+  // interval, the effective TTL and the firing pattern — Fdown and the
+  // gateway slot offset enter the *measures*, which are re-derived from
+  // the caller's config on every lookup.
+  append_u32(key, canonical.superframe.uplink_slots);
+  append_u32(key, canonical.reporting_interval);
+  append_u32(key, canonical.effective_ttl());
+  append_u32(key, static_cast<std::uint32_t>(canonical.hop_slots.size()));
+  for (net::SlotNumber s : canonical.hop_slots) append_u32(key, s);
+  append_u32(key, static_cast<std::uint32_t>(canonical.retry_slots.size()));
+  for (net::SlotNumber s : canonical.retry_slots) append_u32(key, s);
+  for (std::size_t h = 0; h < canonical.hop_count(); ++h)
+    append_double_bits(key, hop_availability[h]);
+  return key;
+}
+
+PathMeasures PathAnalysisCache::measures(
+    const PathModelConfig& config,
+    const std::vector<double>& hop_availability) {
+  expects(hop_availability.size() >= config.hop_count(),
+          "one availability per hop");
+  const std::string key = fingerprint(config, hop_availability);
+
+  bool found = false;
+  Entry entry;
+  {
+    const std::lock_guard lock(mutex_);
+    if (const auto it = entries_.find(key); it != entries_.end()) {
+      ++stats_.hits;
+      found = true;
+      entry = it->second;
+    } else {
+      ++stats_.misses;
+    }
+  }
+
+  if (!found) {
+    // Solve the canonical model outside the lock; a concurrent miss on
+    // the same key solves twice and stores the identical entry — benign.
+    const PathModel model(canonicalize(config));
+    const SteadyStateLinks links(std::vector<double>(
+        hop_availability.begin(),
+        hop_availability.begin() +
+            static_cast<std::ptrdiff_t>(config.hop_count())));
+    const PathTransientResult transient = model.analyze(links);
+    entry.cycle_probabilities = transient.cycle_probabilities;
+    entry.expected_transmissions = transient.expected_transmissions;
+    entry.expected_transmissions_delivered =
+        transient.expected_transmissions_delivered;
+    const std::lock_guard lock(mutex_);
+    entries_.emplace(key, entry);
+  }
+
+  // Re-derive the measures from the caller's (untranslated) config —
+  // the same steps compute_path_measures performs on a direct solve.
+  PathMeasures m = measures_from_cycles(config, entry.cycle_probabilities,
+                                        entry.expected_transmissions);
+  m.utilization_delivered =
+      entry.expected_transmissions_delivered /
+      (static_cast<double>(config.reporting_interval) *
+       config.superframe.uplink_slots);
+  return m;
+}
+
+PathAnalysisCache::Stats PathAnalysisCache::stats() const {
+  const std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::size_t PathAnalysisCache::size() const {
+  const std::lock_guard lock(mutex_);
+  return entries_.size();
+}
+
+void PathAnalysisCache::clear() {
+  const std::lock_guard lock(mutex_);
+  entries_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace whart::hart

@@ -1,0 +1,75 @@
+// Memoized path-analysis cache.  Large generated plants contain many
+// structurally identical paths (the 30/50/20 hop-count mix of the HART
+// plant statistics): a 1-hop path scheduled in slot 7 behaves exactly
+// like a 1-hop path scheduled in slot 1, apart from a constant delay
+// offset that the measure derivation reapplies anyway.  The cache keys
+// each solve by a canonical fingerprint of (PathModelConfig, per-hop
+// steady-state availabilities) and stores the solver outputs (cycle
+// probabilities, expected transmissions), so structurally identical
+// paths are solved once and shared.
+//
+// Exactness: with steady-state links the per-attempt success
+// probability is slot-independent, and translating every transmission
+// opportunity by the same offset toward slot 1 keeps each firing event
+// in the same superframe cycle (slots are congruent mod Fup and stay
+// within [1, Fup]) — the forward/backward passes perform the identical
+// arithmetic sequence, so the canonical solve is bit-identical to the
+// direct one.  Translation is only applied when the effective TTL is
+// the full horizon (a mid-frame TTL is not translation invariant).
+// Cached results are therefore exactly equal to uncached ones.
+//
+// Thread safety: all members are safe to call concurrently; the cache is
+// shared by the parallel per-path workers of hart::analyze_network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <mutex>
+#include <vector>
+
+#include "whart/hart/path_analysis.hpp"
+#include "whart/hart/path_model.hpp"
+
+namespace whart::hart {
+
+class PathAnalysisCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  /// Measures of `config` under steady-state links with the given
+  /// per-hop UP probabilities, solving (and memoizing) on a miss.
+  /// Bit-identical to compute_path_measures on a SteadyStateLinks
+  /// provider with the same availabilities.
+  PathMeasures measures(const PathModelConfig& config,
+                        const std::vector<double>& hop_availability);
+
+  /// Canonical fingerprint of (config, availabilities); two calls with
+  /// the same fingerprint share one solve.  Exposed for tests.
+  [[nodiscard]] static std::string fingerprint(
+      const PathModelConfig& config,
+      const std::vector<double>& hop_availability);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  /// The solver outputs a measure reconstruction needs; everything else
+  /// in PathMeasures is derived from these plus the (uncanonicalized)
+  /// config.
+  struct Entry {
+    std::vector<double> cycle_probabilities;
+    double expected_transmissions = 0.0;
+    double expected_transmissions_delivered = 0.0;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace whart::hart

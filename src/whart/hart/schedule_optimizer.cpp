@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "whart/common/contracts.hpp"
+#include "whart/common/parallel.hpp"
 #include "whart/hart/analytic.hpp"
 #include "whart/net/schedule_builder.hpp"
 
@@ -11,26 +12,26 @@ namespace whart::hart {
 
 std::vector<double> expected_extra_cycles(
     const net::Network& network, const std::vector<net::Path>& paths,
-    std::uint32_t reporting_interval) {
+    std::uint32_t reporting_interval, unsigned threads) {
   expects(!paths.empty(), "at least one path");
-  std::vector<double> extra;
-  extra.reserve(paths.size());
-  for (const net::Path& path : paths) {
-    std::vector<double> per_hop_ps;
-    for (const link::LinkModel& model : path.hop_models(network))
-      per_hop_ps.push_back(model.steady_state_availability());
-    const std::vector<double> cycles =
-        analytic_cycle_probabilities(per_hop_ps, reporting_interval);
-    const double reach =
-        std::accumulate(cycles.begin(), cycles.end(), 0.0);
-    double mean_extra = 0.0;
-    if (reach > 0.0) {
-      for (std::uint32_t i = 0; i < reporting_interval; ++i)
-        mean_extra += static_cast<double>(i) * cycles[i] / reach;
-    }
-    extra.push_back(mean_extra);
-  }
-  return extra;
+  return common::parallel_map(
+      paths,
+      [&](const net::Path& path) {
+        std::vector<double> per_hop_ps;
+        for (const link::LinkModel& model : path.hop_models(network))
+          per_hop_ps.push_back(model.steady_state_availability());
+        const std::vector<double> cycles =
+            analytic_cycle_probabilities(per_hop_ps, reporting_interval);
+        const double reach =
+            std::accumulate(cycles.begin(), cycles.end(), 0.0);
+        double mean_extra = 0.0;
+        if (reach > 0.0) {
+          for (std::uint32_t i = 0; i < reporting_interval; ++i)
+            mean_extra += static_cast<double>(i) * cycles[i] / reach;
+        }
+        return mean_extra;
+      },
+      threads);
 }
 
 net::Schedule build_min_worst_delay_schedule(

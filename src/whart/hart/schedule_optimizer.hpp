@@ -23,9 +23,11 @@ namespace whart::hart {
 
 /// Expected extra cycles (retries) of each path given delivery, from the
 /// analytic steady-state model; the building block of the penalty order.
+/// Paths are evaluated concurrently (`threads` as in
+/// common::parallel_for) with results in path order.
 std::vector<double> expected_extra_cycles(
     const net::Network& network, const std::vector<net::Path>& paths,
-    std::uint32_t reporting_interval);
+    std::uint32_t reporting_interval, unsigned threads = 0);
 
 /// Build the schedule that minimizes the worst-case expected path delay
 /// among contiguous chain layouts.

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "whart/common/contracts.hpp"
+#include "whart/common/parallel.hpp"
 
 namespace whart::hart {
 
@@ -80,23 +81,30 @@ std::vector<double> reachability_sensitivity(
 std::vector<LinkSensitivity> rank_link_upgrades(
     const net::Network& network, const std::vector<net::Path>& paths,
     const net::Schedule& schedule, net::SuperframeConfig superframe,
-    std::uint32_t reporting_interval) {
+    std::uint32_t reporting_interval, unsigned threads) {
   expects(!paths.empty(), "at least one path");
   std::vector<LinkSensitivity> ranking;
   for (net::LinkId id : network.links())
     ranking.push_back(LinkSensitivity{id, 0.0, 0});
 
+  // Per-path adjoint sweeps fan out; the accumulation over shared links
+  // stays serial and in path order so the sums are reproducible.
+  std::vector<std::vector<double>> per_hop_all(paths.size());
+  common::parallel_for(
+      paths.size(),
+      [&](std::size_t p) {
+        const PathModelConfig config = PathModelConfig::from_schedule(
+            schedule, p, superframe, reporting_interval);
+        const PathModel model(config);
+        const SteadyStateLinks provider(paths[p].hop_models(network));
+        per_hop_all[p] = reachability_sensitivity(model, provider);
+      },
+      threads);
   for (std::size_t p = 0; p < paths.size(); ++p) {
-    const PathModelConfig config = PathModelConfig::from_schedule(
-        schedule, p, superframe, reporting_interval);
-    const PathModel model(config);
-    const SteadyStateLinks provider(paths[p].hop_models(network));
-    const std::vector<double> per_hop =
-        reachability_sensitivity(model, provider);
     const std::vector<net::LinkId> hop_links =
         paths[p].resolve_links(network);
     for (std::size_t h = 0; h < hop_links.size(); ++h) {
-      ranking[hop_links[h].value].total_dR_dpi += per_hop[h];
+      ranking[hop_links[h].value].total_dR_dpi += per_hop_all[p][h];
       ++ranking[hop_links[h].value].paths_using;
     }
   }

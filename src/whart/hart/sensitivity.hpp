@@ -38,9 +38,11 @@ struct LinkSensitivity {
 };
 
 /// Rank all links of a scheduled network, most valuable upgrade first.
+/// Per-path sensitivities are computed concurrently (`threads` as in
+/// common::parallel_for); the ranking is independent of the thread count.
 std::vector<LinkSensitivity> rank_link_upgrades(
     const net::Network& network, const std::vector<net::Path>& paths,
     const net::Schedule& schedule, net::SuperframeConfig superframe,
-    std::uint32_t reporting_interval);
+    std::uint32_t reporting_interval, unsigned threads = 0);
 
 }  // namespace whart::hart

@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include "whart/common/contracts.hpp"
+#include "whart/common/parallel.hpp"
 #include "whart/report/csv.hpp"
 
 namespace whart::hart {
@@ -29,64 +30,85 @@ std::vector<double> linspace(double first, double last, std::size_t count) {
 }
 
 SweepSeries sweep_availability(const PathModelConfig& config,
-                               const std::vector<double>& availabilities) {
+                               const std::vector<double>& availabilities,
+                               unsigned threads) {
   expects(!availabilities.empty(), "at least one sample");
   SweepSeries series;
   series.parameter_name = "availability";
-  for (double pi : availabilities)
-    series.points.push_back(SweepPoint{
-        pi, measure_with_links(config,
-                               link::LinkModel::from_availability(pi))});
+  series.points = common::parallel_map(
+      availabilities,
+      [&](double pi) {
+        return SweepPoint{
+            pi, measure_with_links(config,
+                                   link::LinkModel::from_availability(pi))};
+      },
+      threads);
   return series;
 }
 
 SweepSeries sweep_ber(const PathModelConfig& config,
-                      const std::vector<double>& bit_error_rates) {
+                      const std::vector<double>& bit_error_rates,
+                      unsigned threads) {
   expects(!bit_error_rates.empty(), "at least one sample");
   SweepSeries series;
   series.parameter_name = "ber";
-  for (double ber : bit_error_rates)
-    series.points.push_back(SweepPoint{
-        ber, measure_with_links(config, link::LinkModel::from_ber(ber))});
+  series.points = common::parallel_map(
+      bit_error_rates,
+      [&](double ber) {
+        return SweepPoint{
+            ber, measure_with_links(config, link::LinkModel::from_ber(ber))};
+      },
+      threads);
   return series;
 }
 
 SweepSeries sweep_hop_count(std::uint32_t max_hops, double availability,
                             net::SuperframeConfig superframe,
-                            std::uint32_t reporting_interval) {
+                            std::uint32_t reporting_interval,
+                            unsigned threads) {
   expects(max_hops >= 1, "max_hops >= 1");
   expects(max_hops <= superframe.uplink_slots, "hops fit in the frame");
   SweepSeries series;
   series.parameter_name = "hops";
-  for (std::uint32_t hops = 1; hops <= max_hops; ++hops) {
-    PathModelConfig config;
-    for (std::uint32_t h = 0; h < hops; ++h)
-      config.hop_slots.push_back(h + 1);
-    config.superframe = superframe;
-    config.reporting_interval = reporting_interval;
-    series.points.push_back(SweepPoint{
-        static_cast<double>(hops),
-        measure_with_links(config,
-                           link::LinkModel::from_availability(availability))});
-  }
+  std::vector<std::uint32_t> hop_counts;
+  hop_counts.reserve(max_hops);
+  for (std::uint32_t hops = 1; hops <= max_hops; ++hops)
+    hop_counts.push_back(hops);
+  series.points = common::parallel_map(
+      hop_counts,
+      [&](std::uint32_t hops) {
+        PathModelConfig config;
+        for (std::uint32_t h = 0; h < hops; ++h)
+          config.hop_slots.push_back(h + 1);
+        config.superframe = superframe;
+        config.reporting_interval = reporting_interval;
+        return SweepPoint{
+            static_cast<double>(hops),
+            measure_with_links(
+                config, link::LinkModel::from_availability(availability))};
+      },
+      threads);
   return series;
 }
 
 SweepSeries sweep_reporting_interval_series(
     const PathModelConfig& base_config, double availability,
-    const std::vector<std::uint32_t>& intervals) {
+    const std::vector<std::uint32_t>& intervals, unsigned threads) {
   expects(!intervals.empty(), "at least one interval");
   SweepSeries series;
   series.parameter_name = "reporting_interval";
-  for (std::uint32_t is : intervals) {
-    PathModelConfig config = base_config;
-    config.reporting_interval = is;
-    config.ttl.reset();
-    series.points.push_back(SweepPoint{
-        static_cast<double>(is),
-        measure_with_links(config,
-                           link::LinkModel::from_availability(availability))});
-  }
+  series.points = common::parallel_map(
+      intervals,
+      [&](std::uint32_t is) {
+        PathModelConfig config = base_config;
+        config.reporting_interval = is;
+        config.ttl.reset();
+        return SweepPoint{
+            static_cast<double>(is),
+            measure_with_links(
+                config, link::LinkModel::from_availability(availability))};
+      },
+      threads);
   return series;
 }
 

@@ -15,14 +15,18 @@ ValidationReport validate_against_simulation(
           "positive tolerances");
 
   ValidationReport report;
+  AnalysisOptions analysis_options;
+  analysis_options.threads = config.threads;
   report.model = analyze_network(network, paths, schedule, superframe,
-                                 reporting_interval);
+                                 reporting_interval, analysis_options);
 
   sim::SimulatorConfig sim_config;
   sim_config.superframe = superframe;
   sim_config.reporting_interval = reporting_interval;
   sim_config.intervals = config.intervals;
   sim_config.seed = config.seed;
+  sim_config.shards = config.shards;
+  sim_config.threads = config.threads;
   sim::NetworkSimulator simulator(network, paths, schedule, sim_config);
   report.simulation = simulator.run();
 

@@ -49,6 +49,12 @@ struct ValidationConfig {
   double reachability_z = 3.89;
   /// Maximum tolerated |delay z-score|.
   double max_delay_z = 5.0;
+  /// Monte-Carlo interval shards (see SimulatorConfig::shards); 1 keeps
+  /// the historical single-stream sample.
+  std::uint32_t shards = 1;
+  /// Worker threads for both the analytic fan-out and the simulator
+  /// shards (0 = WHART_THREADS/hardware).  Never changes the report.
+  unsigned threads = 0;
 };
 
 /// Run both engines and compare.

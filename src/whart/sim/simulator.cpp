@@ -1,8 +1,11 @@
 #include "whart/sim/simulator.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "whart/common/contracts.hpp"
+#include "whart/common/parallel.hpp"
 #include "whart/link/blacklist.hpp"
 #include "whart/phy/frame.hpp"
 
@@ -37,6 +40,17 @@ double PathStatistics::utilization(std::uint32_t uplink_slots,
          (static_cast<double>(messages) * reporting_interval * uplink_slots);
 }
 
+void PathStatistics::merge(const PathStatistics& other) {
+  expects(delivered_per_cycle.size() == other.delivered_per_cycle.size(),
+          "same reporting interval");
+  messages += other.messages;
+  for (std::size_t i = 0; i < delivered_per_cycle.size(); ++i)
+    delivered_per_cycle[i] += other.delivered_per_cycle[i];
+  discarded += other.discarded;
+  transmissions += other.transmissions;
+  delay_ms.merge(other.delay_ms);
+}
+
 /// Lazily-evolved per-link simulation state.  Between uses the Gilbert
 /// chain is advanced analytically: the state after t slots given the
 /// current state follows the closed-form transient probability, so we
@@ -54,6 +68,25 @@ struct NetworkSimulator::LinkRuntime {
       : model(m), hopper(hopper_seed) {}
 };
 
+/// One shard's mutable world: its RNG stream and its own copy of every
+/// link's lazily-evolved state.
+struct NetworkSimulator::ShardState {
+  numeric::Xoshiro256 rng;
+  std::vector<LinkRuntime> links;
+
+  /// Reproduces the draw order of the original serial implementation:
+  /// per link, one raw draw for the hopper seed, then one Bernoulli
+  /// sample of the steady-state availability.
+  ShardState(const net::Network& network, std::uint64_t seed) : rng(seed) {
+    links.reserve(network.link_count());
+    for (net::LinkId id : network.links()) {
+      links.emplace_back(network.link(id).model, rng.next());
+      links.back().up = rng.bernoulli(
+          network.link(id).model.steady_state_availability());
+    }
+  }
+};
+
 NetworkSimulator::~NetworkSimulator() = default;
 
 NetworkSimulator::NetworkSimulator(const net::Network& network,
@@ -63,23 +96,15 @@ NetworkSimulator::NetworkSimulator(const net::Network& network,
     : network_(network),
       paths_(std::move(paths)),
       schedule_(schedule),
-      config_(config),
-      rng_(config.seed) {
+      config_(config) {
   expects(!paths_.empty(), "at least one path");
   expects(config_.reporting_interval >= 1, "Is >= 1");
   expects(config_.intervals >= 1, "at least one interval");
+  expects(config_.shards >= 1, "at least one shard");
   expects(schedule_.uplink_slots() == config_.superframe.uplink_slots,
           "schedule length matches the superframe uplink size");
   expects(config_.physical.bad_channels < phy::kChannelCount,
           "some channels must be clean");
-
-  link_runtime_.reserve(network_.link_count());
-  for (net::LinkId id : network_.links()) {
-    link_runtime_.emplace_back(network_.link(id).model, rng_.next());
-    // Start each link in a steady-state sample.
-    link_runtime_.back().up = rng_.bernoulli(
-        network_.link(id).model.steady_state_availability());
-  }
 
   hop_links_.reserve(paths_.size());
   for (const net::Path& path : paths_) {
@@ -90,9 +115,9 @@ NetworkSimulator::NetworkSimulator(const net::Network& network,
   }
 }
 
-bool NetworkSimulator::attempt(std::size_t link_index,
-                               std::uint64_t absolute_slot) {
-  LinkRuntime& rt = link_runtime_[link_index];
+bool NetworkSimulator::attempt(ShardState& shard, std::size_t link_index,
+                               std::uint64_t absolute_slot) const {
+  LinkRuntime& rt = shard.links[link_index];
 
   // Scripted failures: the link is deterministically DOWN inside its
   // per-interval window; the Gilbert chain then recovers from DOWN.
@@ -137,7 +162,7 @@ bool NetworkSimulator::attempt(std::size_t link_index,
                            : config_.physical.good_ber;
     const double success_probability =
         std::pow(1.0 - ber, static_cast<double>(phy::kMessageBits));
-    const bool success = rng_.bernoulli(success_probability);
+    const bool success = shard.rng.bernoulli(success_probability);
     rt.blacklist.record_result(channel, success);
     return success;
   }
@@ -148,13 +173,16 @@ bool NetworkSimulator::attempt(std::size_t link_index,
   if (elapsed > 0) {
     const double p_up = rt.model.up_probability_after(
         rt.up ? link::LinkState::kUp : link::LinkState::kDown, elapsed);
-    rt.up = rng_.bernoulli(p_up);
+    rt.up = shard.rng.bernoulli(p_up);
     rt.last_slot = absolute_slot;
   }
   return rt.up;
 }
 
-SimulationReport NetworkSimulator::run() {
+SimulationReport NetworkSimulator::run_shard(std::uint64_t seed,
+                                             std::uint64_t intervals) const {
+  ShardState shard(network_, seed);
+
   SimulationReport report;
   report.per_path.resize(paths_.size());
   for (PathStatistics& stats : report.per_path)
@@ -172,7 +200,7 @@ SimulationReport NetworkSimulator::run() {
   std::vector<Message> messages(paths_.size());
 
   std::uint64_t interval_base_slot = 0;
-  for (std::uint64_t interval = 0; interval < config_.intervals; ++interval) {
+  for (std::uint64_t interval = 0; interval < intervals; ++interval) {
     for (std::size_t p = 0; p < paths_.size(); ++p) {
       messages[p] = Message{};
       ++report.per_path[p].messages;
@@ -187,7 +215,7 @@ SimulationReport NetworkSimulator::run() {
             interval_base_slot + cycle * cycle_slots + (slot - 1);
         PathStatistics& stats = report.per_path[entry->path_index];
         ++stats.transmissions;
-        if (attempt(hop_links_[entry->path_index][entry->hop],
+        if (attempt(shard, hop_links_[entry->path_index][entry->hop],
                     absolute_slot)) {
           ++msg.hop;
           if (msg.hop == hop_links_[entry->path_index].size()) {
@@ -209,6 +237,35 @@ SimulationReport NetworkSimulator::run() {
   }
   report.total_slots_simulated = interval_base_slot;
   return report;
+}
+
+SimulationReport NetworkSimulator::run() const {
+  const std::uint64_t shards =
+      std::min<std::uint64_t>(config_.shards, config_.intervals);
+  if (shards <= 1) return run_shard(config_.seed, config_.intervals);
+
+  // Shard s gets the RNG stream seed + s and an equal share of the
+  // intervals (the remainder spread over the first shards).  Shards are
+  // merged in index order, so the report is a pure function of
+  // (seed, shards) no matter how many threads execute them.
+  const std::uint64_t base = config_.intervals / shards;
+  const std::uint64_t remainder = config_.intervals % shards;
+  std::vector<SimulationReport> shard_reports(shards);
+  common::parallel_for(
+      shards,
+      [&](std::size_t s) {
+        const std::uint64_t intervals = base + (s < remainder ? 1 : 0);
+        shard_reports[s] = run_shard(config_.seed + s, intervals);
+      },
+      config_.threads);
+
+  SimulationReport merged = std::move(shard_reports[0]);
+  for (std::size_t s = 1; s < shard_reports.size(); ++s) {
+    for (std::size_t p = 0; p < merged.per_path.size(); ++p)
+      merged.per_path[p].merge(shard_reports[s].per_path[p]);
+    merged.total_slots_simulated += shard_reports[s].total_slots_simulated;
+  }
+  return merged;
 }
 
 }  // namespace whart::sim

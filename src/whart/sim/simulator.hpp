@@ -60,6 +60,20 @@ struct SimulatorConfig {
   PhysicalChannelConfig physical;
   /// Forced-DOWN windows applied in every interval (Gilbert regime only).
   std::vector<ScriptedLinkFailure> scripted_failures;
+
+  /// Number of independent interval shards.  Shard s simulates its
+  /// chunk of the intervals with its own Xoshiro256 stream (seed +
+  /// shard index) and fresh steady-state link states, and the per-path
+  /// statistics are merged in shard order — so the report is
+  /// deterministic in (seed, shards), and shards = 1 reproduces the
+  /// original serial implementation bit for bit.  Different shard
+  /// counts are different (equally valid) sample draws.
+  std::uint32_t shards = 1;
+
+  /// Worker threads running the shards (as in common::parallel_for:
+  /// 0 = WHART_THREADS/hardware).  Only changes wall-clock time, never
+  /// the report — results depend on (seed, shards) alone.
+  unsigned threads = 0;
 };
 
 /// Empirical per-path statistics.
@@ -70,6 +84,10 @@ struct PathStatistics {
   std::uint64_t discarded = 0;
   std::uint64_t transmissions = 0;
   RunningStat delay_ms;
+
+  /// Fold another path's statistics (from a different shard of the same
+  /// run) into this one; both must cover the same reporting interval.
+  void merge(const PathStatistics& other);
 
   [[nodiscard]] double reachability() const noexcept;
   [[nodiscard]] std::vector<double> cycle_frequencies() const;
@@ -84,32 +102,40 @@ struct SimulationReport {
   std::uint64_t total_slots_simulated = 0;
 };
 
-/// The simulator.  Construct once, `run()` to produce a report
-/// (deterministic in the seed).
+/// The simulator.  Construct once; `run()` produces a report
+/// deterministic in (config.seed, config.shards) and is repeatable —
+/// every call re-derives its RNG streams from the seed.  With
+/// config.shards > 1 the intervals are split across independent shards
+/// that may execute on config.threads workers.
 class NetworkSimulator {
  public:
   NetworkSimulator(const net::Network& network, std::vector<net::Path> paths,
                    const net::Schedule& schedule, SimulatorConfig config);
-  ~NetworkSimulator();  // out of line: LinkRuntime is incomplete here
+  ~NetworkSimulator();
 
   NetworkSimulator(const NetworkSimulator&) = delete;
   NetworkSimulator& operator=(const NetworkSimulator&) = delete;
 
-  [[nodiscard]] SimulationReport run();
+  [[nodiscard]] SimulationReport run() const;
 
  private:
   struct LinkRuntime;
+  struct ShardState;
 
   /// True when the transmission on `link_index` at `absolute_slot`
-  /// succeeds, advancing that link's lazily-evolved state.
-  bool attempt(std::size_t link_index, std::uint64_t absolute_slot);
+  /// succeeds, advancing that link's lazily-evolved state in `shard`.
+  bool attempt(ShardState& shard, std::size_t link_index,
+               std::uint64_t absolute_slot) const;
+
+  /// Simulate `intervals` reporting intervals on the RNG stream
+  /// `seed` (one shard's share of the run).
+  [[nodiscard]] SimulationReport run_shard(std::uint64_t seed,
+                                           std::uint64_t intervals) const;
 
   const net::Network& network_;
   std::vector<net::Path> paths_;
   const net::Schedule& schedule_;
   SimulatorConfig config_;
-  numeric::Xoshiro256 rng_;
-  std::vector<LinkRuntime> link_runtime_;
   /// hop_links_[p][h]: index of the network link used by hop h of path p.
   std::vector<std::vector<std::size_t>> hop_links_;
 };

@@ -12,6 +12,11 @@ class RunningStat {
  public:
   void add(double value) noexcept;
 
+  /// Fold another accumulator into this one (Chan et al. pairwise
+  /// combine), as if this accumulator had also seen every sample of
+  /// `other`.  Used to merge per-shard Monte-Carlo statistics.
+  void merge(const RunningStat& other) noexcept;
+
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
   [[nodiscard]] double mean() const noexcept { return mean_; }
 

@@ -1,0 +1,149 @@
+#include "whart/common/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::common {
+namespace {
+
+/// Scoped WHART_THREADS override (tests run single-process, serially).
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    const char* old = std::getenv("WHART_THREADS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr)
+      ::setenv("WHART_THREADS", value, 1);
+    else
+      ::unsetenv("WHART_THREADS");
+  }
+  ~ScopedThreadsEnv() {
+    if (had_old_)
+      ::setenv("WHART_THREADS", old_.c_str(), 1);
+    else
+      ::unsetenv("WHART_THREADS");
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(ResolveThreadCount, ExplicitRequestWins) {
+  const ScopedThreadsEnv env("2");
+  EXPECT_EQ(resolve_thread_count(5), 5u);
+}
+
+TEST(ResolveThreadCount, ReadsEnvironmentVariable) {
+  const ScopedThreadsEnv env("3");
+  EXPECT_EQ(resolve_thread_count(0), 3u);
+}
+
+TEST(ResolveThreadCount, ZeroEnvironmentClampsToOne) {
+  const ScopedThreadsEnv env("0");
+  EXPECT_EQ(resolve_thread_count(0), 1u);
+}
+
+TEST(ResolveThreadCount, GarbageEnvironmentFallsBackToHardware) {
+  const ScopedThreadsEnv env("lots");
+  EXPECT_GE(resolve_thread_count(0), 1u);
+}
+
+TEST(ResolveThreadCount, UnsetEnvironmentFallsBackToHardware) {
+  const ScopedThreadsEnv env(nullptr);
+  EXPECT_GE(resolve_thread_count(0), 1u);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    for (int i = 0; i < 100; ++i)
+      pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), 100);
+  }
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, RejectsZeroWorkers) {
+  EXPECT_THROW(ThreadPool(0), precondition_error);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    std::vector<std::atomic<int>> visits(257);
+    parallel_for(
+        visits.size(), [&](std::size_t i) { visits[i].fetch_add(1); },
+        threads);
+    for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(ParallelFor, HandlesZeroAndOneItems) {
+  int calls = 0;
+  parallel_for(0, [&](std::size_t) { ++calls; }, 4);
+  EXPECT_EQ(calls, 0);
+  parallel_for(1, [&](std::size_t) { ++calls; }, 4);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, PropagatesTheFirstException) {
+  EXPECT_THROW(
+      parallel_for(
+          100,
+          [](std::size_t i) {
+            if (i == 13) throw std::runtime_error("boom");
+          },
+          4),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, SerialFallbackPreservesCallOrder) {
+  std::vector<std::size_t> order;
+  parallel_for(10, [&](std::size_t i) { order.push_back(i); }, 1);
+  std::vector<std::size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), std::size_t{0});
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelMap, ResultsLandByIndex) {
+  std::vector<int> items(1000);
+  std::iota(items.begin(), items.end(), 0);
+  for (unsigned threads : {1u, 3u, 8u}) {
+    const std::vector<int> doubled =
+        parallel_map(items, [](int v) { return 2 * v; }, threads);
+    ASSERT_EQ(doubled.size(), items.size());
+    for (std::size_t i = 0; i < items.size(); ++i)
+      EXPECT_EQ(doubled[i], 2 * items[i]);
+  }
+}
+
+TEST(ParallelMap, EmptyInputYieldsEmptyOutput) {
+  const std::vector<int> empty;
+  EXPECT_TRUE(parallel_map(empty, [](int v) { return v; }, 4).empty());
+}
+
+TEST(ParallelMap, MoreThreadsThanItems) {
+  const std::vector<int> items{1, 2, 3};
+  const std::vector<int> squared =
+      parallel_map(items, [](int v) { return v * v; }, 64);
+  EXPECT_EQ(squared, (std::vector<int>{1, 4, 9}));
+}
+
+}  // namespace
+}  // namespace whart::common

@@ -1,0 +1,175 @@
+#include "whart/hart/path_cache.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+#include "whart/hart/path_analysis.hpp"
+#include "whart/net/plant_generator.hpp"
+
+namespace whart::hart {
+namespace {
+
+PathModelConfig config_with_slots(std::vector<net::SlotNumber> slots,
+                                  std::uint32_t fup = 20,
+                                  std::uint32_t is = 4) {
+  PathModelConfig config;
+  config.hop_slots = std::move(slots);
+  config.superframe = net::SuperframeConfig::symmetric(fup);
+  config.reporting_interval = is;
+  return config;
+}
+
+PathMeasures direct_measures(const PathModelConfig& config,
+                             const std::vector<double>& availability) {
+  const PathModel model(config);
+  const SteadyStateLinks links(availability);
+  return compute_path_measures(model, links);
+}
+
+/// Every scalar and vector of the measures must match bit for bit — the
+/// cache's contract is exactness, not approximation.
+void expect_identical(const PathMeasures& a, const PathMeasures& b) {
+  EXPECT_EQ(a.cycle_probabilities, b.cycle_probabilities);
+  EXPECT_EQ(a.reachability, b.reachability);
+  EXPECT_EQ(a.discard_probability, b.discard_probability);
+  EXPECT_EQ(a.delays_ms, b.delays_ms);
+  EXPECT_EQ(a.delay_distribution, b.delay_distribution);
+  EXPECT_EQ(a.expected_delay_ms, b.expected_delay_ms);
+  EXPECT_EQ(a.expected_transmissions, b.expected_transmissions);
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.utilization_delivered, b.utilization_delivered);
+  EXPECT_EQ(a.expected_intervals_to_first_loss,
+            b.expected_intervals_to_first_loss);
+  EXPECT_EQ(a.delay_jitter_ms, b.delay_jitter_ms);
+}
+
+TEST(PathAnalysisCache, CachedEqualsDirectBitForBit) {
+  PathAnalysisCache cache;
+  const std::vector<double> availability{0.83, 0.91, 0.87};
+  for (const auto& slots : std::vector<std::vector<net::SlotNumber>>{
+           {1, 2, 3}, {4, 5, 6}, {7, 12, 15}, {9, 3, 17}}) {
+    const PathModelConfig config = config_with_slots(slots);
+    expect_identical(cache.measures(config, availability),
+                     direct_measures(config, availability));
+  }
+}
+
+TEST(PathAnalysisCache, TranslatedConfigsShareOneSolve) {
+  PathAnalysisCache cache;
+  const std::vector<double> availability{0.9, 0.8};
+  // Same relative layout, shifted by 0 / 4 / 17 slots.
+  (void)cache.measures(config_with_slots({1, 2}), availability);
+  (void)cache.measures(config_with_slots({5, 6}), availability);
+  (void)cache.measures(config_with_slots({18, 19}), availability);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PathAnalysisCache, FingerprintSeparatesDifferentStructures) {
+  const std::vector<double> a{0.9, 0.8};
+  const std::vector<double> b{0.8, 0.9};
+  const PathModelConfig base = config_with_slots({1, 2});
+  // Same shape, different availabilities (including order).
+  EXPECT_NE(PathAnalysisCache::fingerprint(base, a),
+            PathAnalysisCache::fingerprint(base, b));
+  // Different gap between the hops.
+  EXPECT_NE(PathAnalysisCache::fingerprint(base, a),
+            PathAnalysisCache::fingerprint(config_with_slots({1, 3}), a));
+  // Different reporting interval.
+  EXPECT_NE(PathAnalysisCache::fingerprint(base, a),
+            PathAnalysisCache::fingerprint(
+                config_with_slots({1, 2}, 20, 8), a));
+  // Translation equivalence is exactly a constant shift.
+  EXPECT_EQ(PathAnalysisCache::fingerprint(base, a),
+            PathAnalysisCache::fingerprint(config_with_slots({11, 12}), a));
+}
+
+TEST(PathAnalysisCache, MidFrameTtlIsNotTranslated) {
+  const std::vector<double> availability{0.9, 0.8};
+  PathModelConfig late = config_with_slots({18, 19});
+  late.ttl = 30;
+  PathModelConfig early = config_with_slots({1, 2});
+  early.ttl = 30;
+  // With a mid-frame TTL the late chain gets fewer attempts than the
+  // early one, so the two must not share a fingerprint.
+  EXPECT_NE(PathAnalysisCache::fingerprint(late, availability),
+            PathAnalysisCache::fingerprint(early, availability));
+  PathAnalysisCache cache;
+  expect_identical(cache.measures(late, availability),
+                   direct_measures(late, availability));
+  expect_identical(cache.measures(early, availability),
+                   direct_measures(early, availability));
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(PathAnalysisCache, DelaysFollowTheCallerGatewaySlot) {
+  PathAnalysisCache cache;
+  const std::vector<double> availability{0.9};
+  const PathMeasures first = cache.measures(config_with_slots({1}),
+                                            availability);
+  const PathMeasures shifted = cache.measures(config_with_slots({7}),
+                                              availability);
+  EXPECT_EQ(cache.stats().hits, 1u);  // shared solve...
+  EXPECT_EQ(first.cycle_probabilities, shifted.cycle_probabilities);
+  // ...but each caller's delays use its own gateway slot.
+  EXPECT_DOUBLE_EQ(first.delays_ms[0], 10.0);
+  EXPECT_DOUBLE_EQ(shifted.delays_ms[0], 70.0);
+}
+
+TEST(PathAnalysisCache, RetrySlotsTranslateWithTheChain) {
+  const std::vector<double> availability{0.7, 0.7};
+  PathModelConfig with_retry = config_with_slots({3, 5});
+  with_retry.retry_slots = {4, 6};
+  PathModelConfig shifted = config_with_slots({7, 9});
+  shifted.retry_slots = {8, 10};
+  EXPECT_EQ(PathAnalysisCache::fingerprint(with_retry, availability),
+            PathAnalysisCache::fingerprint(shifted, availability));
+  PathAnalysisCache cache;
+  expect_identical(cache.measures(shifted, availability),
+                   direct_measures(shifted, availability));
+  // A missing retry slot (0) is not a translatable opportunity.
+  PathModelConfig partial = config_with_slots({3, 5});
+  partial.retry_slots = {4, 0};
+  EXPECT_NE(PathAnalysisCache::fingerprint(with_retry, availability),
+            PathAnalysisCache::fingerprint(partial, availability));
+}
+
+TEST(PathAnalysisCache, CollapsesQuantizedGeneratedPlant) {
+  net::PlantProfile profile;
+  profile.device_count = 200;
+  profile.seed = 7;
+  profile.availability_levels = 4;  // four link quality classes
+  const net::GeneratedPlant plant = net::generate_plant(profile);
+
+  PathAnalysisCache cache;
+  for (std::size_t p = 0; p < plant.paths.size(); ++p) {
+    const PathModelConfig config = PathModelConfig::from_schedule(
+        plant.schedule, p, plant.superframe, 4);
+    std::vector<double> availability;
+    for (const link::LinkModel& model :
+         plant.paths[p].hop_models(plant.network))
+      availability.push_back(model.steady_state_availability());
+    const PathMeasures cached = cache.measures(config, availability);
+    expect_identical(cached, direct_measures(config, availability));
+  }
+  const PathAnalysisCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, plant.paths.size());
+  // With 4 quality classes the 200 paths collapse to far fewer distinct
+  // solves (4 one-hop keys, <= 16 two-hop keys, ...).
+  EXPECT_LT(stats.misses, plant.paths.size() / 2);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(PathAnalysisCache, RejectsTooFewAvailabilities) {
+  PathAnalysisCache cache;
+  EXPECT_THROW(cache.measures(config_with_slots({1, 2}), {0.9}),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace whart::hart

@@ -54,6 +54,67 @@ TEST(RunningStat, MatchesBatchComputationOnRandomData) {
   EXPECT_NEAR(stat.variance(), var, 1e-9);
 }
 
+TEST(RunningStatMerge, MatchesOnePassAccumulation) {
+  numeric::Xoshiro256 rng(55);
+  RunningStat one_pass;
+  RunningStat left;
+  RunningStat right;
+  for (int i = 0; i < 700; ++i) {
+    const double v = rng.uniform() * 50.0 - 10.0;
+    one_pass.add(v);
+    (i < 300 ? left : right).add(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), one_pass.count());
+  EXPECT_NEAR(left.mean(), one_pass.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), one_pass.variance(), 1e-12);
+}
+
+TEST(RunningStatMerge, ManyShardsMatchOnePass) {
+  numeric::Xoshiro256 rng(56);
+  RunningStat one_pass;
+  std::vector<RunningStat> shards(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform() * 100.0;
+    one_pass.add(v);
+    shards[static_cast<std::size_t>(i) % shards.size()].add(v);
+  }
+  RunningStat merged;
+  for (const RunningStat& shard : shards) merged.merge(shard);
+  EXPECT_EQ(merged.count(), one_pass.count());
+  EXPECT_NEAR(merged.mean(), one_pass.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), one_pass.variance(),
+              1e-12 * one_pass.variance());
+}
+
+TEST(RunningStatMerge, EmptySidesAreNeutral) {
+  RunningStat filled;
+  for (double v : {1.0, 2.0, 3.0}) filled.add(v);
+
+  RunningStat target;
+  target.merge(filled);  // empty.merge(filled) adopts filled
+  EXPECT_EQ(target.count(), 3u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(target.variance(), 1.0);
+
+  const RunningStat empty;
+  target.merge(empty);  // filled.merge(empty) is a no-op
+  EXPECT_EQ(target.count(), 3u);
+  EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(target.variance(), 1.0);
+}
+
+TEST(RunningStatMerge, SingleValueSides) {
+  RunningStat a;
+  a.add(4.0);
+  RunningStat b;
+  b.add(8.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 6.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 8.0);
+}
+
 TEST(Wilson, CenterNearProportion) {
   const Interval ci = wilson_interval(500, 1000);
   EXPECT_TRUE(ci.contains(0.5));
