@@ -1,9 +1,11 @@
 // Performance microbenchmarks (google-benchmark): model construction and
 // solution cost as the reporting interval, hop count and frame size grow,
 // plus the ablations DESIGN.md calls out (forward propagation vs explicit
-// DTMC vs absorbing-chain solve; composition vs rebuild).
+// DTMC vs absorbing-chain solve; composition vs rebuild), and the
+// observability subsystem's own overhead (enabled vs runtime-disabled).
 #include <benchmark/benchmark.h>
 
+#include "whart/common/obs.hpp"
 #include "whart/hart/analytic.hpp"
 #include "whart/hart/composition.hpp"
 #include "whart/hart/network_analysis.hpp"
@@ -172,9 +174,14 @@ void BM_GeneratedPlantAnalysisParallel(benchmark::State& state) {
                               plant.superframe, 4, options)
             .mean_delay_ms);
   }
-  const hart::PathAnalysisCache::Stats stats = cache.stats();
-  state.SetLabel("cache_hits=" + std::to_string(stats.hits) +
-                 " misses=" + std::to_string(stats.misses));
+  // Machine-readable (lands in the --benchmark_format=json "counters"
+  // object) instead of a hand-formatted label.
+  state.counters["cache_hits"] =
+      benchmark::Counter(static_cast<double>(cache.hits()));
+  state.counters["cache_misses"] =
+      benchmark::Counter(static_cast<double>(cache.misses()));
+  state.counters["cache_entries"] =
+      benchmark::Counter(static_cast<double>(cache.size()));
 }
 BENCHMARK(BM_GeneratedPlantAnalysisParallel)
     ->Args({200, 1, 0})
@@ -216,6 +223,30 @@ void BM_MonteCarloPerIntervalSharded(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_MonteCarloPerIntervalSharded)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Observability overhead on a real workload: the forward solve with
+// metrics on vs runtime-disabled.  Arg 0 = disabled, 1 = enabled; the
+// two must stay within noise of each other (the disabled path is one
+// relaxed atomic load per instrumented event).
+void BM_ObsOverheadForwardAnalysis(benchmark::State& state) {
+  const bool enabled = state.range(0) != 0;
+  const bool was_enabled = common::obs::metrics_enabled();
+  common::obs::set_metrics_enabled(enabled);
+  const hart::PathModel model(path_config(4, 20, 16));
+  const hart::SteadyStateLinks links(
+      4, link::LinkModel::from_availability(0.83));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.analyze(links).cycle_probabilities);
+  }
+  common::obs::set_metrics_enabled(was_enabled);
+  if (enabled) {
+    const common::obs::MetricsSnapshot snapshot =
+        common::obs::Registry::instance().snapshot();
+    state.counters["path_solves"] = benchmark::Counter(static_cast<double>(
+        snapshot.counters.at("hart.path_solve.count")));
+  }
+}
+BENCHMARK(BM_ObsOverheadForwardAnalysis)->Arg(0)->Arg(1);
 
 }  // namespace
 

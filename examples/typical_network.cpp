@@ -1,16 +1,43 @@
 // Evaluate the paper's typical industrial network (Fig. 12): ten field
 // devices with the HART-Foundation hop mix, schedule eta_a, and a
 // Monte-Carlo cross-check of the analytic measures.
+//
+// Optional flags: --metrics=<file> dumps the metrics-registry snapshot
+// as JSON; --trace=<file> records spans and dumps Chrome trace_event
+// JSON.  Without flags the behaviour is unchanged.
+#include <fstream>
 #include <iostream>
+#include <string>
 
+#include "whart/common/obs.hpp"
 #include "whart/hart/network_analysis.hpp"
 #include "whart/net/typical_network.hpp"
+#include "whart/report/metrics_export.hpp"
 #include "whart/report/table.hpp"
 #include "whart/sim/simulator.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace whart;
   using report::Table;
+
+  std::string metrics_path;
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--metrics=", 0) == 0)
+      metrics_path = arg.substr(10);
+    else if (arg.rfind("--trace=", 0) == 0)
+      trace_path = arg.substr(8);
+    else {
+      std::cerr << "usage: typical_network [--metrics=<file>] "
+                   "[--trace=<file>]\n";
+      return 2;
+    }
+  }
+  if (!trace_path.empty()) {
+    common::obs::set_trace_enabled(true);
+    common::obs::TraceCollector::instance().clear();
+  }
 
   const net::TypicalNetwork plant =
       net::make_typical_network(link::LinkModel::from_ber(2e-4));
@@ -65,6 +92,30 @@ int main() {
                       ? "  (within 95% CI)"
                       : "  (OUTSIDE 95% CI)")
               << "\n";
+  }
+
+  if (!metrics_path.empty()) {
+    std::ofstream file(metrics_path);
+    if (!file) {
+      std::cerr << "cannot write '" << metrics_path << "'\n";
+      return 1;
+    }
+    report::write_metrics_json(
+        file, common::obs::Registry::instance().snapshot(),
+        trace_path.empty()
+            ? std::vector<common::obs::SpanAggregate>{}
+            : common::obs::TraceCollector::instance().aggregate());
+    std::cout << "\nwrote metrics snapshot to " << metrics_path << "\n";
+  }
+  if (!trace_path.empty()) {
+    std::ofstream file(trace_path);
+    if (!file) {
+      std::cerr << "cannot write '" << trace_path << "'\n";
+      return 1;
+    }
+    report::write_chrome_trace_json(
+        file, common::obs::TraceCollector::instance().events());
+    std::cout << "wrote Chrome trace to " << trace_path << "\n";
   }
   return 0;
 }

@@ -15,12 +15,19 @@
 //   --csv <file>         export per-path measures as CSV
 //   --sweep <file>       export an availability sweep (0.65..0.99) of the
 //                        worst path as CSV (reachability, delay, jitter)
+//   --shards <n>         Monte-Carlo shards (deterministic per shard count)
+//   --metrics[=<file>]   dump the metrics-registry snapshot as JSON
+//                        (default file: whart_metrics.json)
+//   --trace[=<file>]     record trace spans and dump Chrome trace_event
+//                        JSON (default file: whart_trace.json); also
+//                        prints the aggregate span table
 #include <cmath>
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "whart/cli/spec_parser.hpp"
+#include "whart/common/obs.hpp"
 #include "whart/hart/energy.hpp"
 #include "whart/hart/network_analysis.hpp"
 #include "whart/hart/stability.hpp"
@@ -28,6 +35,7 @@
 #include "whart/net/typical_network.hpp"
 #include "whart/report/csv.hpp"
 #include "whart/report/histogram.hpp"
+#include "whart/report/metrics_export.hpp"
 #include "whart/report/table.hpp"
 #include "whart/sim/simulator.hpp"
 
@@ -42,12 +50,16 @@ struct Options {
   double stability_target = 0.0;  // 0 = off
   std::string csv_path;
   std::string sweep_path;
+  std::uint64_t shards = 0;  // 0 = simulator default
+  std::string metrics_path;
+  std::string trace_path;
 };
 
 int usage() {
   std::cerr << "usage: whart_cli <spec-file>|-|--typical "
                "[--interval <Is>] [--simulate <intervals>] [--energy] "
-               "[--stability <targetR>] [--csv <file>]\n";
+               "[--stability <targetR>] [--csv <file>] [--sweep <file>] "
+               "[--shards <n>] [--metrics[=<file>]] [--trace[=<file>]]\n";
   return 2;
 }
 
@@ -166,6 +178,12 @@ void print_analysis(const whart::cli::ParsedSpec& spec,
                    spec.network)
             << "\n";
 
+  const whart::hart::NetworkDiagnostics& diag = measures.diagnostics;
+  std::cout << "solver: " << diag.dtmc_solves << " DTMC solves ("
+            << diag.states_solved << " states), " << diag.cache_hits
+            << " cache hits, max mass residual "
+            << diag.max_mass_residual << "\n";
+
   std::cout << "\nOverall delay distribution:\n";
   std::vector<std::string> labels;
   std::vector<double> values;
@@ -180,6 +198,8 @@ void print_analysis(const whart::cli::ParsedSpec& spec,
     sim_config.superframe = spec.superframe;
     sim_config.reporting_interval = spec.reporting_interval;
     sim_config.intervals = simulate_intervals;
+    if (options.shards > 0)
+      sim_config.shards = static_cast<std::uint32_t>(options.shards);
     whart::sim::NetworkSimulator simulator(spec.network, spec.paths,
                                            schedule, sim_config);
     const whart::sim::SimulationReport report = simulator.run();
@@ -220,6 +240,36 @@ void print_analysis(const whart::cli::ParsedSpec& spec,
   }
 }
 
+/// Write the --metrics / --trace dumps after the analysis has run.
+void write_observability(const Options& options) {
+  namespace obs = whart::common::obs;
+  const std::vector<obs::SpanAggregate> spans =
+      options.trace_path.empty()
+          ? std::vector<obs::SpanAggregate>{}
+          : obs::TraceCollector::instance().aggregate();
+
+  if (!options.metrics_path.empty()) {
+    std::ofstream file(options.metrics_path);
+    if (!file)
+      throw std::runtime_error("cannot write '" + options.metrics_path + "'");
+    whart::report::write_metrics_json(file, obs::Registry::instance().snapshot(),
+                                      spans);
+    std::cout << "\nwrote metrics snapshot to " << options.metrics_path
+              << "\n";
+  }
+
+  if (!options.trace_path.empty()) {
+    std::ofstream file(options.trace_path);
+    if (!file)
+      throw std::runtime_error("cannot write '" + options.trace_path + "'");
+    whart::report::write_chrome_trace_json(
+        file, obs::TraceCollector::instance().events());
+    std::cout << "\nSpan aggregates:\n";
+    whart::report::print_span_table(std::cout, spans);
+    std::cout << "wrote Chrome trace to " << options.trace_path << "\n";
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -242,8 +292,22 @@ int main(int argc, char** argv) {
       options.csv_path = argv[++i];
     else if (arg == "--sweep" && i + 1 < argc)
       options.sweep_path = argv[++i];
+    else if (arg == "--shards" && i + 1 < argc)
+      options.shards = std::stoull(argv[++i]);
+    else if (arg == "--metrics")
+      options.metrics_path = "whart_metrics.json";
+    else if (arg.rfind("--metrics=", 0) == 0)
+      options.metrics_path = arg.substr(10);
+    else if (arg == "--trace")
+      options.trace_path = "whart_trace.json";
+    else if (arg.rfind("--trace=", 0) == 0)
+      options.trace_path = arg.substr(8);
     else
       return usage();
+  }
+  if (!options.trace_path.empty()) {
+    whart::common::obs::set_trace_enabled(true);
+    whart::common::obs::TraceCollector::instance().clear();
   }
 
   try {
@@ -267,6 +331,7 @@ int main(int argc, char** argv) {
     if (options.interval_override > 0)
       spec.reporting_interval = options.interval_override;
     print_analysis(spec, options);
+    write_observability(options);
     return 0;
   } catch (const std::exception& error) {
     std::cerr << "whart_cli: " << error.what() << "\n";

@@ -1,0 +1,295 @@
+#include "whart/common/obs.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace whart::common::obs {
+
+// ---------------------------------------------------------------------
+// Histogram.
+// ---------------------------------------------------------------------
+
+std::size_t Histogram::bucket_index(std::uint64_t value) noexcept {
+  return static_cast<std::size_t>(std::bit_width(value));
+}
+
+std::uint64_t Histogram::bucket_lower_bound(std::size_t index) noexcept {
+  if (index == 0) return 0;
+  return std::uint64_t{1} << (index - 1);
+}
+
+std::uint64_t Histogram::bucket_upper_bound(std::size_t index) noexcept {
+  if (index == 0) return 0;
+  if (index >= 64) return UINT64_MAX;
+  return (std::uint64_t{1} << index) - 1;
+}
+
+void Histogram::record(std::uint64_t value) noexcept {
+  buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::min() const noexcept {
+  const std::uint64_t value = min_.load(std::memory_order_relaxed);
+  return value == UINT64_MAX ? 0 : value;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+namespace {
+
+template <typename Map, typename Metric = typename Map::mapped_type::element_type>
+Metric& find_or_create(Map& map, std::string_view name, std::mutex& mutex) {
+  const std::lock_guard lock(mutex);
+  if (const auto it = map.find(name); it != map.end()) return *it->second;
+  auto [it, inserted] =
+      map.emplace(std::string(name), std::make_unique<Metric>());
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  return find_or_create(counters_, name, mutex_);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return find_or_create(gauges_, name, mutex_);
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  return find_or_create(histograms_, name, mutex_);
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  const std::lock_guard lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_)
+    snap.counters.emplace(name, counter->value());
+  for (const auto& [name, gauge] : gauges_)
+    snap.gauges.emplace(name, gauge->value());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.count = histogram->count();
+    h.sum = histogram->sum();
+    h.min = histogram->min();
+    h.max = histogram->max();
+    for (std::size_t b = 0; b < Histogram::kBucketCount; ++b) {
+      const std::uint64_t in_bucket = histogram->bucket_count(b);
+      if (in_bucket == 0) continue;
+      h.buckets.push_back({Histogram::bucket_lower_bound(b),
+                           Histogram::bucket_upper_bound(b), in_bucket});
+    }
+    snap.histograms.emplace(name, std::move(h));
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  const std::lock_guard lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->reset();
+  for (const auto& [name, gauge] : gauges_) gauge->reset();
+  for (const auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+// ---------------------------------------------------------------------
+// Runtime flags.
+// ---------------------------------------------------------------------
+
+namespace {
+std::atomic<bool> g_metrics_enabled{true};
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace
+
+bool metrics_enabled() noexcept {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+void set_metrics_enabled(bool enabled) noexcept {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+bool trace_enabled() noexcept {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+void set_trace_enabled(bool enabled) noexcept {
+  g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Trace collector.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Epoch shared by every span; advanced by TraceCollector::clear().
+std::atomic<std::int64_t> g_epoch_ns{0};
+
+std::int64_t steady_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::uint64_t trace_now_ns() noexcept {
+  std::int64_t epoch = g_epoch_ns.load(std::memory_order_relaxed);
+  if (epoch == 0) {
+    // First use: pin the epoch (benign race — first writer wins).
+    std::int64_t expected = 0;
+    const std::int64_t now = steady_ns();
+    g_epoch_ns.compare_exchange_strong(expected, now,
+                                       std::memory_order_relaxed);
+    epoch = g_epoch_ns.load(std::memory_order_relaxed);
+  }
+  const std::int64_t now = steady_ns();
+  return now > epoch ? static_cast<std::uint64_t>(now - epoch) : 0;
+}
+
+/// One thread's completed spans plus its live nesting depth.  `depth`
+/// is touched only by the owning thread; `records` is guarded by
+/// `mutex` so the collector can read while the owner appends.
+struct TraceCollector::ThreadBuffer {
+  std::mutex mutex;
+  std::vector<SpanRecord> records;
+  std::uint32_t thread_id = 0;
+  std::uint32_t depth = 0;
+};
+
+TraceCollector& TraceCollector::instance() {
+  static TraceCollector collector;
+  return collector;
+}
+
+TraceCollector::ThreadBuffer& TraceCollector::local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    const std::lock_guard lock(mutex_);
+    fresh->thread_id = next_thread_id_++;
+    buffers_.push_back(fresh);
+    return fresh;
+  }();
+  return *buffer;
+}
+
+std::vector<SpanRecord> TraceCollector::events() const {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    const std::lock_guard lock(mutex_);
+    buffers = buffers_;
+  }
+  std::vector<SpanRecord> merged;
+  for (const auto& buffer : buffers) {
+    const std::lock_guard lock(buffer->mutex);
+    merged.insert(merged.end(), buffer->records.begin(),
+                  buffer->records.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.thread_id < b.thread_id;
+            });
+  return merged;
+}
+
+std::vector<SpanAggregate> TraceCollector::aggregate() const {
+  std::map<std::string, SpanAggregate> by_name;
+  for (const SpanRecord& record : events()) {
+    SpanAggregate& agg = by_name[record.name];
+    if (agg.count == 0) {
+      agg.name = record.name;
+      agg.min_ns = record.duration_ns;
+    }
+    ++agg.count;
+    agg.total_ns += record.duration_ns;
+    agg.min_ns = std::min(agg.min_ns, record.duration_ns);
+    agg.max_ns = std::max(agg.max_ns, record.duration_ns);
+  }
+  std::vector<SpanAggregate> result;
+  result.reserve(by_name.size());
+  for (auto& [name, agg] : by_name) result.push_back(std::move(agg));
+  std::sort(result.begin(), result.end(),
+            [](const SpanAggregate& a, const SpanAggregate& b) {
+              if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+              return a.name < b.name;
+            });
+  return result;
+}
+
+void TraceCollector::clear() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    const std::lock_guard lock(mutex_);
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    const std::lock_guard lock(buffer->mutex);
+    buffer->records.clear();
+  }
+  g_epoch_ns.store(steady_ns(), std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------
+// Spans and timers.
+// ---------------------------------------------------------------------
+
+ScopedSpan::ScopedSpan(const char* name) noexcept : name_(name) {
+  if (!trace_enabled()) return;
+  active_ = true;
+  ++TraceCollector::instance().local_buffer().depth;
+  start_ns_ = trace_now_ns();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const std::uint64_t end_ns = trace_now_ns();
+  TraceCollector::ThreadBuffer& buffer =
+      TraceCollector::instance().local_buffer();
+  --buffer.depth;
+  SpanRecord record;
+  record.name = name_;
+  record.thread_id = buffer.thread_id;
+  record.depth = buffer.depth;
+  record.start_ns = start_ns_;
+  record.duration_ns = end_ns >= start_ns_ ? end_ns - start_ns_ : 0;
+  const std::lock_guard lock(buffer.mutex);
+  buffer.records.push_back(record);
+}
+
+ScopedTimer::ScopedTimer(Histogram* histogram) noexcept
+    : histogram_(histogram) {
+  if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (histogram_ == nullptr) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  histogram_->record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+          .count()));
+}
+
+}  // namespace whart::common::obs

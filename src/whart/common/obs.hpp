@@ -1,0 +1,359 @@
+// Observability subsystem: a process-wide metrics registry (counters,
+// gauges, log-bucketed histograms) plus scoped trace spans that record
+// nested timings into per-thread buffers and merge into a Chrome
+// trace_event dump.  The analysis engine's hot paths (path solves, the
+// thread pool, the cache, the Monte-Carlo shards) report through the
+// macros at the bottom of this header; `report/metrics_export` turns
+// snapshots into JSON and `whart_cli --metrics/--trace` writes them.
+//
+// Cost model: metric handles are resolved once per call site (static
+// reference behind a magic-static), so the hot path is a single relaxed
+// atomic op per event.  Every macro first checks a runtime enable flag
+// (one relaxed atomic load); metrics default ON, tracing defaults OFF
+// because span buffers grow with the run.  Compiling a translation unit
+// with WHART_OBS_DISABLED expands every macro to nothing, removing even
+// the flag check.
+//
+// Naming convention (see DESIGN.md §9): `<layer>.<component>.<metric>`,
+// lowercase, dot-separated; duration histograms end in `.ns` and record
+// nanoseconds; counters are monotonic; gauges hold "current value".
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace whart::common::obs {
+
+// ---------------------------------------------------------------------
+// Metric primitives.  All operations are safe to call concurrently.
+// ---------------------------------------------------------------------
+
+/// Monotonic counter; add() is one relaxed fetch_add.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins current value.
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log-bucketed (base-2) histogram over unsigned 64-bit samples —
+/// intended for nanosecond latencies and integer sizes.  Bucket 0 holds
+/// exactly the value 0; bucket i >= 1 holds [2^(i-1), 2^i - 1].  The
+/// hot path is a handful of relaxed atomic ops.
+class Histogram {
+ public:
+  /// Bucket 0 plus one bucket per possible bit width of a 64-bit value.
+  static constexpr std::size_t kBucketCount = 65;
+
+  void record(std::uint64_t value) noexcept;
+
+  /// Index of the bucket containing `value` (== bit width of value).
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value) noexcept;
+  /// Smallest / largest value landing in bucket `index`.
+  [[nodiscard]] static std::uint64_t bucket_lower_bound(
+      std::size_t index) noexcept;
+  [[nodiscard]] static std::uint64_t bucket_upper_bound(
+      std::size_t index) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Smallest / largest recorded sample (min() is 0 when empty).
+  [[nodiscard]] std::uint64_t min() const noexcept;
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t index) const noexcept {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+// ---------------------------------------------------------------------
+// Snapshots (plain values, safe to serialize without further locking).
+// ---------------------------------------------------------------------
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+
+  struct Bucket {
+    std::uint64_t lower = 0;  // inclusive
+    std::uint64_t upper = 0;  // inclusive
+    std::uint64_t count = 0;
+  };
+  /// Non-empty buckets only, in ascending value order.
+  std::vector<Bucket> buckets;
+
+  [[nodiscard]] double mean() const noexcept {
+    return count > 0 ? static_cast<double>(sum) / static_cast<double>(count)
+                     : 0.0;
+  }
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+// ---------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------
+
+/// Process-wide registry of named metrics.  Registration (first lookup
+/// of a name) takes a mutex; the returned references stay valid for the
+/// process lifetime — reset() zeroes values but never removes entries,
+/// so call sites may cache references.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero every registered metric (bench/test isolation); entries and
+  /// outstanding references remain valid.
+  void reset();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// ---------------------------------------------------------------------
+// Runtime enable flags (one relaxed atomic load per instrumented event).
+// ---------------------------------------------------------------------
+
+[[nodiscard]] bool metrics_enabled() noexcept;  // default: true
+void set_metrics_enabled(bool enabled) noexcept;
+[[nodiscard]] bool trace_enabled() noexcept;  // default: false
+void set_trace_enabled(bool enabled) noexcept;
+
+// ---------------------------------------------------------------------
+// Scoped trace spans.
+// ---------------------------------------------------------------------
+
+/// One completed span.  `name` must be a string with static storage
+/// duration (the macros pass literals), keeping the record trivially
+/// copyable and the hot path allocation-free.
+struct SpanRecord {
+  const char* name = nullptr;
+  std::uint32_t thread_id = 0;  // dense id in first-span order
+  std::uint32_t depth = 0;      // nesting level on its thread
+  std::uint64_t start_ns = 0;   // since the collector epoch
+  std::uint64_t duration_ns = 0;
+};
+
+/// Flat per-name aggregate of the recorded spans.
+struct SpanAggregate {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t min_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+/// Nanoseconds since the trace epoch (process start / last clear()).
+[[nodiscard]] std::uint64_t trace_now_ns() noexcept;
+
+/// Owns the per-thread span buffers.  Buffers outlive their threads
+/// (shared ownership), so spans recorded by pool workers survive pool
+/// destruction.
+class TraceCollector {
+ public:
+  static TraceCollector& instance();
+
+  /// All completed spans, merged across threads and sorted by start
+  /// time (ties by thread id).
+  [[nodiscard]] std::vector<SpanRecord> events() const;
+
+  /// Per-name aggregates, sorted by descending total time.
+  [[nodiscard]] std::vector<SpanAggregate> aggregate() const;
+
+  /// Drop every recorded span and restart the epoch.  Do not call while
+  /// spans are in flight on other threads.
+  void clear();
+
+ private:
+  TraceCollector() = default;
+  friend class ScopedSpan;
+  struct ThreadBuffer;
+
+  /// This thread's buffer, created and registered on first use.
+  [[nodiscard]] ThreadBuffer& local_buffer();
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::uint32_t next_thread_id_ = 0;
+};
+
+/// RAII span: records [construction, destruction) on the calling thread
+/// when tracing is enabled; a single relaxed load otherwise.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) noexcept;
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+/// RAII histogram timer: records the scope's duration (ns) into
+/// `histogram` at destruction; pass nullptr to disable (the WHART_TIMER
+/// macro does so when metrics are off).
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram) noexcept;
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace whart::common::obs
+
+// ---------------------------------------------------------------------
+// Instrumentation macros.  Compile to nothing under WHART_OBS_DISABLED;
+// otherwise guard on the runtime flags and cache the metric handle in a
+// function-local static, so the steady-state cost is one flag load plus
+// one relaxed atomic op.
+// ---------------------------------------------------------------------
+
+#define WHART_OBS_CONCAT_INNER(a, b) a##b
+#define WHART_OBS_CONCAT(a, b) WHART_OBS_CONCAT_INNER(a, b)
+
+#if defined(WHART_OBS_DISABLED)
+
+#define WHART_SPAN(name)
+#define WHART_TIMER(name)
+#define WHART_COUNT(name) \
+  do {                    \
+  } while (false)
+#define WHART_COUNT_N(name, n) \
+  do {                         \
+    if (false) {               \
+      (void)(n);               \
+    }                          \
+  } while (false)
+#define WHART_GAUGE_SET(name, value) \
+  do {                               \
+    if (false) {                     \
+      (void)(value);                 \
+    }                                \
+  } while (false)
+#define WHART_OBSERVE(name, value) \
+  do {                             \
+    if (false) {                   \
+      (void)(value);               \
+    }                              \
+  } while (false)
+
+#else
+
+/// Trace the enclosing scope as a span named `name` (string literal).
+#define WHART_SPAN(name)                              \
+  [[maybe_unused]] const ::whart::common::obs::ScopedSpan \
+      WHART_OBS_CONCAT(whart_obs_span_, __LINE__)(name)
+
+/// Record the enclosing scope's duration into histogram `name` (ns).
+#define WHART_TIMER(name)                                                 \
+  [[maybe_unused]] const ::whart::common::obs::ScopedTimer                \
+      WHART_OBS_CONCAT(whart_obs_timer_, __LINE__)(                       \
+          []() noexcept -> ::whart::common::obs::Histogram* {             \
+            if (!::whart::common::obs::metrics_enabled()) return nullptr; \
+            static ::whart::common::obs::Histogram& whart_obs_histogram = \
+                ::whart::common::obs::Registry::instance().histogram(     \
+                    name);                                                \
+            return &whart_obs_histogram;                                  \
+          }())
+
+#define WHART_COUNT(name) WHART_COUNT_N(name, 1)
+
+#define WHART_COUNT_N(name, n)                                          \
+  do {                                                                  \
+    if (::whart::common::obs::metrics_enabled()) {                      \
+      static ::whart::common::obs::Counter& whart_obs_counter =         \
+          ::whart::common::obs::Registry::instance().counter(name);     \
+      whart_obs_counter.add(static_cast<std::uint64_t>(n));             \
+    }                                                                   \
+  } while (false)
+
+#define WHART_GAUGE_SET(name, value)                                    \
+  do {                                                                  \
+    if (::whart::common::obs::metrics_enabled()) {                      \
+      static ::whart::common::obs::Gauge& whart_obs_gauge =             \
+          ::whart::common::obs::Registry::instance().gauge(name);       \
+      whart_obs_gauge.set(static_cast<double>(value));                  \
+    }                                                                   \
+  } while (false)
+
+#define WHART_OBSERVE(name, value)                                      \
+  do {                                                                  \
+    if (::whart::common::obs::metrics_enabled()) {                      \
+      static ::whart::common::obs::Histogram& whart_obs_histogram =     \
+          ::whart::common::obs::Registry::instance().histogram(name);   \
+      whart_obs_histogram.record(static_cast<std::uint64_t>(value));    \
+    }                                                                   \
+  } while (false)
+
+#endif  // WHART_OBS_DISABLED

@@ -21,10 +21,28 @@
 
 namespace whart::common {
 
-/// Resolve an execution width: `requested` > 0 wins; 0 consults the
-/// WHART_THREADS environment variable (clamped to >= 1); an unset or
-/// unparsable variable falls back to std::thread::hardware_concurrency()
-/// (itself clamped to >= 1).
+/// Where a resolved thread count came from (exported as the gauge
+/// `parallel.threads.source`: 0 = argument, 1 = environment, 2 =
+/// hardware).
+enum class ThreadCountSource : int {
+  kArgument = 0,
+  kEnvironment = 1,
+  kHardware = 2,
+};
+
+struct ResolvedThreadCount {
+  unsigned threads = 1;
+  ThreadCountSource source = ThreadCountSource::kHardware;
+};
+
+/// Resolve an execution width with provenance: `requested` > 0 wins; 0
+/// consults the WHART_THREADS environment variable (clamped to >= 1);
+/// an unset or unparsable variable falls back to
+/// std::thread::hardware_concurrency() (itself clamped to >= 1).
+ResolvedThreadCount resolve_thread_count_detailed(unsigned requested = 0);
+
+/// The width alone; also publishes the `parallel.threads.resolved` /
+/// `parallel.threads.source` gauges.
 unsigned resolve_thread_count(unsigned requested = 0);
 
 /// A fixed-size pool of worker threads draining one task queue.  Tasks

@@ -6,6 +6,7 @@
 #include <map>
 
 #include "whart/common/contracts.hpp"
+#include "whart/common/obs.hpp"
 #include "whart/common/parallel.hpp"
 #include "whart/phy/frame.hpp"
 
@@ -17,7 +18,10 @@ NetworkMeasures analyze_network(const net::Network& network,
                                 net::SuperframeConfig superframe,
                                 std::uint32_t reporting_interval,
                                 const AnalysisOptions& options) {
+  WHART_SPAN("analyze_network");
   expects(!paths.empty(), "at least one path");
+  WHART_COUNT("hart.network.analyses");
+  WHART_GAUGE_SET("hart.network.paths", static_cast<double>(paths.size()));
   PathAnalysisCache local_cache;
   PathAnalysisCache* cache =
       options.cache != nullptr ? options.cache
@@ -70,6 +74,18 @@ NetworkMeasures aggregate_measures(std::vector<PathMeasures> per_path) {
     if (m.reachability <
         result.per_path[result.bottleneck_by_reachability].reachability)
       result.bottleneck_by_reachability = p;
+    if (m.diagnostics.has_value()) {
+      const SolverDiagnostics& d = *m.diagnostics;
+      if (d.from_cache) {
+        ++result.diagnostics.cache_hits;
+      } else {
+        ++result.diagnostics.dtmc_solves;
+        result.diagnostics.states_solved += d.dtmc_states;
+        result.diagnostics.solve_ns_total += d.solve_ns;
+      }
+      result.diagnostics.max_mass_residual =
+          std::max(result.diagnostics.max_mass_residual, d.mass_residual);
+    }
   }
   result.overall_delay_distribution.reserve(delay_mass.size());
   for (const auto& [slot, probability] : delay_mass)

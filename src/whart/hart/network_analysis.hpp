@@ -43,6 +43,26 @@ struct DelayProbability {
                          const DelayProbability&) = default;
 };
 
+/// Roll-up of the per-path SolverDiagnostics blocks: where the run's
+/// DTMC work went.  Paths analyzed without diagnostics (analytic
+/// derivations) contribute nothing.
+struct NetworkDiagnostics {
+  /// Paths whose measures required a fresh DTMC solve.
+  std::uint64_t dtmc_solves = 0;
+
+  /// Paths served from the path-analysis cache.
+  std::uint64_t cache_hits = 0;
+
+  /// Total chain states across the fresh solves.
+  std::uint64_t states_solved = 0;
+
+  /// Wall-clock summed over fresh solves, ns (0 when metrics are off).
+  std::uint64_t solve_ns_total = 0;
+
+  /// Worst probability-mass residual seen across all solves.
+  double max_mass_residual = 0.0;
+};
+
 /// Aggregated network measures.
 struct NetworkMeasures {
   /// Per-path measures, in path order.
@@ -66,6 +86,9 @@ struct NetworkMeasures {
 
   /// Path with the smallest reachability (0-based index).
   std::size_t bottleneck_by_reachability = 0;
+
+  /// Solver roll-up over the per-path diagnostics blocks.
+  NetworkDiagnostics diagnostics;
 };
 
 /// Exact DTMC analysis of every path with steady-state links taken from

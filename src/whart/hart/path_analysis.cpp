@@ -21,6 +21,7 @@ PathMeasures compute_path_measures(const PathModel& model,
       transient.expected_transmissions_delivered /
       (static_cast<double>(model.config().reporting_interval) *
        model.config().superframe.uplink_slots);
+  m.diagnostics = transient.diagnostics;
   return m;
 }
 

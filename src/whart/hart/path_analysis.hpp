@@ -4,6 +4,7 @@
 // intervals until the first message loss (geometric, E[N] = 1/(1-R)).
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "whart/hart/link_probability.hpp"
@@ -54,6 +55,11 @@ struct PathMeasures {
   /// Standard deviation of the delay over received messages, ms — the
   /// control engineer's jitter figure.
   double delay_jitter_ms = 0.0;
+
+  /// Solver provenance: present when the measures came from an exact DTMC
+  /// solve (directly or through the cache); absent for measures derived
+  /// analytically from known cycle probabilities.
+  std::optional<SolverDiagnostics> diagnostics;
 
   /// Smallest delay d with P(delay <= d | received) >= q.  Returns the
   /// last delay when R = 0.  q in [0, 1].

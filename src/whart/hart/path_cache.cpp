@@ -88,12 +88,16 @@ PathMeasures PathAnalysisCache::measures(
   {
     const std::lock_guard lock(mutex_);
     if (const auto it = entries_.find(key); it != entries_.end()) {
-      ++stats_.hits;
       found = true;
       entry = it->second;
-    } else {
-      ++stats_.misses;
     }
+  }
+  if (found) {
+    hits_.add(1);
+    WHART_COUNT("hart.path_cache.hits");
+  } else {
+    misses_.add(1);
+    WHART_COUNT("hart.path_cache.misses");
   }
 
   if (!found) {
@@ -109,8 +113,20 @@ PathMeasures PathAnalysisCache::measures(
     entry.expected_transmissions = transient.expected_transmissions;
     entry.expected_transmissions_delivered =
         transient.expected_transmissions_delivered;
-    const std::lock_guard lock(mutex_);
-    entries_.emplace(key, entry);
+    entry.diagnostics = transient.diagnostics;
+    std::size_t size_after = 0;
+    {
+      const std::lock_guard lock(mutex_);
+      if (max_entries_ > 0 && entries_.size() >= max_entries_ &&
+          !entries_.contains(key)) {
+        entries_.erase(entries_.begin());
+        evictions_.add(1);
+        WHART_COUNT("hart.path_cache.evictions");
+      }
+      entries_.emplace(key, entry);
+      size_after = entries_.size();
+    }
+    WHART_GAUGE_SET("hart.path_cache.size", static_cast<double>(size_after));
   }
 
   // Re-derive the measures from the caller's (untranslated) config —
@@ -121,12 +137,12 @@ PathMeasures PathAnalysisCache::measures(
       entry.expected_transmissions_delivered /
       (static_cast<double>(config.reporting_interval) *
        config.superframe.uplink_slots);
+  m.diagnostics = entry.diagnostics;
+  if (found) {
+    m.diagnostics->from_cache = true;
+    m.diagnostics->solve_ns = 0;
+  }
   return m;
-}
-
-PathAnalysisCache::Stats PathAnalysisCache::stats() const {
-  const std::lock_guard lock(mutex_);
-  return stats_;
 }
 
 std::size_t PathAnalysisCache::size() const {
@@ -137,7 +153,9 @@ std::size_t PathAnalysisCache::size() const {
 void PathAnalysisCache::clear() {
   const std::lock_guard lock(mutex_);
   entries_.clear();
-  stats_ = Stats{};
+  hits_.reset();
+  misses_.reset();
+  evictions_.reset();
 }
 
 }  // namespace whart::hart

@@ -18,6 +18,13 @@
 // the full horizon (a mid-frame TTL is not translation invariant).
 // Cached results are therefore exactly equal to uncached ones.
 //
+// Observability: hit/miss/eviction counts live on per-instance
+// obs::Counter cells (exact per-cache accounting for tests and benches)
+// and are mirrored into the process-wide registry under
+// hart.path_cache.{hits,misses,evictions} with a hart.path_cache.size
+// gauge, so a --metrics dump reports the cumulative cache behaviour of
+// the whole run.
+//
 // Thread safety: all members are safe to call concurrently; the cache is
 // shared by the parallel per-path workers of hart::analyze_network.
 #pragma once
@@ -28,6 +35,7 @@
 #include <mutex>
 #include <vector>
 
+#include "whart/common/obs.hpp"
 #include "whart/hart/path_analysis.hpp"
 #include "whart/hart/path_model.hpp"
 
@@ -35,10 +43,15 @@ namespace whart::hart {
 
 class PathAnalysisCache {
  public:
-  struct Stats {
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-  };
+  /// Unbounded cache (every distinct fingerprint is kept).
+  PathAnalysisCache() = default;
+
+  /// Cache holding at most `max_entries` solves (0 = unbounded).  When
+  /// full, an arbitrary entry is evicted to make room — correctness is
+  /// unaffected (an evicted fingerprint is simply re-solved), only the
+  /// hit rate.
+  explicit PathAnalysisCache(std::size_t max_entries)
+      : max_entries_(max_entries) {}
 
   /// Measures of `config` under steady-state links with the given
   /// per-hop UP probabilities, solving (and memoizing) on a miss.
@@ -53,7 +66,24 @@ class PathAnalysisCache {
       const PathModelConfig& config,
       const std::vector<double>& hop_availability);
 
-  [[nodiscard]] Stats stats() const;
+  /// Lookups served from a stored entry (this instance only).
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_.value(); }
+
+  /// Lookups that required a fresh solve (this instance only).
+  [[nodiscard]] std::uint64_t misses() const noexcept {
+    return misses_.value();
+  }
+
+  /// Entries discarded to respect the capacity bound.
+  [[nodiscard]] std::uint64_t evictions() const noexcept {
+    return evictions_.value();
+  }
+
+  /// Capacity bound (0 = unbounded).
+  [[nodiscard]] std::size_t max_entries() const noexcept {
+    return max_entries_;
+  }
+
   [[nodiscard]] std::size_t size() const;
   void clear();
 
@@ -65,11 +95,15 @@ class PathAnalysisCache {
     std::vector<double> cycle_probabilities;
     double expected_transmissions = 0.0;
     double expected_transmissions_delivered = 0.0;
+    SolverDiagnostics diagnostics;
   };
 
   mutable std::mutex mutex_;
   std::unordered_map<std::string, Entry> entries_;
-  Stats stats_;
+  std::size_t max_entries_ = 0;
+  common::obs::Counter hits_;
+  common::obs::Counter misses_;
+  common::obs::Counter evictions_;
 };
 
 }  // namespace whart::hart

@@ -1,9 +1,13 @@
 #include "whart/hart/path_model.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <limits>
+#include <numeric>
 
 #include "whart/common/contracts.hpp"
+#include "whart/common/obs.hpp"
 
 namespace whart::hart {
 
@@ -84,8 +88,14 @@ std::optional<std::size_t> PathModel::hop_in_slot(
 
 PathTransientResult PathModel::analyze(
     const LinkProbabilityProvider& links) const {
+  WHART_SPAN("path_solve");
   expects(links.hop_count() >= config_.hop_count(),
           "provider covers every hop");
+#ifndef WHART_OBS_DISABLED
+  const bool timed = common::obs::metrics_enabled();
+  const auto solve_start = timed ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
+#endif
   const std::size_t hops = config_.hop_count();
   const std::uint32_t ttl = config_.effective_ttl();
   const std::uint32_t horizon = config_.horizon();
@@ -154,6 +164,26 @@ PathTransientResult PathModel::analyze(
     }
     result.goal_trajectory.push_back(result.cycle_probabilities);
   }
+
+  result.diagnostics.dtmc_states = num_states_;
+  result.diagnostics.transient_states = num_transient_;
+  result.diagnostics.absorbing_states = config_.reporting_interval + 1;
+  result.diagnostics.forward_steps = horizon;
+  const double goal_mass =
+      std::accumulate(result.cycle_probabilities.begin(),
+                      result.cycle_probabilities.end(), 0.0);
+  result.diagnostics.mass_residual =
+      std::abs(1.0 - goal_mass - result.discard_probability);
+  WHART_COUNT("hart.path_solve.count");
+  WHART_OBSERVE("hart.path_solve.states", num_states_);
+#ifndef WHART_OBS_DISABLED
+  if (timed) {
+    const auto elapsed = std::chrono::steady_clock::now() - solve_start;
+    result.diagnostics.solve_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    WHART_OBSERVE("hart.path_solve.ns", result.diagnostics.solve_ns);
+  }
+#endif
   return result;
 }
 

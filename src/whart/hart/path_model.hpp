@@ -77,6 +77,32 @@ struct PathModelConfig {
   }
 };
 
+/// Numeric provenance of one path solve — the observability block
+/// attached to PathMeasures (and aggregated into NetworkMeasures) so a
+/// run can report where its DTMC work went.  Structural fields are
+/// deterministic; `solve_ns` is wall-clock (0 when metrics are off or
+/// the result came from the cache) and `from_cache` is set by
+/// PathAnalysisCache when an entry is served without solving.
+struct SolverDiagnostics {
+  /// States of the unrolled chain (transient + Is goals + Discard).
+  std::size_t dtmc_states = 0;
+  std::size_t transient_states = 0;
+  std::size_t absorbing_states = 0;
+
+  /// Uplink slots propagated by the forward pass (the horizon).
+  std::uint64_t forward_steps = 0;
+
+  /// |1 - (goal mass + discard mass)| after absorption — the numeric
+  /// health of the solve (exact arithmetic would give 0).
+  double mass_residual = 0.0;
+
+  /// Wall-clock of the forward/backward passes, ns.
+  std::uint64_t solve_ns = 0;
+
+  /// True when the measures were reconstructed from a cache hit.
+  bool from_cache = false;
+};
+
 /// Result of transient analysis of a path model.
 struct PathTransientResult {
   /// g(i): probability of absorption in goal state i (cycle i, 1-based),
@@ -103,6 +129,9 @@ struct PathTransientResult {
   /// accounting behind the paper's Table II.  Always <=
   /// expected_transmissions.
   double expected_transmissions_delivered = 0.0;
+
+  /// Numeric provenance of this solve (sizes, residual, wall-clock).
+  SolverDiagnostics diagnostics;
 };
 
 /// The unrolled path DTMC.

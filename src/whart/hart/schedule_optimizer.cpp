@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "whart/common/contracts.hpp"
+#include "whart/common/obs.hpp"
 #include "whart/common/parallel.hpp"
 #include "whart/hart/analytic.hpp"
 #include "whart/net/schedule_builder.hpp"
@@ -13,6 +14,7 @@ namespace whart::hart {
 std::vector<double> expected_extra_cycles(
     const net::Network& network, const std::vector<net::Path>& paths,
     std::uint32_t reporting_interval, unsigned threads) {
+  WHART_SPAN("expected_extra_cycles");
   expects(!paths.empty(), "at least one path");
   return common::parallel_map(
       paths,
@@ -37,6 +39,7 @@ std::vector<double> expected_extra_cycles(
 net::Schedule build_min_worst_delay_schedule(
     const net::Network& network, const std::vector<net::Path>& paths,
     net::SuperframeConfig superframe, std::uint32_t reporting_interval) {
+  WHART_SPAN("schedule_optimize");
   expects(net::required_uplink_slots(paths) <= superframe.uplink_slots,
           "paths fit into the uplink frame");
   const std::vector<double> extra =

@@ -3,6 +3,7 @@
 #include <ostream>
 
 #include "whart/common/contracts.hpp"
+#include "whart/common/obs.hpp"
 #include "whart/common/parallel.hpp"
 #include "whart/report/csv.hpp"
 
@@ -33,6 +34,8 @@ SweepSeries sweep_availability(const PathModelConfig& config,
                                const std::vector<double>& availabilities,
                                unsigned threads) {
   expects(!availabilities.empty(), "at least one sample");
+  WHART_SPAN("sweep_availability");
+  WHART_COUNT_N("hart.sweep.points", availabilities.size());
   SweepSeries series;
   series.parameter_name = "availability";
   series.points = common::parallel_map(
@@ -50,6 +53,8 @@ SweepSeries sweep_ber(const PathModelConfig& config,
                       const std::vector<double>& bit_error_rates,
                       unsigned threads) {
   expects(!bit_error_rates.empty(), "at least one sample");
+  WHART_SPAN("sweep_ber");
+  WHART_COUNT_N("hart.sweep.points", bit_error_rates.size());
   SweepSeries series;
   series.parameter_name = "ber";
   series.points = common::parallel_map(
@@ -68,6 +73,8 @@ SweepSeries sweep_hop_count(std::uint32_t max_hops, double availability,
                             unsigned threads) {
   expects(max_hops >= 1, "max_hops >= 1");
   expects(max_hops <= superframe.uplink_slots, "hops fit in the frame");
+  WHART_SPAN("sweep_hop_count");
+  WHART_COUNT_N("hart.sweep.points", max_hops);
   SweepSeries series;
   series.parameter_name = "hops";
   std::vector<std::uint32_t> hop_counts;
@@ -95,6 +102,8 @@ SweepSeries sweep_reporting_interval_series(
     const PathModelConfig& base_config, double availability,
     const std::vector<std::uint32_t>& intervals, unsigned threads) {
   expects(!intervals.empty(), "at least one interval");
+  WHART_SPAN("sweep_reporting_interval");
+  WHART_COUNT_N("hart.sweep.points", intervals.size());
   SweepSeries series;
   series.parameter_name = "reporting_interval";
   series.points = common::parallel_map(

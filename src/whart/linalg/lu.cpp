@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "whart/common/contracts.hpp"
+#include "whart/common/obs.hpp"
 
 namespace whart::linalg {
 
@@ -15,6 +16,8 @@ constexpr double kSingularTolerance = 1e-13;
 LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
   expects(lu_.square(), "matrix is square");
   const std::size_t n = lu_.rows();
+  WHART_COUNT("linalg.lu.factorizations");
+  WHART_OBSERVE("linalg.lu.order", n);
   pivot_.resize(n);
   std::iota(pivot_.begin(), pivot_.end(), std::size_t{0});
 

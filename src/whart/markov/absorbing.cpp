@@ -3,11 +3,13 @@
 #include <unordered_map>
 
 #include "whart/common/contracts.hpp"
+#include "whart/common/obs.hpp"
 #include "whart/linalg/lu.hpp"
 
 namespace whart::markov {
 
 AbsorbingAnalysis analyze_absorbing(const Dtmc& chain) {
+  WHART_SPAN("absorbing_solve");
   AbsorbingAnalysis result;
   result.absorbing_states = chain.absorbing_states();
   expects(!result.absorbing_states.empty(),
@@ -27,6 +29,9 @@ AbsorbingAnalysis analyze_absorbing(const Dtmc& chain) {
 
   const std::size_t nt = result.transient_states.size();
   const std::size_t na = result.absorbing_states.size();
+  WHART_COUNT("markov.absorbing.solves");
+  WHART_OBSERVE("markov.absorbing.transient_states", nt);
+  WHART_OBSERVE("markov.absorbing.absorbing_states", na);
 
   // Extract Q (transient -> transient) and R (transient -> absorbing).
   linalg::Matrix q(nt, nt);

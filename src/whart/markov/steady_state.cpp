@@ -1,6 +1,7 @@
 #include "whart/markov/steady_state.hpp"
 
 #include "whart/common/contracts.hpp"
+#include "whart/common/obs.hpp"
 #include "whart/linalg/lu.hpp"
 #include "whart/linalg/matrix.hpp"
 
@@ -9,6 +10,8 @@ namespace whart::markov {
 linalg::Vector steady_state_direct(const Dtmc& chain) {
   const std::size_t n = chain.num_states();
   expects(n > 0, "chain is non-empty");
+  WHART_COUNT("markov.steady_state.direct.solves");
+  WHART_OBSERVE("markov.steady_state.states", n);
 
   // Solve (P^T - I) pi = 0 with the last equation replaced by sum(pi) = 1.
   linalg::Matrix system(n, n);
@@ -35,6 +38,8 @@ linalg::Vector steady_state_power(const Dtmc& chain, double tolerance,
   const std::size_t n = chain.num_states();
   expects(n > 0, "chain is non-empty");
   linalg::Vector pi(n, 1.0 / static_cast<double>(n));
+  std::uint64_t iterations = 0;
+  double residual = 0.0;
   for (std::uint64_t it = 0; it < max_iterations; ++it) {
     // Lazy-chain step: pi' = (pi P + pi) / 2 — immune to periodicity.
     linalg::Vector next = chain.step(pi);
@@ -42,8 +47,13 @@ linalg::Vector steady_state_power(const Dtmc& chain, double tolerance,
     next *= 0.5;
     const double change = linalg::max_abs_diff(next, pi);
     pi = std::move(next);
+    ++iterations;
+    residual = change;
     if (change < tolerance) break;
   }
+  WHART_COUNT("markov.steady_state.power.solves");
+  WHART_COUNT_N("markov.steady_state.power.iterations", iterations);
+  WHART_GAUGE_SET("markov.steady_state.power.last_residual", residual);
   return pi;
 }
 

@@ -1,0 +1,33 @@
+// JSON export of the observability subsystem: metrics snapshots (with
+// optional span aggregates and derived figures) and Chrome
+// trace_event-format span dumps loadable in chrome://tracing / Perfetto.
+// This is the writer behind `whart_cli --metrics=<file>` and
+// `--trace=<file>`.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "whart/common/obs.hpp"
+
+namespace whart::report {
+
+/// Serialize a metrics snapshot as a JSON object with "counters",
+/// "gauges", "histograms", "derived" (figures computable from the
+/// counters, e.g. the path-cache hit ratio) and, when `spans` is
+/// non-empty, a "spans" array of flat per-name aggregates.
+void write_metrics_json(std::ostream& out,
+                        const common::obs::MetricsSnapshot& snapshot,
+                        const std::vector<common::obs::SpanAggregate>& spans =
+                            {});
+
+/// Serialize completed spans in Chrome trace_event format: one complete
+/// ("ph":"X") event per span, timestamps/durations in microseconds.
+void write_chrome_trace_json(
+    std::ostream& out, const std::vector<common::obs::SpanRecord>& events);
+
+/// Human-readable aggregate table: name, count, total/mean/min/max ms.
+void print_span_table(std::ostream& out,
+                      const std::vector<common::obs::SpanAggregate>& spans);
+
+}  // namespace whart::report

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "whart/common/contracts.hpp"
+#include "whart/common/obs.hpp"
 #include "whart/common/parallel.hpp"
 #include "whart/link/blacklist.hpp"
 #include "whart/phy/frame.hpp"
@@ -181,6 +182,8 @@ bool NetworkSimulator::attempt(ShardState& shard, std::size_t link_index,
 
 SimulationReport NetworkSimulator::run_shard(std::uint64_t seed,
                                              std::uint64_t intervals) const {
+  WHART_SPAN("sim_shard");
+  WHART_TIMER("sim.shard.ns");
   ShardState shard(network_, seed);
 
   SimulationReport report;
@@ -236,10 +239,14 @@ SimulationReport NetworkSimulator::run_shard(std::uint64_t seed,
     interval_base_slot += static_cast<std::uint64_t>(cycles) * cycle_slots;
   }
   report.total_slots_simulated = interval_base_slot;
+  WHART_COUNT_N("sim.slots", report.total_slots_simulated);
   return report;
 }
 
 SimulationReport NetworkSimulator::run() const {
+  WHART_SPAN("simulate");
+  WHART_COUNT("sim.runs");
+  WHART_COUNT_N("sim.intervals", config_.intervals);
   const std::uint64_t shards =
       std::min<std::uint64_t>(config_.shards, config_.intervals);
   if (shards <= 1) return run_shard(config_.seed, config_.intervals);

@@ -11,6 +11,7 @@
 // headers in translation units that only need a slice.
 //
 // Layer map (bottom to top):
+//   whart/common/*    contracts, thread pool, observability (metrics/spans)
 //   whart/numeric/*   probability, combinatorics, distributions, RNG
 //   whart/linalg/*    dense/sparse matrices, LU, convolution
 //   whart/phy/*       SNR, modulation BER curves, BSC, HART framing
@@ -24,6 +25,8 @@
 #pragma once
 
 #include "whart/common/contracts.hpp"
+#include "whart/common/obs.hpp"
+#include "whart/common/parallel.hpp"
 
 #include "whart/numeric/combinatorics.hpp"
 #include "whart/numeric/distributions.hpp"
@@ -80,6 +83,7 @@
 #include "whart/hart/link_probability.hpp"
 #include "whart/hart/network_analysis.hpp"
 #include "whart/hart/path_analysis.hpp"
+#include "whart/hart/path_cache.hpp"
 #include "whart/hart/path_model.hpp"
 #include "whart/hart/schedule_optimizer.hpp"
 #include "whart/hart/sensitivity.hpp"
@@ -93,4 +97,5 @@
 
 #include "whart/report/csv.hpp"
 #include "whart/report/histogram.hpp"
+#include "whart/report/metrics_export.hpp"
 #include "whart/report/table.hpp"

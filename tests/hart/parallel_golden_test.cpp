@@ -114,12 +114,12 @@ TEST(ParallelGolden, NetworkAnalysisGeneratedPlantCachedAndThreaded) {
                                    plant.schedule, plant.superframe, 4,
                                    options),
                    serial);
-  const std::uint64_t first_misses = cache.stats().misses;
+  const std::uint64_t first_misses = cache.misses();
   expect_identical(analyze_network(plant.network, plant.paths,
                                    plant.schedule, plant.superframe, 4,
                                    options),
                    serial);
-  EXPECT_EQ(cache.stats().misses, first_misses);  // all hits second time
+  EXPECT_EQ(cache.misses(), first_misses);  // all hits second time
 }
 
 TEST(ParallelGolden, SweepAvailability) {

@@ -63,8 +63,8 @@ TEST(PathAnalysisCache, TranslatedConfigsShareOneSolve) {
   (void)cache.measures(config_with_slots({1, 2}), availability);
   (void)cache.measures(config_with_slots({5, 6}), availability);
   (void)cache.measures(config_with_slots({18, 19}), availability);
-  EXPECT_EQ(cache.stats().misses, 1u);
-  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 2u);
   EXPECT_EQ(cache.size(), 1u);
 }
 
@@ -102,7 +102,7 @@ TEST(PathAnalysisCache, MidFrameTtlIsNotTranslated) {
                    direct_measures(late, availability));
   expect_identical(cache.measures(early, availability),
                    direct_measures(early, availability));
-  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.misses(), 2u);
 }
 
 TEST(PathAnalysisCache, DelaysFollowTheCallerGatewaySlot) {
@@ -112,7 +112,7 @@ TEST(PathAnalysisCache, DelaysFollowTheCallerGatewaySlot) {
                                             availability);
   const PathMeasures shifted = cache.measures(config_with_slots({7}),
                                               availability);
-  EXPECT_EQ(cache.stats().hits, 1u);  // shared solve...
+  EXPECT_EQ(cache.hits(), 1u);  // shared solve...
   EXPECT_EQ(first.cycle_probabilities, shifted.cycle_probabilities);
   // ...but each caller's delays use its own gateway slot.
   EXPECT_DOUBLE_EQ(first.delays_ms[0], 10.0);
@@ -155,20 +155,68 @@ TEST(PathAnalysisCache, CollapsesQuantizedGeneratedPlant) {
     const PathMeasures cached = cache.measures(config, availability);
     expect_identical(cached, direct_measures(config, availability));
   }
-  const PathAnalysisCache::Stats stats = cache.stats();
-  EXPECT_EQ(stats.hits + stats.misses, plant.paths.size());
+  EXPECT_EQ(cache.hits() + cache.misses(), plant.paths.size());
   // With 4 quality classes the 200 paths collapse to far fewer distinct
   // solves (4 one-hop keys, <= 16 two-hop keys, ...).
-  EXPECT_LT(stats.misses, plant.paths.size() / 2);
+  EXPECT_LT(cache.misses(), plant.paths.size() / 2);
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
-  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.misses(), 0u);
 }
 
 TEST(PathAnalysisCache, RejectsTooFewAvailabilities) {
   PathAnalysisCache cache;
   EXPECT_THROW(cache.measures(config_with_slots({1, 2}), {0.9}),
                precondition_error);
+}
+
+TEST(PathAnalysisCache, DiagnosticsMarkCacheHits) {
+  PathAnalysisCache cache;
+  const std::vector<double> availability{0.9, 0.8};
+  const PathMeasures first =
+      cache.measures(config_with_slots({1, 2}), availability);
+  ASSERT_TRUE(first.diagnostics.has_value());
+  EXPECT_FALSE(first.diagnostics->from_cache);
+  EXPECT_GT(first.diagnostics->dtmc_states, 0u);
+
+  const PathMeasures second =
+      cache.measures(config_with_slots({1, 2}), availability);
+  ASSERT_TRUE(second.diagnostics.has_value());
+  EXPECT_TRUE(second.diagnostics->from_cache);
+  EXPECT_EQ(second.diagnostics->solve_ns, 0u);
+  // The structural fields survive the round trip through the entry.
+  EXPECT_EQ(second.diagnostics->dtmc_states, first.diagnostics->dtmc_states);
+  EXPECT_EQ(second.diagnostics->transient_states,
+            first.diagnostics->transient_states);
+}
+
+TEST(PathAnalysisCache, CapacityBoundEvicts) {
+  PathAnalysisCache cache(2);
+  EXPECT_EQ(cache.max_entries(), 2u);
+  const std::vector<double> availability{0.9};
+  // Three structurally distinct one-hop configs (different Fup so
+  // translation cannot collapse them).
+  (void)cache.measures(config_with_slots({1}, 10), availability);
+  (void)cache.measures(config_with_slots({1}, 11), availability);
+  (void)cache.measures(config_with_slots({1}, 12), availability);
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Evicted or not, results stay exact.
+  const PathModelConfig config = config_with_slots({1}, 10);
+  expect_identical(cache.measures(config, availability),
+                   direct_measures(config, availability));
+}
+
+TEST(PathAnalysisCache, UnboundedByDefault) {
+  PathAnalysisCache cache;
+  EXPECT_EQ(cache.max_entries(), 0u);
+  const std::vector<double> availability{0.9};
+  for (std::uint32_t fup = 5; fup < 25; ++fup)
+    (void)cache.measures(config_with_slots({1}, fup), availability);
+  EXPECT_EQ(cache.size(), 20u);
+  EXPECT_EQ(cache.evictions(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Validate the observability JSON dumps produced by --metrics / --trace.
+
+Usage: validate_obs_json.py <metrics.json> <trace.json>
+
+Checks that the metrics snapshot parses, contains the counters the
+instrumented analysis engine must have bumped (DTMC solve counts, cache
+traffic) and well-formed histograms, and that the trace file is a valid
+Chrome trace_event dump with the required keys on every event.  Used by
+the CI observability smoke step; exits non-zero with a message on the
+first violation.
+"""
+import json
+import sys
+
+
+def fail(message: str) -> None:
+    print(f"validate_obs_json: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_metrics(path: str) -> None:
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+
+    for section in ("counters", "gauges", "histograms", "derived"):
+        if section not in data:
+            fail(f"{path}: missing section '{section}'")
+
+    counters = data["counters"]
+    if counters.get("hart.path_solve.count", 0) <= 0:
+        fail(f"{path}: expected hart.path_solve.count > 0")
+    lookups = counters.get("hart.path_cache.hits", 0) + counters.get(
+        "hart.path_cache.misses", 0
+    )
+    if lookups <= 0:
+        fail(f"{path}: expected path-cache traffic (hits + misses > 0)")
+    if "cache_hit_ratio" in data["derived"]:
+        ratio = data["derived"]["cache_hit_ratio"]
+        if not 0.0 <= ratio <= 1.0:
+            fail(f"{path}: cache_hit_ratio {ratio} out of [0, 1]")
+
+    for name, hist in data["histograms"].items():
+        for key in ("count", "sum", "min", "max", "buckets"):
+            if key not in hist:
+                fail(f"{path}: histogram '{name}' missing '{key}'")
+        total = sum(b["count"] for b in hist["buckets"])
+        if total != hist["count"]:
+            fail(
+                f"{path}: histogram '{name}' bucket counts {total} != "
+                f"count {hist['count']}"
+            )
+
+    print(
+        f"validate_obs_json: {path}: OK "
+        f"({len(counters)} counters, {len(data['histograms'])} histograms, "
+        f"{counters.get('hart.path_solve.count')} path solves)"
+    )
+
+
+def validate_trace(path: str) -> None:
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+
+    events = data.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents missing or empty")
+    for event in events:
+        for key in ("name", "cat", "ph", "pid", "tid", "ts", "dur"):
+            if key not in event:
+                fail(f"{path}: event missing '{key}': {event}")
+        if event["ph"] != "X":
+            fail(f"{path}: expected complete ('X') events, got {event['ph']}")
+        if event["dur"] < 0 or event["ts"] < 0:
+            fail(f"{path}: negative timestamp in {event}")
+
+    names = {event["name"] for event in events}
+    if "analyze_network" not in names:
+        fail(f"{path}: no analyze_network span recorded (spans: {names})")
+    print(f"validate_obs_json: {path}: OK ({len(events)} events, spans: "
+          f"{', '.join(sorted(names))})")
+
+
+def main() -> None:
+    if len(sys.argv) != 3:
+        fail("usage: validate_obs_json.py <metrics.json> <trace.json>")
+    validate_metrics(sys.argv[1])
+    validate_trace(sys.argv[2])
+
+
+if __name__ == "__main__":
+    main()
