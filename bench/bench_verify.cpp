@@ -1,0 +1,73 @@
+// Verification harness throughput (not a paper figure): scenarios
+// checked per second by the invariant library and the three-way
+// differential oracle, with and without the Monte-Carlo leg, plus the
+// cost of shrinking an injected failure.  Run before/after solver
+// changes to see what a fuzzing budget buys.
+#include <chrono>
+
+#include "bench_common.hpp"
+#include "whart/verify/runner.hpp"
+#include "whart/verify/shrink.hpp"
+
+int main() {
+  using namespace whart;
+  using report::Table;
+  using Clock = std::chrono::steady_clock;
+
+  bench::print_header(
+      "Verification harness — fuzzing and shrinking throughput",
+      "seed 1, generator defaults; simulator leg 4000 intervals x 4 "
+      "shards");
+
+  Table table({"campaign", "scenarios", "stat checks", "wall ms",
+               "scenarios/s"});
+  const auto run = [&](const char* name, bool simulate, std::uint64_t runs) {
+    verify::VerifyConfig config;
+    config.seed = 1;
+    config.runs = runs;
+    config.oracle.run_simulation = simulate;
+    const auto start = Clock::now();
+    const verify::VerifyReport report = verify::run_verification(config);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          Clock::now() - start)
+                          .count();
+    table.add_row({name, std::to_string(report.scenarios_run),
+                   std::to_string(report.statistical_checks),
+                   Table::fixed(ms, 1),
+                   Table::fixed(1000.0 * static_cast<double>(runs) / ms, 0)});
+    return report.ok();
+  };
+  bool ok = run("deterministic legs only", false, 2000);
+  ok = run("with simulator leg", true, 500) && ok;
+
+  {
+    // Shrinking: inject a link bias and time the minimization.
+    verify::OracleConfig oracle;
+    oracle.injection = verify::Injection::kLinkBias;
+    oracle.run_simulation = false;
+    const verify::InvariantOptions invariants;
+    const verify::StillFails predicate = [&](const verify::Scenario& s) {
+      return verify::has_findings(
+          verify::check_scenario(s, invariants, oracle));
+    };
+    const verify::ScenarioGenerator generator;
+    std::uint64_t seed = 1;
+    verify::Scenario failing = generator.generate(seed);
+    while (!predicate(failing)) failing = generator.generate(++seed);
+    const auto start = Clock::now();
+    const verify::ShrinkResult result =
+        verify::shrink_scenario(failing, predicate);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          Clock::now() - start)
+                          .count();
+    table.add_row({"shrink injected link bias",
+                   std::to_string(result.candidates_tried) + " candidates",
+                   std::to_string(result.steps_taken) + " steps",
+                   Table::fixed(ms, 1), "-"});
+  }
+
+  table.print(std::cout);
+  std::cout << (ok ? "\nall campaigns clean\n"
+                   : "\nWARNING: campaign reported findings\n");
+  return ok ? 0 : 1;
+}

@@ -168,6 +168,12 @@ bool NetworkSimulator::attempt(ShardState& shard, std::size_t link_index,
     return success;
   }
 
+  if (config_.regime == LinkRegime::kIndependent) {
+    // Every attempt is an independent Bernoulli trial at the stationary
+    // availability — the exact regime of the steady-state analytics.
+    return shard.rng.bernoulli(rt.model.steady_state_availability());
+  }
+
   // Gilbert regime: advance the chain analytically to this slot.
   ensures(absolute_slot >= rt.last_slot, "time moves forward");
   const std::uint64_t elapsed = absolute_slot - rt.last_slot;
@@ -210,6 +216,12 @@ SimulationReport NetworkSimulator::run_shard(std::uint64_t seed,
     }
     for (std::uint32_t cycle = 0; cycle < cycles; ++cycle) {
       for (std::uint32_t slot = 1; slot <= fup; ++slot) {
+        // TTL: the transmission in uplink slot ttl still fires; later
+        // slots carry nothing (the message counts as discarded at the
+        // end of the interval, matching the analytic Discard state).
+        if (config_.ttl.has_value() &&
+            static_cast<std::uint64_t>(cycle) * fup + slot > *config_.ttl)
+          break;
         const auto& entry = schedule_.entry(slot);
         if (!entry.has_value()) continue;
         Message& msg = messages[entry->path_index];

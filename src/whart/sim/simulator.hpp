@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "whart/link/failure_script.hpp"
@@ -21,9 +22,19 @@ namespace whart::sim {
 
 /// How link successes are decided.
 enum class LinkRegime {
-  /// Each link is the two-state Gilbert chain of its LinkModel — the
-  /// regime the DTMC analytics describe exactly.
+  /// Each link is the two-state Gilbert chain of its LinkModel.  Note
+  /// that retransmissions of the *same* message see a correlated link
+  /// (after a failure the link is known DOWN), which the steady-state
+  /// analytics deliberately ignore — with prc near 1 the bias is tiny,
+  /// but it is not exactly the analytic model.
   kGilbert,
+  /// Every attempt succeeds independently with the link's stationary
+  /// availability pi(up) — exactly the regime of hart::SteadyStateLinks
+  /// (paper Eq. 4).  This is the sound leg of the statistical
+  /// cross-validation oracle: empirical frequencies converge to the
+  /// analytic probabilities, so confidence bounds apply without a
+  /// correlation correction.
+  kIndependent,
   /// Physical pipeline: per-slot pseudo-random channel hopping over 16
   /// channels with per-channel bit error rates, BSC word transmission and
   /// network-manager blacklisting.  Demonstrates the full stack; not
@@ -56,6 +67,10 @@ struct SimulatorConfig {
   /// Number of reporting intervals to simulate.
   std::uint64_t intervals = 100000;
   std::uint64_t seed = 42;
+  /// Message TTL in uplink slots (matching PathModelConfig::ttl): the
+  /// transmission in uplink slot ttl still fires, later slots carry
+  /// nothing and the message is discarded.  Unset = full horizon.
+  std::optional<std::uint32_t> ttl;
   LinkRegime regime = LinkRegime::kGilbert;
   PhysicalChannelConfig physical;
   /// Forced-DOWN windows applied in every interval (Gilbert regime only).

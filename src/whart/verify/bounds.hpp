@@ -1,0 +1,29 @@
+// Statistical agreement bounds for the differential oracle.  Instead of
+// fixed epsilons, analytic-vs-simulator comparisons are judged by
+// concentration inequalities: the empirical frequency of n i.i.d.
+// Bernoulli trials deviates from its true mean by more than the
+// Hoeffding radius with probability at most delta, and the Wilson score
+// interval (sim::wilson_interval) gives the matching two-sided interval
+// for a binomial proportion.  z_for_delta converts a per-check failure
+// probability into the z-score the Wilson interval wants.
+#pragma once
+
+#include <cstdint>
+
+namespace whart::verify {
+
+/// Two-sided Hoeffding radius: |empirical mean - true mean| of n i.i.d.
+/// samples bounded in [0, range] exceeds this with probability < delta.
+///   radius = range * sqrt(ln(2 / delta) / (2 n))
+double hoeffding_radius(std::uint64_t n, double delta, double range = 1.0);
+
+/// Inverse standard-normal CDF (quantile function), |error| < 1.15e-9
+/// over (0, 1) — Acklam's rational approximation with one Halley
+/// refinement step.
+double inverse_normal_cdf(double p);
+
+/// z-score such that a two-sided normal tail has mass delta:
+/// z = Phi^-1(1 - delta / 2).
+double z_for_delta(double delta);
+
+}  // namespace whart::verify

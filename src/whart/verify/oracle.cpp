@@ -1,0 +1,239 @@
+#include "whart/verify/oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "whart/common/contracts.hpp"
+#include "whart/hart/link_probability.hpp"
+#include "whart/hart/path_analysis.hpp"
+#include "whart/hart/path_model.hpp"
+#include "whart/numeric/rng.hpp"
+#include "whart/sim/stats.hpp"
+#include "whart/verify/bounds.hpp"
+#include "whart/verify/reference_solver.hpp"
+
+namespace whart::verify {
+
+namespace {
+
+std::string format_double(double value) {
+  std::ostringstream out;
+  out.precision(17);
+  out << value;
+  return out.str();
+}
+
+/// Relative agreement of two exact solvers.
+bool close(double a, double b, double tolerance) {
+  return std::abs(a - b) <=
+         tolerance * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+/// The production leg of one path, after any injection.
+struct ProductionLeg {
+  hart::PathMeasures measures;
+  /// Discard mass as computed by the solver (NOT derived as 1 - R), the
+  /// quantity the closure check and the discard comparisons use.
+  double discard = 0.0;
+  std::vector<double> transmissions_per_hop;
+  double transmissions_delivered = 0.0;
+};
+
+ProductionLeg solve_production(const hart::PathModelConfig& config,
+                               std::vector<double> availabilities,
+                               Injection injection) {
+  if (injection == Injection::kLinkBias)
+    for (double& a : availabilities) a = std::min(1.0, a + 0.05);
+
+  const hart::PathModel model(config);
+  const hart::SteadyStateLinks links{availabilities};
+  hart::PathTransientResult transient = model.analyze(links);
+
+  if (injection == Injection::kCycleShift &&
+      transient.cycle_probabilities.size() > 1)
+    std::rotate(transient.cycle_probabilities.rbegin(),
+                transient.cycle_probabilities.rbegin() + 1,
+                transient.cycle_probabilities.rend());
+
+  ProductionLeg leg;
+  leg.discard = transient.discard_probability *
+                (injection == Injection::kDiscardLeak ? 0.875 : 1.0);
+  leg.transmissions_per_hop = transient.expected_transmissions_per_hop;
+  leg.transmissions_delivered = transient.expected_transmissions_delivered;
+  leg.measures =
+      measures_from_cycles(config, std::move(transient.cycle_probabilities),
+                           transient.expected_transmissions);
+  leg.measures.utilization_delivered =
+      transient.expected_transmissions_delivered /
+      (static_cast<double>(config.reporting_interval) *
+       config.superframe.uplink_slots);
+  return leg;
+}
+
+}  // namespace
+
+OracleReport cross_validate(const Scenario& scenario,
+                            const OracleConfig& config) {
+  scenario.validate();
+  OracleReport report;
+
+  std::vector<ProductionLeg> production;
+  production.reserve(scenario.path_count());
+
+  const auto add_finding = [&](std::size_t path, std::string check,
+                               std::string detail) {
+    report.findings.push_back(
+        {path, std::move(check), std::move(detail)});
+  };
+
+  for (std::size_t p = 0; p < scenario.path_count(); ++p) {
+    const hart::PathModelConfig path_config = scenario.path_config(p);
+    const std::vector<double> availabilities = scenario.hop_availabilities(p);
+    production.push_back(
+        solve_production(path_config, availabilities, config.injection));
+    const ProductionLeg& prod = production.back();
+
+    // Closure: R + P(discard) = 1 with the solver's own discard mass.
+    const double closure =
+        std::abs(prod.measures.reachability + prod.discard - 1.0);
+    if (closure > config.deterministic_tolerance)
+      add_finding(p, "closure:reachability-discard",
+                  "|R + P(discard) - 1| = " + format_double(closure));
+
+    // Reference leg: the naive dense solver, on the TRUE availabilities.
+    const ReferenceResult ref = reference_solve(path_config, availabilities);
+    const auto compare = [&](const char* field, double prod_value,
+                             double ref_value) {
+      if (!close(prod_value, ref_value, config.deterministic_tolerance))
+        add_finding(p, std::string("reference:") + field,
+                    "production " + format_double(prod_value) +
+                        " vs reference " + format_double(ref_value));
+    };
+    for (std::size_t i = 0; i < ref.cycle_probabilities.size(); ++i)
+      compare(("g(" + std::to_string(i + 1) + ")").c_str(),
+              prod.measures.cycle_probabilities[i],
+              ref.cycle_probabilities[i]);
+    compare("reachability", prod.measures.reachability, ref.reachability);
+    compare("discard", prod.discard, ref.discard_probability);
+    compare("expected_delay_ms", prod.measures.expected_delay_ms,
+            ref.expected_delay_ms);
+    compare("delay_jitter_ms", prod.measures.delay_jitter_ms,
+            ref.delay_jitter_ms);
+    compare("expected_transmissions", prod.measures.expected_transmissions,
+            ref.expected_transmissions);
+    compare("transmissions_delivered", prod.transmissions_delivered,
+            ref.expected_transmissions_delivered);
+    compare("utilization", prod.measures.utilization, ref.utilization);
+    for (std::size_t h = 0; h < ref.expected_transmissions_per_hop.size(); ++h)
+      compare(("transmissions_hop" + std::to_string(h)).c_str(),
+              prod.transmissions_per_hop[h],
+              ref.expected_transmissions_per_hop[h]);
+  }
+
+  // Simulator leg.  Retry slots cannot be expressed in a net::Schedule,
+  // so such scenarios are checked by the deterministic legs only.
+  if (!config.run_simulation || scenario.has_retry_slots()) return report;
+
+  BuiltScenario built = build_network(scenario);
+  sim::SimulatorConfig sim_config;
+  sim_config.superframe = scenario.superframe;
+  sim_config.reporting_interval = scenario.reporting_interval;
+  sim_config.intervals = config.sim_intervals;
+  // Decorrelate the simulation stream from the generation stream.
+  std::uint64_t seed_state = scenario.seed ^ 0x5EEDFACE5EEDFACEULL;
+  sim_config.seed = numeric::splitmix64(seed_state);
+  sim_config.ttl = scenario.ttl;
+  sim_config.regime = config.regime;
+  sim_config.shards = config.sim_shards;
+  sim_config.threads = config.sim_threads;
+
+  const sim::NetworkSimulator simulator(built.network, built.paths,
+                                        built.schedule, sim_config);
+  const sim::SimulationReport sim_report = simulator.run();
+  report.simulated = true;
+
+  const double z = z_for_delta(config.per_check_delta);
+  for (std::size_t p = 0; p < scenario.path_count(); ++p) {
+    const ProductionLeg& prod = production[p];
+    const sim::PathStatistics& stats = sim_report.per_path[p];
+    const std::uint64_t n = stats.messages;
+
+    // The interval endpoints are themselves floating-point results with
+    // ~1e-16 relative error (at p-hat = 1 the Wilson upper bound rounds
+    // to 1 - 1e-16, excluding an analytic value of exactly 1.0), so
+    // membership is tested with a small absolute slack — negligible
+    // against any real statistical radius.
+    constexpr double kBoundarySlack = 1e-12;
+    const auto check_proportion = [&](const std::string& field,
+                                      std::uint64_t successes,
+                                      double analytic) {
+      ++report.statistical_checks;
+      const sim::Interval ci = sim::wilson_interval(successes, n, z);
+      if (analytic < ci.low - kBoundarySlack ||
+          analytic > ci.high + kBoundarySlack)
+        add_finding(p, "simulator:" + field,
+                    "analytic " + format_double(analytic) + " outside [" +
+                        format_double(ci.low) + ", " + format_double(ci.high) +
+                        "] from " + std::to_string(successes) + "/" +
+                        std::to_string(n) + " samples");
+    };
+
+    std::uint64_t delivered = 0;
+    for (std::uint64_t d : stats.delivered_per_cycle) delivered += d;
+    check_proportion("reachability", delivered, prod.measures.reachability);
+    check_proportion("discard", stats.discarded, prod.discard);
+    for (std::size_t i = 0; i < stats.delivered_per_cycle.size(); ++i)
+      check_proportion("g(" + std::to_string(i + 1) + ")",
+                       stats.delivered_per_cycle[i],
+                       prod.measures.cycle_probabilities[i]);
+
+    // Mean delay over delivered messages: Hoeffding, with the sample
+    // range bounded by the delay spread of the Is possible cycles.
+    if (delivered > 0 && prod.measures.reachability > 0.0) {
+      const double range = prod.measures.delays_ms.back() -
+                           prod.measures.delays_ms.front();
+      const double gap =
+          std::abs(stats.delay_ms.mean() - prod.measures.expected_delay_ms);
+      if (range > 0.0) {
+        ++report.statistical_checks;
+        const double radius =
+            hoeffding_radius(delivered, config.per_check_delta, range);
+        if (gap > radius)
+          add_finding(p, "simulator:expected_delay_ms",
+                      "empirical " + format_double(stats.delay_ms.mean()) +
+                          " vs analytic " +
+                          format_double(prod.measures.expected_delay_ms) +
+                          ", Hoeffding radius " + format_double(radius));
+      } else if (gap > 1e-9 * std::max(1.0, prod.measures.expected_delay_ms)) {
+        // Is = 1: every delivery has the same deterministic delay.
+        add_finding(p, "simulator:expected_delay_ms",
+                    "single-cycle delay mismatch: empirical " +
+                        format_double(stats.delay_ms.mean()) + " vs " +
+                        format_double(prod.measures.expected_delay_ms));
+      }
+    }
+
+    // Attempts per message: bounded by the path's transmission
+    // opportunities per interval, so Hoeffding applies.
+    {
+      ++report.statistical_checks;
+      const double opportunities =
+          static_cast<double>(scenario.paths[p].hop_count()) *
+          scenario.reporting_interval;
+      const double empirical =
+          static_cast<double>(stats.transmissions) / static_cast<double>(n);
+      const double radius =
+          hoeffding_radius(n, config.per_check_delta, opportunities);
+      if (std::abs(empirical - prod.measures.expected_transmissions) > radius)
+        add_finding(p, "simulator:expected_transmissions",
+                    "empirical " + format_double(empirical) +
+                        " vs analytic " +
+                        format_double(prod.measures.expected_transmissions) +
+                        ", Hoeffding radius " + format_double(radius));
+    }
+  }
+  return report;
+}
+
+}  // namespace whart::verify

@@ -1,0 +1,87 @@
+// Three-way differential oracle.  For one scenario it computes:
+//   (1) the production leg — hart::PathModel / compute_path_measures,
+//       the parallel-and-cached engine the rest of the system uses;
+//   (2) the reference leg — verify::reference_solve, an independent
+//       dense implementation of the same math;
+//   (3) the simulator leg — sim::NetworkSimulator in the kIndependent
+//       regime, whose empirical frequencies converge to the analytic
+//       probabilities exactly.
+// Production vs. reference must agree to a deterministic relative
+// tolerance (both are exact solvers of the same chain).  Production vs.
+// simulator is judged statistically: a disagreement counts only when
+// the analytic value falls outside a Wilson/Hoeffding bound computed
+// from the sample size at a per-check failure probability delta — no
+// fixed epsilons, and the false-alarm rate of a whole fuzzing run is
+// bounded by (checks x delta).
+//
+// Fault injection: the oracle can deliberately corrupt its production
+// leg (and only that leg) to prove the harness catches real bugs —
+// kLinkBias biases the availabilities the production solver sees,
+// kDiscardLeak leaks discard mass, kCycleShift rotates the per-cycle
+// delivery probabilities.  A healthy harness reports findings for every
+// injection and none for kNone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "whart/sim/simulator.hpp"
+#include "whart/verify/scenario.hpp"
+
+namespace whart::verify {
+
+/// Deliberate production-leg corruption (see file comment).
+enum class Injection {
+  kNone,
+  /// Availabilities seen by the production solver biased +0.05.
+  kLinkBias,
+  /// Production discard probability scaled by 0.875.
+  kDiscardLeak,
+  /// Production cycle probabilities rotated by one cycle.
+  kCycleShift,
+};
+
+struct OracleConfig {
+  /// Monte-Carlo sample size (reporting intervals) of the simulator leg.
+  std::uint64_t sim_intervals = 4000;
+  std::uint32_t sim_shards = 4;
+  /// Threads for the simulator shards (1 = serial; the verify runner
+  /// already fans out across scenarios).
+  unsigned sim_threads = 1;
+  /// Skip the simulator leg entirely (deterministic legs only).
+  bool run_simulation = true;
+  /// Relative tolerance of production vs. reference agreement.
+  double deterministic_tolerance = 1e-9;
+  /// Per-statistical-check failure probability (sets the Wilson z and
+  /// the Hoeffding radius).
+  double per_check_delta = 1e-9;
+  sim::LinkRegime regime = sim::LinkRegime::kIndependent;
+  Injection injection = Injection::kNone;
+};
+
+/// One disagreement between legs.
+struct OracleFinding {
+  /// Path (0-based) the finding concerns.
+  std::size_t path_index = 0;
+  /// "reference:<field>" (deterministic miss), "simulator:<field>"
+  /// (CI-bound miss) or "closure:<invariant>".
+  std::string check;
+  std::string detail;
+};
+
+struct OracleReport {
+  std::vector<OracleFinding> findings;
+  /// True when the simulator leg ran (retry slots force it off).
+  bool simulated = false;
+  /// Statistical comparisons performed (the delta budget spent).
+  std::uint64_t statistical_checks = 0;
+
+  [[nodiscard]] bool ok() const noexcept { return findings.empty(); }
+};
+
+/// Cross-validate every path of `scenario` across the three legs.
+OracleReport cross_validate(const Scenario& scenario,
+                            const OracleConfig& config = {});
+
+}  // namespace whart::verify

@@ -1,0 +1,79 @@
+// The fuzzing runner: replay the seed corpus, then explore fresh seeds
+// derived from the base seed, checking every scenario with the
+// invariant library and the three-way oracle.  Scenarios fan out over
+// the shared thread pool; results are collected in seed order, so a run
+// is deterministic in (seed, runs, corpus).  Each failure is shrunk
+// (against the deterministic legs, so shrinking is exact and fast) and
+// its seed is appended to the corpus for replay in future runs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "whart/verify/invariants.hpp"
+#include "whart/verify/oracle.hpp"
+#include "whart/verify/scenario.hpp"
+
+namespace whart::verify {
+
+struct VerifyConfig {
+  /// Base seed of the fresh-seed stream.
+  std::uint64_t seed = 1;
+  /// Number of fresh scenarios (on top of the corpus replay).
+  std::uint64_t runs = 100;
+  /// Shrink failures to minimal reproducers.
+  bool shrink = true;
+  /// Seed-corpus file to replay and extend ("" = none).
+  std::string corpus_path;
+  /// Worker threads for the scenario fan-out (0 = WHART_THREADS).
+  unsigned threads = 0;
+  GeneratorLimits limits;
+  InvariantOptions invariants;
+  OracleConfig oracle;
+};
+
+/// One failing scenario with everything needed to reproduce it.
+struct VerifyFailure {
+  std::uint64_t seed = 0;
+  Scenario scenario;
+  std::vector<InvariantViolation> invariant_violations;
+  OracleReport oracle;
+  /// Present when shrinking ran and found a simpler reproducer.
+  std::optional<Scenario> shrunk;
+
+  /// Multi-line report: seed, scenario, findings, shrunk reproducer.
+  [[nodiscard]] std::string summary() const;
+};
+
+struct VerifyReport {
+  std::uint64_t scenarios_run = 0;
+  std::uint64_t corpus_replayed = 0;
+  std::uint64_t scenarios_simulated = 0;
+  std::uint64_t statistical_checks = 0;
+  /// Structural invariant violations across all scenarios.
+  std::uint64_t invariant_violations = 0;
+  /// Production-vs-reference (and closure) disagreements.
+  std::uint64_t deterministic_misses = 0;
+  /// Analytic values outside the simulator's confidence bounds.
+  std::uint64_t ci_bound_misses = 0;
+  std::vector<VerifyFailure> failures;
+
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+};
+
+/// Check one scenario (invariants + oracle).  Used by the runner and by
+/// the shrinking predicate; deterministic when the oracle's simulator
+/// leg is off.
+[[nodiscard]] VerifyFailure check_scenario(const Scenario& scenario,
+                                           const InvariantOptions& invariants,
+                                           const OracleConfig& oracle);
+
+/// True when `failure` holds any finding.
+[[nodiscard]] bool has_findings(const VerifyFailure& failure);
+
+/// Run the whole campaign.
+VerifyReport run_verification(const VerifyConfig& config);
+
+}  // namespace whart::verify

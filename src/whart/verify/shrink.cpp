@@ -1,0 +1,155 @@
+#include "whart/verify/shrink.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::verify {
+
+namespace {
+
+/// Renumber every used slot to 1..k (order preserved) and shrink the
+/// frame to exactly k slots; clamp the TTL to the new horizon.
+Scenario compact_slots(const Scenario& scenario) {
+  std::map<net::SlotNumber, net::SlotNumber> mapping;
+  for (const ScenarioPath& path : scenario.paths) {
+    for (net::SlotNumber s : path.hop_slots) mapping[s] = 0;
+    for (net::SlotNumber s : path.retry_slots)
+      if (s != 0) mapping[s] = 0;
+  }
+  net::SlotNumber next = 1;
+  for (auto& [slot, target] : mapping) target = next++;
+
+  Scenario candidate = scenario;
+  candidate.superframe.uplink_slots =
+      static_cast<std::uint32_t>(mapping.size());
+  for (ScenarioPath& path : candidate.paths) {
+    for (net::SlotNumber& s : path.hop_slots) s = mapping[s];
+    for (net::SlotNumber& s : path.retry_slots)
+      if (s != 0) s = mapping[s];
+  }
+  const std::uint32_t horizon =
+      candidate.reporting_interval * candidate.superframe.uplink_slots;
+  if (candidate.ttl.has_value())
+    candidate.ttl = std::min(*candidate.ttl, horizon);
+  return candidate;
+}
+
+/// All one-step simplifications of `scenario`, most aggressive first.
+std::vector<Scenario> candidates(const Scenario& scenario) {
+  std::vector<Scenario> out;
+
+  // Drop one whole path.
+  if (scenario.paths.size() > 1)
+    for (std::size_t p = 0; p < scenario.paths.size(); ++p) {
+      Scenario candidate = scenario;
+      candidate.paths.erase(candidate.paths.begin() +
+                            static_cast<std::ptrdiff_t>(p));
+      out.push_back(std::move(candidate));
+    }
+
+  // Drop the last or first hop of a path.
+  for (std::size_t p = 0; p < scenario.paths.size(); ++p) {
+    if (scenario.paths[p].hop_count() <= 1) continue;
+    for (const bool last : {true, false}) {
+      Scenario candidate = scenario;
+      ScenarioPath& path = candidate.paths[p];
+      const std::size_t drop = last ? path.hop_count() - 1 : 0;
+      const auto offset = static_cast<std::ptrdiff_t>(drop);
+      path.hop_slots.erase(path.hop_slots.begin() + offset);
+      path.links.erase(path.links.begin() + offset);
+      if (!path.retry_slots.empty())
+        path.retry_slots.erase(path.retry_slots.begin() + offset);
+      out.push_back(std::move(candidate));
+    }
+  }
+
+  // Shorter reporting interval (straight to 1, then decrement).
+  if (scenario.reporting_interval > 1) {
+    Scenario candidate = scenario;
+    candidate.reporting_interval = 1;
+    if (candidate.ttl.has_value())
+      candidate.ttl = std::min(
+          *candidate.ttl,
+          candidate.reporting_interval * candidate.superframe.uplink_slots);
+    out.push_back(std::move(candidate));
+    candidate = scenario;
+    candidate.reporting_interval -= 1;
+    if (candidate.ttl.has_value())
+      candidate.ttl = std::min(
+          *candidate.ttl,
+          candidate.reporting_interval * candidate.superframe.uplink_slots);
+    out.push_back(std::move(candidate));
+  }
+
+  // No TTL (full horizon).
+  if (scenario.ttl.has_value()) {
+    Scenario candidate = scenario;
+    candidate.ttl.reset();
+    out.push_back(std::move(candidate));
+  }
+
+  // No retry slots.
+  if (scenario.has_retry_slots()) {
+    Scenario candidate = scenario;
+    for (ScenarioPath& path : candidate.paths) path.retry_slots.clear();
+    out.push_back(std::move(candidate));
+  }
+
+  // No downlink half.
+  if (scenario.superframe.downlink_slots > 0) {
+    Scenario candidate = scenario;
+    candidate.superframe.downlink_slots = 0;
+    out.push_back(std::move(candidate));
+  }
+
+  // Compact the frame to exactly the used slots.
+  {
+    Scenario candidate = compact_slots(scenario);
+    if (candidate.superframe.uplink_slots < scenario.superframe.uplink_slots)
+      out.push_back(std::move(candidate));
+  }
+
+  // Neutral links: one hop at a time to LinkModel(0.5, 0.5).
+  const link::LinkModel neutral(0.5, 0.5);
+  for (std::size_t p = 0; p < scenario.paths.size(); ++p)
+    for (std::size_t h = 0; h < scenario.paths[p].hop_count(); ++h) {
+      if (scenario.paths[p].links[h] == neutral) continue;
+      Scenario candidate = scenario;
+      candidate.paths[p].links[h] = neutral;
+      out.push_back(std::move(candidate));
+    }
+
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink_scenario(const Scenario& failing,
+                             const StillFails& still_fails) {
+  expects(still_fails(failing), "the input scenario must fail");
+  ShrinkResult result;
+  result.minimal = failing;
+
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (Scenario& candidate : candidates(result.minimal)) {
+      try {
+        candidate.validate();
+      } catch (const std::exception&) {
+        continue;  // a transformation produced a malformed scenario
+      }
+      ++result.candidates_tried;
+      if (!still_fails(candidate)) continue;
+      result.minimal = std::move(candidate);
+      ++result.steps_taken;
+      progressed = true;
+      break;  // restart candidate enumeration from the simpler scenario
+    }
+  }
+  return result;
+}
+
+}  // namespace whart::verify

@@ -1,0 +1,32 @@
+// Greedy scenario shrinking: given a failing scenario and a predicate
+// that re-checks failure, repeatedly try simplifying transformations
+// (drop a path, drop a hop, shorten the reporting interval, remove the
+// TTL, drop retry slots, zero the downlink half, compact the frame,
+// neutralize link models) and keep any candidate that still fails,
+// until a fixpoint.  The result is a locally minimal reproducer — small
+// enough to read, step through and turn into a regression test.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "whart/verify/scenario.hpp"
+
+namespace whart::verify {
+
+struct ShrinkResult {
+  Scenario minimal;
+  /// Candidates tried (accepted + rejected).
+  std::uint64_t candidates_tried = 0;
+  /// Candidates accepted (still failing, strictly simpler).
+  std::uint64_t steps_taken = 0;
+};
+
+/// Predicate: true when `scenario` still exhibits the failure.
+using StillFails = std::function<bool(const Scenario&)>;
+
+/// Shrink `failing` (which must satisfy still_fails) to a fixpoint.
+ShrinkResult shrink_scenario(const Scenario& failing,
+                             const StillFails& still_fails);
+
+}  // namespace whart::verify

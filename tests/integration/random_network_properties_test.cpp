@@ -1,6 +1,8 @@
 // Network-level property tests over randomized plants: the aggregate
 // measures must decompose exactly into the per-path analytics, for any
-// topology either generator produces.
+// topology either generator produces.  The decomposition invariants
+// (Eq. 13 aggregation, utilization sums, bottleneck selection) are
+// checked by verify::InvariantChecker::check_network.
 #include <numeric>
 
 #include <gtest/gtest.h>
@@ -11,6 +13,7 @@
 #include "whart/hart/schedule_optimizer.hpp"
 #include "whart/net/plant_generator.hpp"
 #include "whart/net/spatial_plant.hpp"
+#include "whart/verify/invariants.hpp"
 
 namespace whart {
 namespace {
@@ -27,15 +30,12 @@ TEST_P(RandomPlant, AggregatesDecomposeIntoPathMeasures) {
   const hart::NetworkMeasures m = hart::analyze_network(
       plant.network, plant.paths, plant.schedule, plant.superframe, 4);
 
-  // E[Gamma] is the mean of the per-path expected delays (Eq. 13).
-  double mean = 0.0;
-  double utilization = 0.0;
-  for (const auto& path : m.per_path) {
-    mean += path.expected_delay_ms;
-    utilization += path.utilization;
-  }
-  EXPECT_NEAR(m.mean_delay_ms, mean / m.per_path.size(), 1e-9);
-  EXPECT_NEAR(m.network_utilization, utilization, 1e-9);
+  // E[Gamma] aggregation, utilization sums and bottleneck selection
+  // (Eq. 13) are one invariant bundle shared with whart_verify.
+  for (const verify::InvariantViolation& v :
+       verify::InvariantChecker().check_network(m))
+    ADD_FAILURE() << "seed " << GetParam() << ": " << v.invariant << " — "
+                  << v.detail;
 
   // The overall delay pmf carries exactly the averaged per-path mass.
   double gamma_mass = 0.0;

@@ -1,0 +1,147 @@
+// The kIndependent regime and the message TTL, added for the
+// verification oracle: independent per-attempt links are exactly the
+// regime of hart::SteadyStateLinks, so empirical frequencies must
+// converge to the analytic probabilities, and the TTL must reproduce
+// the path model's "slot ttl still fires, then discard" semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "whart/hart/link_probability.hpp"
+#include "whart/hart/path_analysis.hpp"
+#include "whart/hart/path_model.hpp"
+#include "whart/sim/simulator.hpp"
+#include "whart/verify/scenario.hpp"
+
+namespace whart::sim {
+namespace {
+
+verify::Scenario single_hop_scenario() {
+  verify::Scenario scenario;
+  scenario.seed = 1;
+  scenario.superframe = {1, 0};
+  scenario.reporting_interval = 4;
+  scenario.paths.resize(1);
+  // Availability prc / (prc + pfl) = 0.7.
+  scenario.paths[0].hop_slots = {1};
+  scenario.paths[0].links = {link::LinkModel(0.3, 0.7)};
+  return scenario;
+}
+
+SimulationReport simulate(const verify::Scenario& scenario,
+                          SimulatorConfig config) {
+  const verify::BuiltScenario built = verify::build_network(scenario);
+  config.superframe = {scenario.superframe.uplink_slots,
+                       scenario.superframe.downlink_slots};
+  config.reporting_interval = scenario.reporting_interval;
+  if (scenario.ttl.has_value()) config.ttl = *scenario.ttl;
+  const NetworkSimulator simulator(built.network, built.paths, built.schedule,
+                                   config);
+  return simulator.run();
+}
+
+TEST(IndependentRegime, MatchesTheGeometricAnalyticExactlyInTheLimit) {
+  const verify::Scenario scenario = single_hop_scenario();
+  SimulatorConfig config;
+  config.regime = LinkRegime::kIndependent;
+  config.intervals = 40000;
+  config.seed = 7;
+  config.shards = 4;
+  const SimulationReport report = simulate(scenario, config);
+
+  const hart::PathModel model(scenario.path_config(0));
+  const hart::SteadyStateLinks links{scenario.hop_availabilities(0)};
+  const hart::PathMeasures analytic = compute_path_measures(model, links);
+
+  const PathStatistics& stats = report.per_path[0];
+  ASSERT_EQ(stats.messages, 40000u);
+  // R = 1 - 0.3^4 = 0.9919; sigma ~ 4.5e-4 at n = 40000.
+  EXPECT_NEAR(stats.reachability(), analytic.reachability, 0.005);
+  const std::vector<double> frequencies = stats.cycle_frequencies();
+  for (std::size_t i = 0; i < frequencies.size(); ++i)
+    EXPECT_NEAR(frequencies[i], analytic.cycle_probabilities[i], 0.01)
+        << "cycle " << i;
+  EXPECT_NEAR(static_cast<double>(stats.discarded) /
+                  static_cast<double>(stats.messages),
+              1.0 - analytic.reachability, 0.005);
+  EXPECT_NEAR(stats.delay_ms.mean(), analytic.expected_delay_ms,
+              0.05 * analytic.expected_delay_ms);
+}
+
+TEST(IndependentRegime, IsDeterministicInSeedAndShards) {
+  const verify::Scenario scenario = single_hop_scenario();
+  SimulatorConfig config;
+  config.regime = LinkRegime::kIndependent;
+  config.intervals = 5000;
+  config.seed = 11;
+  config.shards = 3;
+  const SimulationReport a = simulate(scenario, config);
+  const SimulationReport b = simulate(scenario, config);
+  EXPECT_EQ(a.per_path[0].delivered_per_cycle,
+            b.per_path[0].delivered_per_cycle);
+  EXPECT_EQ(a.per_path[0].discarded, b.per_path[0].discarded);
+  EXPECT_EQ(a.per_path[0].transmissions, b.per_path[0].transmissions);
+}
+
+TEST(Ttl, TwoHopsWithOneSlotNeverDeliver) {
+  verify::Scenario scenario;
+  scenario.seed = 5;
+  scenario.superframe = {2, 0};
+  scenario.reporting_interval = 3;
+  scenario.ttl = 1;  // hop 1 fires in slot 1, then the message dies
+  scenario.paths.resize(1);
+  scenario.paths[0].hop_slots = {1, 2};
+  scenario.paths[0].links = {link::LinkModel(0.0, 1.0),
+                             link::LinkModel(0.0, 1.0)};
+  SimulatorConfig config;
+  config.regime = LinkRegime::kIndependent;
+  config.intervals = 500;
+  const SimulationReport report = simulate(scenario, config);
+  EXPECT_DOUBLE_EQ(report.per_path[0].reachability(), 0.0);
+  EXPECT_EQ(report.per_path[0].discarded, 500u);
+  // The slot-ttl transmission itself still fires: exactly one per message.
+  EXPECT_EQ(report.per_path[0].transmissions, 500u);
+}
+
+TEST(Ttl, MatchesTheAnalyticTtlModel) {
+  verify::Scenario scenario = single_hop_scenario();
+  scenario.ttl = 2;  // only cycles 1 and 2 can deliver
+  SimulatorConfig config;
+  config.regime = LinkRegime::kIndependent;
+  config.intervals = 40000;
+  config.seed = 3;
+  config.shards = 4;
+  const SimulationReport report = simulate(scenario, config);
+
+  const hart::PathModel model(scenario.path_config(0));
+  const hart::SteadyStateLinks links{scenario.hop_availabilities(0)};
+  const hart::PathMeasures analytic = compute_path_measures(model, links);
+  // R = 0.7 + 0.3 * 0.7 = 0.91.
+  EXPECT_NEAR(analytic.reachability, 0.91, 1e-12);
+  EXPECT_NEAR(report.per_path[0].reachability(), analytic.reachability,
+              0.005);
+}
+
+TEST(Ttl, EqualToTheHorizonIsBitForBitANoOp) {
+  const verify::Scenario scenario = single_hop_scenario();
+  SimulatorConfig config;
+  config.regime = LinkRegime::kIndependent;
+  config.intervals = 3000;
+  config.seed = 13;
+
+  verify::Scenario with_ttl = scenario;
+  with_ttl.ttl =
+      scenario.reporting_interval * scenario.superframe.uplink_slots;
+
+  const SimulationReport plain = simulate(scenario, config);
+  const SimulationReport capped = simulate(with_ttl, config);
+  EXPECT_EQ(plain.per_path[0].delivered_per_cycle,
+            capped.per_path[0].delivered_per_cycle);
+  EXPECT_EQ(plain.per_path[0].discarded, capped.per_path[0].discarded);
+  EXPECT_EQ(plain.per_path[0].transmissions,
+            capped.per_path[0].transmissions);
+}
+
+}  // namespace
+}  // namespace whart::sim

@@ -1,0 +1,73 @@
+#include "whart/verify/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "whart/common/contracts.hpp"
+
+namespace whart::verify {
+namespace {
+
+TEST(InverseNormalCdf, MatchesTabulatedQuantiles) {
+  // Classic z-table values.
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(inverse_normal_cdf(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(inverse_normal_cdf(0.995), 2.575829303548901, 1e-9);
+  EXPECT_NEAR(inverse_normal_cdf(0.84134474606854293), 1.0, 1e-9);
+  // Deep tail (the per_check_delta = 1e-9 regime the oracle uses).
+  EXPECT_NEAR(inverse_normal_cdf(1e-9), -5.997807015008182, 1e-7);
+}
+
+TEST(InverseNormalCdf, IsSymmetricAndMonotone) {
+  for (double p : {0.01, 0.2, 0.4}) {
+    EXPECT_NEAR(inverse_normal_cdf(p), -inverse_normal_cdf(1.0 - p), 1e-9);
+  }
+  // Deep in the tail 1 - p itself loses absolute precision (the quantile
+  // slope is ~1/phi(z) ~ 1e7 at p = 1e-8), so only a looser symmetry is
+  // representable in double at all.
+  for (double p : {1e-8, 1e-4}) {
+    EXPECT_NEAR(inverse_normal_cdf(p), -inverse_normal_cdf(1.0 - p), 1e-7);
+  }
+  double previous = inverse_normal_cdf(1e-10);
+  for (double p = 0.05; p < 1.0; p += 0.05) {
+    const double z = inverse_normal_cdf(p);
+    EXPECT_GT(z, previous);
+    previous = z;
+  }
+}
+
+TEST(InverseNormalCdf, RoundTripsThroughTheCdf) {
+  for (double p : {0.001, 0.025, 0.31, 0.5, 0.77, 0.999}) {
+    const double z = inverse_normal_cdf(p);
+    const double back = 0.5 * std::erfc(-z / std::sqrt(2.0));
+    EXPECT_NEAR(back, p, 1e-12);
+  }
+}
+
+TEST(ZForDelta, MatchesTwoSidedTails) {
+  EXPECT_NEAR(z_for_delta(0.05), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(z_for_delta(0.01), 2.575829303548901, 1e-9);
+  // delta = 1e-9 -> roughly six sigma, the oracle's default.
+  EXPECT_NEAR(z_for_delta(1e-9), 6.109410204869024, 1e-6);
+}
+
+TEST(HoeffdingRadius, MatchesTheFormulaAndScales) {
+  const double radius = hoeffding_radius(10000, 0.05);
+  EXPECT_NEAR(radius, std::sqrt(std::log(2.0 / 0.05) / (2.0 * 10000)), 1e-15);
+  // Quadrupling the sample size halves the radius.
+  EXPECT_NEAR(hoeffding_radius(40000, 0.05), radius / 2.0, 1e-12);
+  // The radius is linear in the sample range.
+  EXPECT_NEAR(hoeffding_radius(10000, 0.05, 7.0), 7.0 * radius, 1e-12);
+}
+
+TEST(Bounds, RejectDegenerateInputs) {
+  EXPECT_THROW((void)hoeffding_radius(0, 0.05), precondition_error);
+  EXPECT_THROW((void)hoeffding_radius(10, 0.0), precondition_error);
+  EXPECT_THROW((void)inverse_normal_cdf(0.0), precondition_error);
+  EXPECT_THROW((void)inverse_normal_cdf(1.0), precondition_error);
+  EXPECT_THROW((void)z_for_delta(1.0), precondition_error);
+}
+
+}  // namespace
+}  // namespace whart::verify

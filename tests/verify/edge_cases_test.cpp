@@ -1,0 +1,154 @@
+// Hand-built boundary scenarios: the degenerate corners most likely to
+// produce NaNs, division by zero or off-by-one slot handling.  Each one
+// must pass the full invariant library and the three-way oracle —
+// simulator leg included — with zero findings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "whart/verify/invariants.hpp"
+#include "whart/verify/oracle.hpp"
+#include "whart/verify/reference_solver.hpp"
+#include "whart/verify/scenario.hpp"
+
+namespace whart::verify {
+namespace {
+
+void expect_clean(const Scenario& scenario, const char* label) {
+  scenario.validate();
+  const InvariantChecker checker;
+  for (std::size_t p = 0; p < scenario.path_count(); ++p) {
+    for (const InvariantViolation& v :
+         checker.check(scenario.path_config(p), scenario.hop_availabilities(p)))
+      ADD_FAILURE() << label << " path " << p << ": " << v.invariant << " — "
+                    << v.detail;
+  }
+  OracleConfig config;
+  config.sim_intervals = 2000;
+  config.sim_shards = 2;
+  const OracleReport report = cross_validate(scenario, config);
+  for (const OracleFinding& finding : report.findings)
+    ADD_FAILURE() << label << " path " << finding.path_index << ": "
+                  << finding.check << " — " << finding.detail;
+}
+
+void expect_finite_reference(const Scenario& scenario) {
+  for (std::size_t p = 0; p < scenario.path_count(); ++p) {
+    const ReferenceResult result = reference_solve(
+        scenario.path_config(p), scenario.hop_availabilities(p));
+    EXPECT_TRUE(std::isfinite(result.reachability));
+    EXPECT_TRUE(std::isfinite(result.discard_probability));
+    EXPECT_TRUE(std::isfinite(result.expected_delay_ms));
+    EXPECT_TRUE(std::isfinite(result.delay_jitter_ms));
+    EXPECT_TRUE(std::isfinite(result.utilization));
+    for (const double g : result.cycle_probabilities)
+      EXPECT_TRUE(std::isfinite(g));
+  }
+}
+
+Scenario base_single_hop(double pfl, double prc) {
+  Scenario scenario;
+  scenario.seed = 1;
+  scenario.superframe = {1, 0};
+  scenario.reporting_interval = 2;
+  scenario.paths.resize(1);
+  scenario.paths[0].hop_slots = {1};
+  scenario.paths[0].links = {link::LinkModel(pfl, prc)};
+  return scenario;
+}
+
+TEST(EdgeCases, SingleHopMinimalFrame) {
+  // Fup = 1, Fdown = 0: the tightest possible frame.
+  Scenario scenario = base_single_hop(0.3, 0.7);
+  expect_clean(scenario, "single-hop");
+  expect_finite_reference(scenario);
+}
+
+TEST(EdgeCases, SingleHopSingleInterval) {
+  // Is = 1 on top of Fup = 1: horizon of exactly one slot.
+  Scenario scenario = base_single_hop(0.3, 0.7);
+  scenario.reporting_interval = 1;
+  expect_clean(scenario, "single-hop-Is1");
+  expect_finite_reference(scenario);
+}
+
+TEST(EdgeCases, TtlOfOneSlot) {
+  // TTL = 1: the first uplink transmission fires, everything after is
+  // discarded — delivery is possible only in slot 1 of cycle 1.
+  Scenario scenario;
+  scenario.seed = 2;
+  scenario.superframe = {3, 1};
+  scenario.reporting_interval = 2;
+  scenario.ttl = 1;
+  scenario.paths.resize(1);
+  scenario.paths[0].hop_slots = {1, 2};
+  scenario.paths[0].links = {link::LinkModel(0.2, 0.8),
+                             link::LinkModel(0.2, 0.8)};
+  expect_clean(scenario, "ttl-1");
+  expect_finite_reference(scenario);
+
+  // With 2 hops and 1 surviving slot the message can never arrive.
+  const ReferenceResult result = reference_solve(
+      scenario.path_config(0), scenario.hop_availabilities(0));
+  EXPECT_DOUBLE_EQ(result.reachability, 0.0);
+  EXPECT_DOUBLE_EQ(result.discard_probability, 1.0);
+}
+
+TEST(EdgeCases, PerfectLinks) {
+  // pfl = 0 end to end: reachability 1 in the first cycle.
+  Scenario scenario;
+  scenario.seed = 3;
+  scenario.superframe = {2, 0};
+  scenario.reporting_interval = 3;
+  scenario.paths.resize(1);
+  scenario.paths[0].hop_slots = {1, 2};
+  scenario.paths[0].links = {link::LinkModel(0.0, 1.0),
+                             link::LinkModel(0.0, 1.0)};
+  expect_clean(scenario, "pfl=0");
+  const ReferenceResult result = reference_solve(
+      scenario.path_config(0), scenario.hop_availabilities(0));
+  EXPECT_DOUBLE_EQ(result.reachability, 1.0);
+  EXPECT_DOUBLE_EQ(result.cycle_probabilities[0], 1.0);
+}
+
+TEST(EdgeCases, DeadLink) {
+  // pfl = 1: zero availability; the measures must degrade to zeros, not
+  // NaNs (E[tau] divides by R = 0 in a naive implementation).
+  Scenario scenario = base_single_hop(1.0, 0.0);
+  expect_clean(scenario, "pfl=1");
+  expect_finite_reference(scenario);
+  const ReferenceResult result = reference_solve(
+      scenario.path_config(0), scenario.hop_availabilities(0));
+  EXPECT_DOUBLE_EQ(result.reachability, 0.0);
+  EXPECT_DOUBLE_EQ(result.discard_probability, 1.0);
+  EXPECT_DOUBLE_EQ(result.expected_delay_ms, 0.0);
+  EXPECT_DOUBLE_EQ(result.delay_jitter_ms, 0.0);
+}
+
+TEST(EdgeCases, NearDeadLink) {
+  // pfl -> 1: availability ~1e-3; huge E[N], tiny R — still finite and
+  // still within the oracle's bounds.
+  Scenario scenario = base_single_hop(0.999, 0.001);
+  expect_clean(scenario, "pfl->1");
+  expect_finite_reference(scenario);
+}
+
+TEST(EdgeCases, TtlEqualToHorizonIsHarmless) {
+  // A TTL equal to the full uplink horizon never triggers: identical to
+  // no TTL at all.
+  Scenario with_ttl = base_single_hop(0.3, 0.7);
+  with_ttl.ttl = with_ttl.reporting_interval *
+                 with_ttl.superframe.uplink_slots;
+  const Scenario without_ttl = base_single_hop(0.3, 0.7);
+  const ReferenceResult a = reference_solve(with_ttl.path_config(0),
+                                            with_ttl.hop_availabilities(0));
+  const ReferenceResult b = reference_solve(
+      without_ttl.path_config(0), without_ttl.hop_availabilities(0));
+  EXPECT_DOUBLE_EQ(a.reachability, b.reachability);
+  EXPECT_DOUBLE_EQ(a.discard_probability, b.discard_probability);
+  expect_clean(with_ttl, "ttl=horizon");
+}
+
+}  // namespace
+}  // namespace whart::verify

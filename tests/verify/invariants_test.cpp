@@ -1,0 +1,84 @@
+#include "whart/verify/invariants.hpp"
+
+#include <gtest/gtest.h>
+
+#include "whart/hart/network_analysis.hpp"
+#include "whart/verify/scenario.hpp"
+
+namespace whart::verify {
+namespace {
+
+TEST(InvariantChecker, CleanScenariosHaveNoViolations) {
+  const ScenarioGenerator generator;
+  const InvariantChecker checker;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    const Scenario scenario = generator.generate(seed);
+    for (std::size_t p = 0; p < scenario.path_count(); ++p) {
+      const std::vector<InvariantViolation> violations = checker.check(
+          scenario.path_config(p), scenario.hop_availabilities(p));
+      for (const InvariantViolation& v : violations)
+        ADD_FAILURE() << "seed " << seed << " path " << p << ": "
+                      << v.invariant << " — " << v.detail;
+    }
+  }
+}
+
+TEST(InvariantChecker, NetworkAggregationHoldsOnFuzzedScenarios) {
+  const ScenarioGenerator generator;
+  const InvariantChecker checker;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const Scenario scenario = generator.generate(seed);
+    if (scenario.has_retry_slots()) continue;
+    const BuiltScenario built = build_network(scenario);
+    const hart::NetworkMeasures measures = hart::analyze_network(
+        built.network, built.paths, built.schedule, scenario.superframe,
+        scenario.reporting_interval);
+    const std::vector<InvariantViolation> violations =
+        checker.check_network(measures);
+    for (const InvariantViolation& v : violations)
+      ADD_FAILURE() << "seed " << seed << ": " << v.invariant << " — "
+                    << v.detail;
+  }
+}
+
+// Seeded defects: corrupt a NetworkMeasures the way a real aggregation
+// bug would and confirm the checker names the broken invariant.
+TEST(InvariantChecker, CatchesCorruptedAggregates) {
+  const ScenarioGenerator generator;
+  const InvariantChecker checker;
+  Scenario scenario = generator.generate(3);
+  while (scenario.has_retry_slots() || scenario.path_count() < 2)
+    scenario = generator.generate(scenario.seed + 1);
+  const BuiltScenario built = build_network(scenario);
+  hart::NetworkMeasures measures = hart::analyze_network(
+      built.network, built.paths, built.schedule, scenario.superframe,
+      scenario.reporting_interval);
+  ASSERT_TRUE(checker.check_network(measures).empty());
+
+  {
+    hart::NetworkMeasures corrupted = measures;
+    corrupted.mean_delay_ms *= 1.001;
+    const auto violations = checker.check_network(corrupted);
+    ASSERT_FALSE(violations.empty());
+    EXPECT_EQ(violations.front().invariant, "aggregate-decomposition");
+  }
+  {
+    hart::NetworkMeasures corrupted = measures;
+    corrupted.network_utilization += 1e-6;
+    EXPECT_FALSE(checker.check_network(corrupted).empty());
+  }
+  {
+    hart::NetworkMeasures corrupted = measures;
+    corrupted.per_path[0].utilization += 1e-6;
+    EXPECT_FALSE(checker.check_network(corrupted).empty());
+  }
+}
+
+TEST(InvariantChecker, ToleratesTheDefaultOptions) {
+  const InvariantChecker checker;
+  EXPECT_EQ(checker.options().row_sum_tolerance, 1e-12);
+  EXPECT_EQ(checker.options().mass_tolerance, 1e-12);
+}
+
+}  // namespace
+}  // namespace whart::verify

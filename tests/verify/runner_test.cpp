@@ -1,0 +1,112 @@
+#include "whart/verify/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace whart::verify {
+namespace {
+
+VerifyConfig small_campaign() {
+  VerifyConfig config;
+  config.seed = 1;
+  config.runs = 40;
+  config.oracle.sim_intervals = 1500;
+  config.oracle.sim_shards = 2;
+  return config;
+}
+
+TEST(Runner, CleanCampaignPasses) {
+  const VerifyReport report = run_verification(small_campaign());
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.scenarios_run, 40u);
+  EXPECT_EQ(report.corpus_replayed, 0u);
+  EXPECT_GT(report.scenarios_simulated, 0u);
+  EXPECT_GT(report.statistical_checks, 0u);
+  EXPECT_EQ(report.invariant_violations, 0u);
+  EXPECT_EQ(report.deterministic_misses, 0u);
+  EXPECT_EQ(report.ci_bound_misses, 0u);
+  EXPECT_TRUE(report.failures.empty());
+}
+
+TEST(Runner, IsDeterministicInSeedAndRuns) {
+  const VerifyConfig config = small_campaign();
+  const VerifyReport a = run_verification(config);
+  const VerifyReport b = run_verification(config);
+  EXPECT_EQ(a.scenarios_simulated, b.scenarios_simulated);
+  EXPECT_EQ(a.statistical_checks, b.statistical_checks);
+  EXPECT_EQ(a.failures.size(), b.failures.size());
+}
+
+TEST(Runner, InjectedFaultFailsAndShrinks) {
+  VerifyConfig config = small_campaign();
+  config.runs = 8;
+  config.oracle.injection = Injection::kLinkBias;
+  const VerifyReport report = run_verification(config);
+  ASSERT_FALSE(report.ok());
+  EXPECT_GT(report.deterministic_misses, 0u);
+  for (const VerifyFailure& failure : report.failures) {
+    EXPECT_FALSE(failure.oracle.findings.empty());
+    ASSERT_TRUE(failure.shrunk.has_value());
+    EXPECT_LE(failure.shrunk->max_hops(), 3u);
+    EXPECT_EQ(failure.shrunk->path_count(), 1u);
+    // The summary must carry everything needed to reproduce.
+    const std::string summary = failure.summary();
+    EXPECT_NE(summary.find(std::to_string(failure.seed)), std::string::npos);
+    EXPECT_NE(summary.find("shrunk"), std::string::npos);
+  }
+}
+
+TEST(Runner, NoShrinkLeavesFailuresUnshrunk) {
+  VerifyConfig config = small_campaign();
+  config.runs = 4;
+  config.shrink = false;
+  config.oracle.injection = Injection::kLinkBias;
+  const VerifyReport report = run_verification(config);
+  ASSERT_FALSE(report.ok());
+  for (const VerifyFailure& failure : report.failures)
+    EXPECT_FALSE(failure.shrunk.has_value());
+}
+
+TEST(Runner, CorpusSeedsAreReplayedAndFailuresAppended) {
+  const std::string corpus =
+      ::testing::TempDir() + "/whart_runner_corpus_test.txt";
+  std::remove(corpus.c_str());
+  append_corpus(corpus, 11);
+  append_corpus(corpus, 12);
+
+  VerifyConfig config = small_campaign();
+  config.runs = 5;
+  config.corpus_path = corpus;
+  const VerifyReport clean = run_verification(config);
+  EXPECT_TRUE(clean.ok());
+  EXPECT_EQ(clean.corpus_replayed, 2u);
+  EXPECT_EQ(clean.scenarios_run, 7u);
+  // A clean run leaves the corpus untouched.
+  EXPECT_EQ(load_corpus(corpus).size(), 2u);
+
+  // A failing run appends the failing seeds for future replay.
+  config.oracle.injection = Injection::kLinkBias;
+  const VerifyReport failing = run_verification(config);
+  ASSERT_FALSE(failing.ok());
+  EXPECT_GT(load_corpus(corpus).size(), 2u);
+  std::remove(corpus.c_str());
+}
+
+TEST(Runner, CheckScenarioExposesTheSinglePathApi) {
+  const Scenario scenario = ScenarioGenerator().generate(2);
+  OracleConfig oracle;
+  oracle.run_simulation = false;
+  const VerifyFailure clean =
+      check_scenario(scenario, InvariantOptions{}, oracle);
+  EXPECT_FALSE(has_findings(clean));
+
+  oracle.injection = Injection::kDiscardLeak;
+  const VerifyFailure leaked =
+      check_scenario(scenario, InvariantOptions{}, oracle);
+  EXPECT_TRUE(has_findings(leaked));
+}
+
+}  // namespace
+}  // namespace whart::verify

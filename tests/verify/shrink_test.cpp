@@ -1,0 +1,74 @@
+#include "whart/verify/shrink.hpp"
+
+#include <gtest/gtest.h>
+
+#include "whart/common/contracts.hpp"
+#include "whart/verify/oracle.hpp"
+#include "whart/verify/runner.hpp"
+#include "whart/verify/scenario.hpp"
+
+namespace whart::verify {
+namespace {
+
+TEST(Shrink, RequiresAFailingStartingPoint) {
+  const Scenario scenario = ScenarioGenerator().generate(1);
+  EXPECT_THROW(
+      (void)shrink_scenario(scenario, [](const Scenario&) { return false; }),
+      precondition_error);
+}
+
+// Structural predicate: "has at least 2 hops somewhere" shrinks to
+// exactly one path of exactly two hops in a maximally compact frame.
+TEST(Shrink, ReachesAStructuralMinimum) {
+  const ScenarioGenerator generator;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const Scenario scenario = generator.generate(seed);
+    if (scenario.max_hops() < 2) continue;
+    const StillFails predicate = [](const Scenario& s) {
+      return s.max_hops() >= 2;
+    };
+    const ShrinkResult result = shrink_scenario(scenario, predicate);
+    EXPECT_TRUE(predicate(result.minimal));
+    EXPECT_EQ(result.minimal.path_count(), 1u);
+    EXPECT_EQ(result.minimal.max_hops(), 2u);
+    EXPECT_EQ(result.minimal.reporting_interval, 1u);
+    EXPECT_FALSE(result.minimal.has_retry_slots());
+    EXPECT_EQ(result.minimal.superframe.downlink_slots, 0u);
+    // Slot compaction: two hops need exactly two uplink slots.
+    EXPECT_EQ(result.minimal.superframe.uplink_slots, 2u);
+    EXPECT_GT(result.candidates_tried, 0u);
+  }
+}
+
+// The acceptance-criterion path: an injected transition-matrix-level
+// bug (link bias) must shrink to a reproducer with at most 3 hops.
+TEST(Shrink, InjectedBugShrinksToAtMostThreeHops) {
+  OracleConfig oracle;
+  oracle.injection = Injection::kLinkBias;
+  oracle.run_simulation = false;  // deterministic predicate
+  const InvariantOptions invariants;
+  const StillFails predicate = [&](const Scenario& s) {
+    return has_findings(check_scenario(s, invariants, oracle));
+  };
+
+  const ScenarioGenerator generator;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const Scenario scenario = generator.generate(seed);
+    if (!predicate(scenario)) continue;  // bias is a no-op on pfl=0 links
+    const ShrinkResult result = shrink_scenario(scenario, predicate);
+    EXPECT_TRUE(predicate(result.minimal));
+    EXPECT_LE(result.minimal.max_hops(), 3u);
+    EXPECT_EQ(result.minimal.path_count(), 1u);
+  }
+}
+
+TEST(Shrink, MinimalScenarioStillValidates) {
+  const Scenario scenario = ScenarioGenerator().generate(17);
+  const ShrinkResult result =
+      shrink_scenario(scenario, [](const Scenario&) { return true; });
+  EXPECT_NO_THROW(result.minimal.validate());
+  EXPECT_GE(result.candidates_tried, result.steps_taken);
+}
+
+}  // namespace
+}  // namespace whart::verify
