@@ -16,6 +16,9 @@
 //   --sweep <file>       export an availability sweep (0.65..0.99) of the
 //                        worst path as CSV (reachability, delay, jitter)
 //   --shards <n>         Monte-Carlo shards (deterministic per shard count)
+//   --kernel <name>      transient solver: per-slot (default) or
+//                        superframe (superframe-product collapse; same
+//                        results to rounding, faster for long intervals)
 //   --metrics[=<file>]   dump the metrics-registry snapshot as JSON
 //                        (default file: whart_metrics.json)
 //   --trace[=<file>]     record trace spans and dump Chrome trace_event
@@ -53,13 +56,16 @@ struct Options {
   std::uint64_t shards = 0;  // 0 = simulator default
   std::string metrics_path;
   std::string trace_path;
+  whart::hart::TransientKernel kernel =
+      whart::hart::TransientKernel::kPerSlot;
 };
 
 int usage() {
   std::cerr << "usage: whart_cli <spec-file>|-|--typical "
                "[--interval <Is>] [--simulate <intervals>] [--energy] "
                "[--stability <targetR>] [--csv <file>] [--sweep <file>] "
-               "[--shards <n>] [--metrics[=<file>]] [--trace[=<file>]]\n";
+               "[--shards <n>] [--kernel per-slot|superframe] "
+               "[--metrics[=<file>]] [--trace[=<file>]]\n";
   return 2;
 }
 
@@ -143,9 +149,11 @@ void print_analysis(const whart::cli::ParsedSpec& spec,
   const whart::net::Schedule schedule = whart::net::build_schedule(
       spec.paths, spec.superframe.uplink_slots, spec.policy);
 
+  whart::hart::AnalysisOptions analysis_options;
+  analysis_options.kernel = options.kernel;
   const whart::hart::NetworkMeasures measures = whart::hart::analyze_network(
       spec.network, spec.paths, schedule, spec.superframe,
-      spec.reporting_interval);
+      spec.reporting_interval, analysis_options);
 
   std::cout << "Schedule eta = " << schedule.to_string(spec.network) << "\n";
   std::cout << "Superframe: Fup=" << spec.superframe.uplink_slots
@@ -229,7 +237,7 @@ void print_analysis(const whart::cli::ParsedSpec& spec,
         whart::hart::PathModelConfig::from_schedule(
             schedule, worst, spec.superframe, spec.reporting_interval);
     const whart::hart::SweepSeries series = whart::hart::sweep_availability(
-        config, whart::hart::linspace(0.65, 0.99, 18));
+        config, whart::hart::linspace(0.65, 0.99, 18), 0, options.kernel);
     std::ofstream file(options.sweep_path);
     if (!file)
       throw std::runtime_error("cannot write '" + options.sweep_path + "'");
@@ -294,6 +302,15 @@ int main(int argc, char** argv) {
       options.sweep_path = argv[++i];
     else if (arg == "--shards" && i + 1 < argc)
       options.shards = std::stoull(argv[++i]);
+    else if (arg == "--kernel" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (name == "per-slot")
+        options.kernel = whart::hart::TransientKernel::kPerSlot;
+      else if (name == "superframe")
+        options.kernel = whart::hart::TransientKernel::kSuperframeProduct;
+      else
+        return usage();
+    }
     else if (arg == "--metrics")
       options.metrics_path = "whart_metrics.json";
     else if (arg.rfind("--metrics=", 0) == 0)

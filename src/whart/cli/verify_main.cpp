@@ -18,8 +18,8 @@
 //   --shards <n>         Monte-Carlo shards (default 4)
 //   --threads <n>        scenario fan-out workers (default: WHART_THREADS)
 //   --inject <fault>     corrupt the production leg on purpose:
-//                        link-bias | discard-leak | cycle-shift
-//                        (a healthy harness must then FAIL)
+//                        link-bias | discard-leak | cycle-shift |
+//                        product-entry (a healthy harness must then FAIL)
 //   --metrics[=<file>]   dump the obs metrics snapshot as JSON
 //                        (default file: whart_verify_metrics.json)
 //
@@ -40,7 +40,7 @@ int usage() {
   std::cerr << "usage: whart_verify [--seed <s>] [--runs <n>] "
                "[--corpus <file>] [--no-shrink] [--no-sim] "
                "[--intervals <n>] [--shards <n>] [--threads <n>] "
-               "[--inject link-bias|discard-leak|cycle-shift] "
+               "[--inject link-bias|discard-leak|cycle-shift|product-entry] "
                "[--metrics[=<file>]]\n";
   return 2;
 }
@@ -97,6 +97,8 @@ int main(int argc, char** argv) {
           config.oracle.injection = whart::verify::Injection::kDiscardLeak;
         else if (fault == "cycle-shift")
           config.oracle.injection = whart::verify::Injection::kCycleShift;
+        else if (fault == "product-entry")
+          config.oracle.injection = whart::verify::Injection::kProductEntry;
         else
           return usage();
       } else if (arg == "--metrics") {

@@ -27,6 +27,14 @@ class LinkProbabilityProvider {
 
   /// Number of hops this provider serves.
   [[nodiscard]] virtual std::size_t hop_count() const = 0;
+
+  /// True when up_probability is independent of the absolute slot, so
+  /// every superframe cycle sees identical per-slot transition matrices
+  /// — the precondition of the superframe-product transient kernel
+  /// (markov::SuperframeKernel).  Providers whose probabilities evolve
+  /// over time (transient links, scripted failures) must keep the
+  /// default false; PathModel then falls back to the per-slot solve.
+  [[nodiscard]] virtual bool cycle_stationary() const { return false; }
 };
 
 /// Paper Eq. 4: all links have reached steady state — each attempt on hop
@@ -45,6 +53,9 @@ class SteadyStateLinks final : public LinkProbabilityProvider {
                                       std::uint64_t absolute_slot)
       const override;
   [[nodiscard]] std::size_t hop_count() const override;
+
+  /// Steady-state probabilities are slot-independent by construction.
+  [[nodiscard]] bool cycle_stationary() const override { return true; }
 
  private:
   std::vector<double> availability_;

@@ -38,11 +38,13 @@ NetworkMeasures analyze_network(const net::Network& network,
         for (const link::LinkModel& model : paths[p].hop_models(network))
           availability.push_back(model.steady_state_availability());
         if (cache != nullptr) {
-          per_path[p] = cache->measures(config, availability);
+          per_path[p] = cache->measures(config, availability, options.kernel);
         } else {
           const PathModel model(config);
           const SteadyStateLinks links(std::move(availability));
-          per_path[p] = compute_path_measures(model, links);
+          PathAnalysisOptions path_options;
+          path_options.kernel = options.kernel;
+          per_path[p] = compute_path_measures(model, links, path_options);
         }
       },
       options.threads);

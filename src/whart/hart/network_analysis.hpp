@@ -32,6 +32,12 @@ struct AnalysisOptions {
   /// use_cache is true, a fresh per-call cache still deduplicates within
   /// the call.
   PathAnalysisCache* cache = nullptr;
+
+  /// Transient solver for the per-path solves.  Steady-state links (the
+  /// only regime this entry point uses) satisfy the superframe-product
+  /// kernel's cycle-stationarity precondition, so the choice is purely a
+  /// speed/rounding trade-off; measures agree to ~1e-12.
+  TransientKernel kernel = TransientKernel::kPerSlot;
 };
 
 /// One point of the network-wide delay distribution.

@@ -11,7 +11,13 @@ namespace whart::hart {
 
 PathMeasures compute_path_measures(const PathModel& model,
                                    const LinkProbabilityProvider& links) {
-  const PathTransientResult transient = model.analyze(links);
+  return compute_path_measures(model, links, PathAnalysisOptions{});
+}
+
+PathMeasures compute_path_measures(const PathModel& model,
+                                   const LinkProbabilityProvider& links,
+                                   const PathAnalysisOptions& options) {
+  const PathTransientResult transient = model.analyze(links, options);
   PathMeasures m =
       measures_from_cycles(model.config(), transient.cycle_probabilities,
                            transient.expected_transmissions);

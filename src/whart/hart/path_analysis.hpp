@@ -73,6 +73,12 @@ struct PathMeasures {
 PathMeasures compute_path_measures(const PathModel& model,
                                    const LinkProbabilityProvider& links);
 
+/// Exact measures with solver selection (PathAnalysisOptions::kernel);
+/// both kernels agree on every measure to rounding.
+PathMeasures compute_path_measures(const PathModel& model,
+                                   const LinkProbabilityProvider& links,
+                                   const PathAnalysisOptions& options);
+
 /// Derive the measures implied by known per-cycle delivery probabilities
 /// (used by the analytic model and by path composition, where no DTMC is
 /// re-solved).  `expected_transmissions` may be the exact count or the

@@ -55,9 +55,10 @@ void append_double_bits(std::string& out, double value) {
 
 std::string PathAnalysisCache::fingerprint(
     const PathModelConfig& config,
-    const std::vector<double>& hop_availability) {
+    const std::vector<double>& hop_availability, TransientKernel kernel) {
   const PathModelConfig canonical = canonicalize(config);
   std::string key;
+  key.push_back(static_cast<char>(kernel));
   key.reserve(16 + 4 * canonical.hop_slots.size() +
               4 * canonical.retry_slots.size() + 8 * hop_availability.size());
   // The solve depends only on the uplink frame length, the reporting
@@ -78,10 +79,10 @@ std::string PathAnalysisCache::fingerprint(
 
 PathMeasures PathAnalysisCache::measures(
     const PathModelConfig& config,
-    const std::vector<double>& hop_availability) {
+    const std::vector<double>& hop_availability, TransientKernel kernel) {
   expects(hop_availability.size() >= config.hop_count(),
           "one availability per hop");
-  const std::string key = fingerprint(config, hop_availability);
+  const std::string key = fingerprint(config, hop_availability, kernel);
 
   bool found = false;
   Entry entry;
@@ -108,7 +109,9 @@ PathMeasures PathAnalysisCache::measures(
         hop_availability.begin(),
         hop_availability.begin() +
             static_cast<std::ptrdiff_t>(config.hop_count())));
-    const PathTransientResult transient = model.analyze(links);
+    PathAnalysisOptions options;
+    options.kernel = kernel;
+    const PathTransientResult transient = model.analyze(links, options);
     entry.cycle_probabilities = transient.cycle_probabilities;
     entry.expected_transmissions = transient.expected_transmissions;
     entry.expected_transmissions_delivered =

@@ -56,15 +56,22 @@ class PathAnalysisCache {
   /// Measures of `config` under steady-state links with the given
   /// per-hop UP probabilities, solving (and memoizing) on a miss.
   /// Bit-identical to compute_path_measures on a SteadyStateLinks
-  /// provider with the same availabilities.
+  /// provider with the same availabilities and kernel (the translation
+  /// argument in the header holds for the superframe-product kernel too:
+  /// identity factors commute bitwise through the cycle product).
   PathMeasures measures(const PathModelConfig& config,
-                        const std::vector<double>& hop_availability);
+                        const std::vector<double>& hop_availability,
+                        TransientKernel kernel = TransientKernel::kPerSlot);
 
-  /// Canonical fingerprint of (config, availabilities); two calls with
-  /// the same fingerprint share one solve.  Exposed for tests.
+  /// Canonical fingerprint of (config, availabilities, kernel); two
+  /// calls with the same fingerprint share one solve.  Solves by
+  /// different kernels never share an entry — they agree only to
+  /// rounding, and the cache promises bit-identical replay.  Exposed for
+  /// tests.
   [[nodiscard]] static std::string fingerprint(
       const PathModelConfig& config,
-      const std::vector<double>& hop_availability);
+      const std::vector<double>& hop_availability,
+      TransientKernel kernel = TransientKernel::kPerSlot);
 
   /// Lookups served from a stored entry (this instance only).
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_.value(); }

@@ -8,6 +8,8 @@
 
 #include "whart/common/contracts.hpp"
 #include "whart/common/obs.hpp"
+#include "whart/linalg/matrix.hpp"
+#include "whart/markov/superframe_kernel.hpp"
 
 namespace whart::hart {
 
@@ -87,6 +89,22 @@ std::optional<std::size_t> PathModel::hop_in_slot(
 }
 
 PathTransientResult PathModel::analyze(
+    const LinkProbabilityProvider& links) const {
+  return analyze(links, PathAnalysisOptions{});
+}
+
+PathTransientResult PathModel::analyze(
+    const LinkProbabilityProvider& links,
+    const PathAnalysisOptions& options) const {
+  if (options.kernel == TransientKernel::kSuperframeProduct) {
+    if (links.cycle_stationary())
+      return analyze_superframe(links, options.inject_product_error);
+    WHART_COUNT("hart.path_solve.kernel_fallback");
+  }
+  return analyze_per_slot(links);
+}
+
+PathTransientResult PathModel::analyze_per_slot(
     const LinkProbabilityProvider& links) const {
   WHART_SPAN("path_solve");
   expects(links.hop_count() >= config_.hop_count(),
@@ -176,6 +194,247 @@ PathTransientResult PathModel::analyze(
       std::abs(1.0 - goal_mass - result.discard_probability);
   WHART_COUNT("hart.path_solve.count");
   WHART_OBSERVE("hart.path_solve.states", num_states_);
+#ifndef WHART_OBS_DISABLED
+  if (timed) {
+    const auto elapsed = std::chrono::steady_clock::now() - solve_start;
+    result.diagnostics.solve_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    WHART_OBSERVE("hart.path_solve.ns", result.diagnostics.solve_ns);
+  }
+#endif
+  return result;
+}
+
+std::vector<linalg::CsrMatrix> PathModel::slot_matrices(
+    const LinkProbabilityProvider& links) const {
+  expects(links.hop_count() >= config_.hop_count(),
+          "provider covers every hop");
+  const std::size_t hops = config_.hop_count();
+  const std::size_t dim = hops + 2;
+  const std::size_t goal = hops;
+  const std::size_t discard = hops + 1;
+  std::vector<linalg::CsrMatrix> matrices;
+  matrices.reserve(config_.superframe.cycle_slots());
+  // Success probabilities are frozen from the first cycle; with a
+  // cycle-stationary provider every later cycle sees the same values.
+  for (std::uint32_t slot = 1; slot <= config_.superframe.uplink_slots;
+       ++slot) {
+    const std::optional<std::size_t> firing = hop_in_slot(slot);
+    std::vector<linalg::Triplet> entries;
+    entries.reserve(dim + 1);
+    for (std::size_t h = 0; h < hops; ++h) {
+      if (firing == h) {
+        const double ps = links.up_probability(
+            h, config_.superframe.absolute_slot_of_uplink(slot));
+        const std::size_t target = h + 1 == hops ? goal : h + 1;
+        if (ps > 0.0) entries.push_back({h, target, ps});
+        if (ps < 1.0) entries.push_back({h, h, 1.0 - ps});
+      } else {
+        entries.push_back({h, h, 1.0});
+      }
+    }
+    entries.push_back({goal, goal, 1.0});
+    entries.push_back({discard, discard, 1.0});
+    matrices.emplace_back(dim, dim, std::move(entries));
+  }
+  for (std::uint32_t s = 0; s < config_.superframe.downlink_slots; ++s)
+    matrices.push_back(linalg::CsrMatrix::identity(dim));
+  return matrices;
+}
+
+PathTransientResult PathModel::analyze_superframe(
+    const LinkProbabilityProvider& links, double inject) const {
+  WHART_SPAN("path_solve");
+  expects(links.hop_count() >= config_.hop_count(),
+          "provider covers every hop");
+#ifndef WHART_OBS_DISABLED
+  const bool timed = common::obs::metrics_enabled();
+  const auto solve_start = timed ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
+#endif
+  const std::size_t hops = config_.hop_count();
+  const std::size_t dim = hops + 2;
+  const std::size_t goal = hops;
+  const std::uint32_t frame = config_.superframe.uplink_slots;
+  const std::uint32_t ttl = config_.effective_ttl();
+  const std::uint32_t interval = config_.reporting_interval;
+  const std::uint32_t horizon = config_.horizon();
+
+  markov::SuperframeKernel kernel(slot_matrices(links));
+  if (inject != 0.0) kernel.perturb_product_entry(0, 0, inject);
+
+  // Transmission opportunities of one cycle, in slot order.
+  struct Firing {
+    std::uint32_t slot;  // 1-based uplink position within the frame
+    std::size_t hop;
+    double ps;
+  };
+  std::vector<Firing> firings;
+  firings.reserve(hops);
+  for (std::uint32_t slot = 1; slot <= frame; ++slot)
+    if (const auto h = hop_in_slot(slot); h.has_value())
+      firings.push_back(
+          {slot, *h,
+           links.up_probability(
+               *h, config_.superframe.absolute_slot_of_uplink(slot))});
+
+  // One-cycle accounting matrices from a dense prefix/suffix sweep.
+  //
+  //   attempts(x, h): expected transmissions of hop h during a full cycle
+  //     entered in state x — the prefix column of state h summed over the
+  //     slots where h fires, so a whole cycle's attempt bookkeeping is one
+  //     dot product against the entry distribution.
+  //
+  //   delivered_kernel K: with b = eventual-delivery probabilities at the
+  //     cycle's end and u = delivered-attempt mass accrued after it, one
+  //     cycle folds backward as u <- K b + P u, b <- P b, where
+  //     K = sum over firing slots j of
+  //         (column x_j of Prefix_{j-1}) (row x_j of Suffix_j),
+  //     Prefix_{j-1} = M_1..M_{j-1} and Suffix_j = M_j..M_F.
+  linalg::Matrix prefix = linalg::Matrix::identity(dim);
+  linalg::Matrix attempts(dim, hops);
+  std::vector<linalg::Vector> prefix_columns;
+  prefix_columns.reserve(firings.size());
+  for (const Firing& f : firings) {
+    linalg::Vector column(dim);
+    for (std::size_t r = 0; r < dim; ++r) {
+      column[r] = prefix(r, f.hop);
+      attempts(r, f.hop) += column[r];
+    }
+    prefix_columns.push_back(std::move(column));
+    prefix =
+        linalg::left_multiply_batch(prefix, kernel.slot_matrix(f.slot - 1));
+  }
+
+  linalg::Matrix delivered_kernel(dim, dim);
+  linalg::Matrix suffix = linalg::Matrix::identity(dim);
+  for (std::size_t i = firings.size(); i-- > 0;) {
+    const Firing& f = firings[i];
+    const linalg::CsrMatrix& step = kernel.slot_matrix(f.slot - 1);
+    linalg::Matrix next(dim, dim);
+    for (std::size_t r = 0; r < dim; ++r)
+      step.for_each_in_row(r, [&](std::size_t k, double v) {
+        for (std::size_t c = 0; c < dim; ++c) next(r, c) += v * suffix(k, c);
+      });
+    suffix = std::move(next);
+    for (std::size_t r = 0; r < dim; ++r)
+      for (std::size_t c = 0; c < dim; ++c)
+        delivered_kernel(r, c) += prefix_columns[i][r] * suffix(f.hop, c);
+  }
+
+  PathTransientResult result;
+  result.cycle_probabilities.assign(interval, 0.0);
+  result.expected_transmissions_per_hop.assign(hops, 0.0);
+  result.trajectory_stride = frame;
+  result.goal_trajectory.reserve(interval + 1);
+  result.goal_trajectory.push_back(result.cycle_probabilities);
+
+  linalg::Vector p(dim);
+  p[0] = 1.0;
+  double goal_mass_seen = 0.0;
+  for (std::uint32_t cycle = 0; cycle < interval; ++cycle) {
+    if (static_cast<std::uint64_t>(cycle + 1) * frame <= ttl) {
+      // Full pre-TTL cycle: attempts via the accounting matrix, then one
+      // product advance in place of `frame` per-slot steps.
+      for (std::size_t h = 0; h < hops; ++h) {
+        double a = 0.0;
+        for (std::size_t x = 0; x < dim; ++x) a += p[x] * attempts(x, h);
+        result.expected_transmissions_per_hop[h] += a;
+        result.expected_transmissions += a;
+      }
+      p = kernel.cycle_product().left_multiply(p);
+    } else {
+      // The cycle the TTL cuts through runs per-slot so the discard lands
+      // on the exact slot; cycles past the TTL fall straight through.
+      for (std::uint32_t s = 1; s <= frame; ++s) {
+        const std::uint32_t slot = cycle * frame + s;
+        if (slot > ttl) break;
+        if (const auto firing = hop_in_slot(slot); firing.has_value()) {
+          const std::size_t h = *firing;
+          const double ps = links.up_probability(
+              h, config_.superframe.absolute_slot_of_uplink(slot));
+          result.expected_transmissions += p[h];
+          result.expected_transmissions_per_hop[h] += p[h];
+          const double moved = p[h] * ps;
+          p[h] -= moved;
+          if (h + 1 == hops)
+            p[goal] += moved;
+          else
+            p[h + 1] += moved;
+        }
+        if (slot == ttl) {
+          for (std::size_t h = 0; h < hops; ++h) {
+            result.discard_probability += p[h];
+            p[h] = 0.0;
+          }
+        }
+      }
+    }
+    result.cycle_probabilities[cycle] = p[goal] - goal_mass_seen;
+    goal_mass_seen = p[goal];
+    result.goal_trajectory.push_back(result.cycle_probabilities);
+  }
+  // When the TTL coincides with a product-advanced cycle boundary the
+  // expired mass never passed a per-slot discard; sweep it now.
+  for (std::size_t h = 0; h < hops; ++h) {
+    result.discard_probability += p[h];
+    p[h] = 0.0;
+  }
+
+  // Delivered-attempt accounting, folded backward cycle-by-cycle.  b
+  // starts as the goal indicator at the TTL slot (transient mass there is
+  // lost, so its delivery probability is already 0); the TTL cycle runs
+  // per-slot, every earlier cycle collapses through K and the product.
+  {
+    linalg::Vector b(dim);
+    b[goal] = 1.0;
+    linalg::Vector u(dim);
+    const std::uint32_t ttl_cycle = (ttl - 1) / frame;  // 0-based
+    for (std::uint32_t slot = ttl; slot > ttl_cycle * frame; --slot) {
+      if (const auto firing = hop_in_slot(slot); firing.has_value()) {
+        const std::size_t h = *firing;
+        const double ps = links.up_probability(
+            h, config_.superframe.absolute_slot_of_uplink(slot));
+        const std::size_t target = h + 1 == hops ? goal : h + 1;
+        const double b_before = ps * b[target] + (1.0 - ps) * b[h];
+        u[h] = ps * u[target] + (1.0 - ps) * u[h] + b_before;
+        b[h] = b_before;
+      }
+    }
+    const linalg::CsrMatrix& product = kernel.cycle_product();
+    for (std::uint32_t cycle = ttl_cycle; cycle-- > 0;) {
+      linalg::Vector u_next(dim);
+      linalg::Vector b_next(dim);
+      for (std::size_t r = 0; r < dim; ++r) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < dim; ++c)
+          acc += delivered_kernel(r, c) * b[c];
+        u_next[r] = acc;
+      }
+      for (std::size_t r = 0; r < dim; ++r)
+        product.for_each_in_row(r, [&](std::size_t c, double v) {
+          u_next[r] += v * u[c];
+          b_next[r] += v * b[c];
+        });
+      u = std::move(u_next);
+      b = std::move(b_next);
+    }
+    result.expected_transmissions_delivered = u[0];
+  }
+
+  result.diagnostics.dtmc_states = dim;
+  result.diagnostics.transient_states = hops;
+  result.diagnostics.absorbing_states = 2;
+  result.diagnostics.forward_steps = horizon;
+  result.diagnostics.kernel = TransientKernel::kSuperframeProduct;
+  const double goal_mass =
+      std::accumulate(result.cycle_probabilities.begin(),
+                      result.cycle_probabilities.end(), 0.0);
+  result.diagnostics.mass_residual =
+      std::abs(1.0 - goal_mass - result.discard_probability);
+  WHART_COUNT("hart.path_solve.count");
+  WHART_COUNT("hart.path_solve.superframe");
+  WHART_OBSERVE("hart.path_solve.states", dim);
 #ifndef WHART_OBS_DISABLED
   if (timed) {
     const auto elapsed = std::chrono::steady_clock::now() - solve_start;

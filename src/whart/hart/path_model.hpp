@@ -22,11 +22,41 @@
 #include <vector>
 
 #include "whart/hart/link_probability.hpp"
+#include "whart/linalg/sparse.hpp"
 #include "whart/markov/dtmc.hpp"
 #include "whart/net/schedule.hpp"
 #include "whart/net/superframe.hpp"
 
 namespace whart::hart {
+
+/// Which transient solver answers PathModel::analyze.
+enum class TransientKernel {
+  /// Forward propagation, one step per uplink slot — the paper's Eq. 5
+  /// read off directly.  Works under every link regime.
+  kPerSlot,
+
+  /// Superframe-product collapse (markov::SuperframeKernel): the
+  /// per-slot matrices of one cycle are premultiplied into the cycle
+  /// matrix once, and the reporting interval advances cycle-by-cycle
+  /// through it (plus a per-slot tail when the TTL cuts a cycle).
+  /// Requires a cycle-stationary link provider (steady-state links);
+  /// time-varying providers fall back to kPerSlot.  Results agree with
+  /// kPerSlot to rounding (~1e-15 relative; the products reassociate
+  /// the same arithmetic), not bitwise.
+  kSuperframeProduct,
+};
+
+/// Per-solve knobs of PathModel::analyze and compute_path_measures.
+struct PathAnalysisOptions {
+  TransientKernel kernel = TransientKernel::kPerSlot;
+
+  /// Verification-harness fault injection: when nonzero, this delta is
+  /// added to one entry of the cycle-product matrix before solving
+  /// (kSuperframeProduct only).  It deliberately breaks the collapse so
+  /// the differential oracle can prove it catches a bad product build.
+  /// Always 0 in production.
+  double inject_product_error = 0.0;
+};
 
 /// Static description of one path's model.
 struct PathModelConfig {
@@ -101,6 +131,13 @@ struct SolverDiagnostics {
 
   /// True when the measures were reconstructed from a cache hit.
   bool from_cache = false;
+
+  /// Solver that actually produced this result.  kSuperframeProduct only
+  /// when the collapse ran; a cycle-stationarity fallback reports
+  /// kPerSlot.  For kSuperframeProduct the state-count fields above
+  /// describe the compact message chain (hops + Goal + Discard) the
+  /// collapse operates on, not the unrolled chain.
+  TransientKernel kernel = TransientKernel::kPerSlot;
 };
 
 /// Result of transient analysis of a path model.
@@ -112,9 +149,16 @@ struct PathTransientResult {
   /// Probability of the Discard state at the end of the interval.
   double discard_probability = 0.0;
 
-  /// goal_trajectory[t][i]: transient probability of goal state i after t
-  /// uplink slots (t = 0..horizon) — the data behind the paper's Fig. 6.
+  /// goal_trajectory[k][i]: transient probability of goal state i after
+  /// k * trajectory_stride uplink slots — the data behind the paper's
+  /// Fig. 6.  The per-slot kernel records every slot (stride 1, entries
+  /// t = 0..horizon); the superframe-product kernel records cycle
+  /// boundaries only (stride Fup, entries t = 0, Fup, ..., Is * Fup) —
+  /// recording every slot would forfeit the collapse.
   std::vector<std::vector<double>> goal_trajectory;
+
+  /// Uplink slots between consecutive goal_trajectory entries.
+  std::uint32_t trajectory_stride = 1;
 
   /// Expected number of transmission attempts during the interval (the
   /// exact basis of the utilization measure).
@@ -150,6 +194,24 @@ class PathModel {
   [[nodiscard]] PathTransientResult analyze(
       const LinkProbabilityProvider& links) const;
 
+  /// Transient analysis with solver selection.  kSuperframeProduct
+  /// collapses full cycles through markov::SuperframeKernel when `links`
+  /// is cycle-stationary and otherwise falls back to the per-slot solve
+  /// (recorded in diagnostics.kernel and an obs counter).
+  [[nodiscard]] PathTransientResult analyze(
+      const LinkProbabilityProvider& links,
+      const PathAnalysisOptions& options) const;
+
+  /// The Fup + Fdown per-slot transition matrices of one superframe
+  /// cycle over the compact message chain: states 0..n-1 are "waiting at
+  /// hop h", followed by Goal and Discard.  An uplink slot carrying a
+  /// transmission moves hop mass forward with that slot's success
+  /// probability (frozen from the first cycle); idle uplink slots and
+  /// all downlink slots are identities.  Valid input to
+  /// markov::SuperframeKernel whenever `links` is cycle-stationary.
+  [[nodiscard]] std::vector<linalg::CsrMatrix> slot_matrices(
+      const LinkProbabilityProvider& links) const;
+
   /// Materialize the underlying DTMC (the output of the paper's
   /// Algorithm 1) with transition probabilities frozen from `links`.
   /// State names follow the paper: "(3,3,-)", goal states "R7", "R14",
@@ -172,6 +234,11 @@ class PathModel {
   /// Which hop (if any) fires in global uplink slot s (1-based).
   [[nodiscard]] std::optional<std::size_t> hop_in_slot(
       std::uint32_t global_slot) const noexcept;
+
+  [[nodiscard]] PathTransientResult analyze_per_slot(
+      const LinkProbabilityProvider& links) const;
+  [[nodiscard]] PathTransientResult analyze_superframe(
+      const LinkProbabilityProvider& links, double inject) const;
 
   PathModelConfig config_;
   /// state_index_[t][h] for t = 0..ttl-1: dense index of transient state

@@ -69,4 +69,18 @@ net::Schedule build_min_worst_delay_schedule(
   return schedule;
 }
 
+double worst_expected_delay(const net::Network& network,
+                            const std::vector<net::Path>& paths,
+                            const net::Schedule& schedule,
+                            net::SuperframeConfig superframe,
+                            std::uint32_t reporting_interval,
+                            const AnalysisOptions& options) {
+  const NetworkMeasures measures = analyze_network(
+      network, paths, schedule, superframe, reporting_interval, options);
+  double worst = 0.0;
+  for (const PathMeasures& m : measures.per_path)
+    worst = std::max(worst, m.expected_delay_ms);
+  return worst;
+}
+
 }  // namespace whart::hart

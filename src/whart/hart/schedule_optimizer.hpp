@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "whart/hart/network_analysis.hpp"
 #include "whart/net/path.hpp"
 #include "whart/net/schedule.hpp"
 #include "whart/net/superframe.hpp"
@@ -34,5 +35,16 @@ std::vector<double> expected_extra_cycles(
 net::Schedule build_min_worst_delay_schedule(
     const net::Network& network, const std::vector<net::Path>& paths,
     net::SuperframeConfig superframe, std::uint32_t reporting_interval);
+
+/// Exact worst-case expected path delay of a schedule (ms), from the
+/// per-path DTMC solves — the quantity build_min_worst_delay_schedule
+/// minimizes, scored exactly so candidate layouts can be compared.
+/// AnalysisOptions selects threads, caching and the transient kernel.
+double worst_expected_delay(const net::Network& network,
+                            const std::vector<net::Path>& paths,
+                            const net::Schedule& schedule,
+                            net::SuperframeConfig superframe,
+                            std::uint32_t reporting_interval,
+                            const AnalysisOptions& options = {});
 
 }  // namespace whart::hart

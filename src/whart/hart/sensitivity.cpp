@@ -5,6 +5,8 @@
 
 #include "whart/common/contracts.hpp"
 #include "whart/common/parallel.hpp"
+#include "whart/linalg/matrix.hpp"
+#include "whart/markov/superframe_kernel.hpp"
 
 namespace whart::hart {
 
@@ -19,10 +21,148 @@ std::optional<std::size_t> hop_in_slot(const PathModelConfig& config,
   return std::nullopt;
 }
 
-}  // namespace
+std::vector<double> sensitivity_per_slot(const PathModel& model,
+                                         const LinkProbabilityProvider& links);
 
-std::vector<double> reachability_sensitivity(
+/// Collapsed adjoint over the compact message chain: the per-slot sum
+/// mass * (beta_success - beta_failure) for hop h over one full cycle is
+/// the bilinear form p G_h b with
+///   G_h = sum over slots j firing hop h of
+///         (column h of Prefix_{j-1}) ((e_target - e_h)^T Suffix_{j+1}),
+/// p the cycle-entry distribution and b the eventual-delivery vector at
+/// the cycle's end.  Full pre-TTL cycles then cost one form each (p and b
+/// advance through the cycle product); only the cycle the TTL cuts runs
+/// per-slot.
+std::vector<double> sensitivity_superframe(
     const PathModel& model, const LinkProbabilityProvider& links) {
+  const PathModelConfig& config = model.config();
+  const std::size_t hops = config.hop_count();
+  const std::size_t dim = hops + 2;
+  const std::size_t goal = hops;
+  const std::uint32_t frame = config.superframe.uplink_slots;
+  const std::uint32_t ttl = config.effective_ttl();
+
+  const std::vector<linalg::CsrMatrix> slots = model.slot_matrices(links);
+  struct Firing {
+    std::uint32_t slot;
+    std::size_t hop;
+    double ps;
+  };
+  std::vector<Firing> firings;
+  firings.reserve(hops);
+  for (std::uint32_t slot = 1; slot <= frame; ++slot)
+    if (const auto h = hop_in_slot(config, slot); h.has_value())
+      firings.push_back(
+          {slot, *h,
+           links.up_probability(
+               *h, config.superframe.absolute_slot_of_uplink(slot))});
+
+  linalg::Matrix prefix = linalg::Matrix::identity(dim);
+  std::vector<linalg::Vector> prefix_columns;
+  prefix_columns.reserve(firings.size());
+  for (const Firing& f : firings) {
+    linalg::Vector column(dim);
+    for (std::size_t r = 0; r < dim; ++r) column[r] = prefix(r, f.hop);
+    prefix_columns.push_back(std::move(column));
+    prefix = linalg::left_multiply_batch(prefix, slots[f.slot - 1]);
+  }
+
+  std::vector<linalg::Matrix> adjoint(hops, linalg::Matrix(dim, dim));
+  linalg::Matrix suffix = linalg::Matrix::identity(dim);
+  for (std::size_t i = firings.size(); i-- > 0;) {
+    const Firing& f = firings[i];
+    // Here suffix == Suffix_{slot+1}: beta right after this slot fires.
+    const std::size_t target = f.hop + 1 == hops ? goal : f.hop + 1;
+    for (std::size_t r = 0; r < dim; ++r)
+      for (std::size_t c = 0; c < dim; ++c)
+        adjoint[f.hop](r, c) += prefix_columns[i][r] *
+                                (suffix(target, c) - suffix(f.hop, c));
+    const linalg::CsrMatrix& step = slots[f.slot - 1];
+    linalg::Matrix next(dim, dim);
+    for (std::size_t r = 0; r < dim; ++r)
+      step.for_each_in_row(r, [&](std::size_t k, double v) {
+        for (std::size_t c = 0; c < dim; ++c) next(r, c) += v * suffix(k, c);
+      });
+    suffix = std::move(next);
+  }
+  const linalg::CsrMatrix product = [&] {
+    linalg::SparseProductArena arena;
+    linalg::CsrMatrix acc = slots.front();
+    for (std::size_t i = 1; i < slots.size(); ++i)
+      acc = linalg::multiply(acc, slots[i], arena);
+    return acc;
+  }();
+
+  // Delivery vectors at the end of each full pre-TTL cycle, backward
+  // from the TTL cycle (whose interior runs per-slot from e_goal — the
+  // transient mass alive at the TTL slot is lost, delivery 0).
+  const std::uint32_t ttl_cycle = (ttl - 1) / frame;  // 0-based
+  linalg::Vector b(dim);
+  b[goal] = 1.0;
+  std::vector<linalg::Vector> beta_in_ttl_cycle;  // per slot, newest first
+  for (std::uint32_t slot = ttl; slot > ttl_cycle * frame; --slot) {
+    beta_in_ttl_cycle.push_back(b);
+    if (const auto firing = hop_in_slot(config, slot); firing.has_value()) {
+      const std::size_t h = *firing;
+      const double ps = links.up_probability(
+          h, config.superframe.absolute_slot_of_uplink(slot));
+      const std::size_t target = h + 1 == hops ? goal : h + 1;
+      b[h] = ps * b[target] + (1.0 - ps) * b[h];
+    }
+  }
+  std::vector<linalg::Vector> cycle_end_delivery(ttl_cycle);
+  if (ttl_cycle > 0) {
+    cycle_end_delivery[ttl_cycle - 1] = b;
+    for (std::uint32_t c = ttl_cycle - 1; c-- > 0;) {
+      linalg::Vector next(dim);
+      for (std::size_t r = 0; r < dim; ++r)
+        product.for_each_in_row(r, [&](std::size_t k, double v) {
+          next[r] += v * cycle_end_delivery[c + 1][k];
+        });
+      cycle_end_delivery[c] = std::move(next);
+    }
+  }
+
+  std::vector<double> sensitivity(hops, 0.0);
+  linalg::Vector p(dim);
+  p[0] = 1.0;
+  for (std::uint32_t cycle = 0; cycle < ttl_cycle; ++cycle) {
+    for (std::size_t h = 0; h < hops; ++h) {
+      double form = 0.0;
+      for (std::size_t r = 0; r < dim; ++r) {
+        double row = 0.0;
+        for (std::size_t c = 0; c < dim; ++c)
+          row += adjoint[h](r, c) * cycle_end_delivery[cycle][c];
+        form += p[r] * row;
+      }
+      sensitivity[h] += form;
+    }
+    p = product.left_multiply(p);
+  }
+  // The cycle the TTL cuts, per-slot (beta vectors recorded above are in
+  // reverse slot order: entry k corresponds to slot ttl - k, i.e. beta
+  // right after that slot fires).
+  for (std::uint32_t slot = ttl_cycle * frame + 1; slot <= ttl; ++slot) {
+    if (const auto firing = hop_in_slot(config, slot); firing.has_value()) {
+      const std::size_t h = *firing;
+      const double ps = links.up_probability(
+          h, config.superframe.absolute_slot_of_uplink(slot));
+      const std::size_t target = h + 1 == hops ? goal : h + 1;
+      const linalg::Vector& beta_after = beta_in_ttl_cycle[ttl - slot];
+      sensitivity[h] += p[h] * (beta_after[target] - beta_after[h]);
+      const double moved = p[h] * ps;
+      p[h] -= moved;
+      if (h + 1 == hops)
+        p[goal] += moved;
+      else
+        p[h + 1] += moved;
+    }
+  }
+  return sensitivity;
+}
+
+std::vector<double> sensitivity_per_slot(const PathModel& model,
+                                         const LinkProbabilityProvider& links) {
   const PathModelConfig& config = model.config();
   expects(links.hop_count() >= config.hop_count(),
           "provider covers every hop");
@@ -78,10 +218,24 @@ std::vector<double> reachability_sensitivity(
   return sensitivity;
 }
 
+}  // namespace
+
+std::vector<double> reachability_sensitivity(
+    const PathModel& model, const LinkProbabilityProvider& links,
+    TransientKernel kernel) {
+  expects(links.hop_count() >= model.config().hop_count(),
+          "provider covers every hop");
+  if (kernel == TransientKernel::kSuperframeProduct &&
+      links.cycle_stationary())
+    return sensitivity_superframe(model, links);
+  return sensitivity_per_slot(model, links);
+}
+
 std::vector<LinkSensitivity> rank_link_upgrades(
     const net::Network& network, const std::vector<net::Path>& paths,
     const net::Schedule& schedule, net::SuperframeConfig superframe,
-    std::uint32_t reporting_interval, unsigned threads) {
+    std::uint32_t reporting_interval, unsigned threads,
+    TransientKernel kernel) {
   expects(!paths.empty(), "at least one path");
   std::vector<LinkSensitivity> ranking;
   for (net::LinkId id : network.links())
@@ -97,7 +251,7 @@ std::vector<LinkSensitivity> rank_link_upgrades(
             schedule, p, superframe, reporting_interval);
         const PathModel model(config);
         const SteadyStateLinks provider(paths[p].hop_models(network));
-        per_hop_all[p] = reachability_sensitivity(model, provider);
+        per_hop_all[p] = reachability_sensitivity(model, provider, kernel);
       },
       threads);
   for (std::size_t p = 0; p < paths.size(); ++p) {

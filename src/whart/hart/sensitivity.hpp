@@ -24,9 +24,14 @@ namespace whart::hart {
 /// dR/dps per hop: how much the path's reachability rises per unit
 /// increase of hop h's per-attempt success probability (all attempts of
 /// that hop move together, as they do when its stationary availability
-/// improves).  All entries are >= 0.
+/// improves).  All entries are >= 0.  kSuperframeProduct folds the
+/// adjoint cycle-by-cycle through the superframe product (one bilinear
+/// form per cycle instead of a per-slot sweep) when `links` is
+/// cycle-stationary, agreeing with the per-slot sweep to rounding;
+/// otherwise it falls back to per-slot.
 std::vector<double> reachability_sensitivity(
-    const PathModel& model, const LinkProbabilityProvider& links);
+    const PathModel& model, const LinkProbabilityProvider& links,
+    TransientKernel kernel = TransientKernel::kPerSlot);
 
 /// Network-level link ranking: for every link, the summed dR/dpi over
 /// all paths using it — the total reachability (expected delivered
@@ -43,6 +48,7 @@ struct LinkSensitivity {
 std::vector<LinkSensitivity> rank_link_upgrades(
     const net::Network& network, const std::vector<net::Path>& paths,
     const net::Schedule& schedule, net::SuperframeConfig superframe,
-    std::uint32_t reporting_interval, unsigned threads = 0);
+    std::uint32_t reporting_interval, unsigned threads = 0,
+    TransientKernel kernel = TransientKernel::kPerSlot);
 
 }  // namespace whart::hart

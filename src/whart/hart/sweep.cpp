@@ -12,10 +12,13 @@ namespace whart::hart {
 namespace {
 
 PathMeasures measure_with_links(const PathModelConfig& config,
-                                const link::LinkModel& model) {
+                                const link::LinkModel& model,
+                                TransientKernel kernel) {
   const PathModel path_model(config);
   const SteadyStateLinks links(config.hop_count(), model);
-  return compute_path_measures(path_model, links);
+  PathAnalysisOptions options;
+  options.kernel = kernel;
+  return compute_path_measures(path_model, links, options);
 }
 
 }  // namespace
@@ -32,7 +35,7 @@ std::vector<double> linspace(double first, double last, std::size_t count) {
 
 SweepSeries sweep_availability(const PathModelConfig& config,
                                const std::vector<double>& availabilities,
-                               unsigned threads) {
+                               unsigned threads, TransientKernel kernel) {
   expects(!availabilities.empty(), "at least one sample");
   WHART_SPAN("sweep_availability");
   WHART_COUNT_N("hart.sweep.points", availabilities.size());
@@ -42,8 +45,8 @@ SweepSeries sweep_availability(const PathModelConfig& config,
       availabilities,
       [&](double pi) {
         return SweepPoint{
-            pi, measure_with_links(config,
-                                   link::LinkModel::from_availability(pi))};
+            pi, measure_with_links(
+                    config, link::LinkModel::from_availability(pi), kernel)};
       },
       threads);
   return series;
@@ -51,7 +54,7 @@ SweepSeries sweep_availability(const PathModelConfig& config,
 
 SweepSeries sweep_ber(const PathModelConfig& config,
                       const std::vector<double>& bit_error_rates,
-                      unsigned threads) {
+                      unsigned threads, TransientKernel kernel) {
   expects(!bit_error_rates.empty(), "at least one sample");
   WHART_SPAN("sweep_ber");
   WHART_COUNT_N("hart.sweep.points", bit_error_rates.size());
@@ -61,7 +64,8 @@ SweepSeries sweep_ber(const PathModelConfig& config,
       bit_error_rates,
       [&](double ber) {
         return SweepPoint{
-            ber, measure_with_links(config, link::LinkModel::from_ber(ber))};
+            ber, measure_with_links(config, link::LinkModel::from_ber(ber),
+                                    kernel)};
       },
       threads);
   return series;
@@ -70,7 +74,7 @@ SweepSeries sweep_ber(const PathModelConfig& config,
 SweepSeries sweep_hop_count(std::uint32_t max_hops, double availability,
                             net::SuperframeConfig superframe,
                             std::uint32_t reporting_interval,
-                            unsigned threads) {
+                            unsigned threads, TransientKernel kernel) {
   expects(max_hops >= 1, "max_hops >= 1");
   expects(max_hops <= superframe.uplink_slots, "hops fit in the frame");
   WHART_SPAN("sweep_hop_count");
@@ -92,7 +96,8 @@ SweepSeries sweep_hop_count(std::uint32_t max_hops, double availability,
         return SweepPoint{
             static_cast<double>(hops),
             measure_with_links(
-                config, link::LinkModel::from_availability(availability))};
+                config, link::LinkModel::from_availability(availability),
+                kernel)};
       },
       threads);
   return series;
@@ -100,7 +105,8 @@ SweepSeries sweep_hop_count(std::uint32_t max_hops, double availability,
 
 SweepSeries sweep_reporting_interval_series(
     const PathModelConfig& base_config, double availability,
-    const std::vector<std::uint32_t>& intervals, unsigned threads) {
+    const std::vector<std::uint32_t>& intervals, unsigned threads,
+    TransientKernel kernel) {
   expects(!intervals.empty(), "at least one interval");
   WHART_SPAN("sweep_reporting_interval");
   WHART_COUNT_N("hart.sweep.points", intervals.size());
@@ -115,7 +121,8 @@ SweepSeries sweep_reporting_interval_series(
         return SweepPoint{
             static_cast<double>(is),
             measure_with_links(
-                config, link::LinkModel::from_availability(availability))};
+                config, link::LinkModel::from_availability(availability),
+                kernel)};
       },
       threads);
   return series;

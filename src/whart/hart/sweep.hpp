@@ -32,28 +32,36 @@ std::vector<double> linspace(double first, double last, std::size_t count);
 /// with homogeneous links (the sweep behind Figs. 8-9 and Table I).
 /// Every sweep evaluates its grid points concurrently (`threads` as in
 /// common::parallel_for: 0 = WHART_THREADS/hardware, 1 = serial) with
-/// results in parameter order, bit-identical to the serial loop.
+/// results in parameter order, bit-identical to the serial loop.  All
+/// sweeps run under steady-state links, so `kernel` may select the
+/// superframe-product collapse (measures agree to ~1e-12).
 SweepSeries sweep_availability(const PathModelConfig& config,
                                const std::vector<double>& availabilities,
-                               unsigned threads = 0);
+                               unsigned threads = 0,
+                               TransientKernel kernel =
+                                   TransientKernel::kPerSlot);
 
 /// Sweep over the bit error rate (Eq. 1-2 pipeline), logarithmic ladders
 /// welcome.
 SweepSeries sweep_ber(const PathModelConfig& config,
                       const std::vector<double>& bit_error_rates,
-                      unsigned threads = 0);
+                      unsigned threads = 0,
+                      TransientKernel kernel = TransientKernel::kPerSlot);
 
 /// Sweep over the hop count: paths of 1..`max_hops` hops scheduled
 /// contiguously from slot 1 (Fig. 10).
 SweepSeries sweep_hop_count(std::uint32_t max_hops, double availability,
                             net::SuperframeConfig superframe,
                             std::uint32_t reporting_interval,
-                            unsigned threads = 0);
+                            unsigned threads = 0,
+                            TransientKernel kernel =
+                                TransientKernel::kPerSlot);
 
 /// Sweep over the reporting interval (Section VI-D).
 SweepSeries sweep_reporting_interval_series(
     const PathModelConfig& base_config, double availability,
-    const std::vector<std::uint32_t>& intervals, unsigned threads = 0);
+    const std::vector<std::uint32_t>& intervals, unsigned threads = 0,
+    TransientKernel kernel = TransientKernel::kPerSlot);
 
 /// Write a series as CSV: parameter, reachability, expected_delay_ms,
 /// delay_jitter_ms, utilization, utilization_delivered.

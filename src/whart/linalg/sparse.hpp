@@ -10,6 +10,8 @@
 
 namespace whart::linalg {
 
+class Matrix;  // dense counterpart (matrix.hpp); used by the batched kernels
+
 /// One (row, col, value) entry used to assemble a sparse matrix.
 struct Triplet {
   std::size_t row = 0;
@@ -27,6 +29,20 @@ class CsrMatrix {
 
   /// Assemble from triplets.  Entries outside [0, rows) x [0, cols) throw.
   CsrMatrix(std::size_t rows, std::size_t cols, std::vector<Triplet> entries);
+
+  /// Assemble from prebuilt CSR arrays (the output shape of the
+  /// sparse-sparse product).  `row_start` must be monotone with
+  /// row_start[0] == 0 and row_start[rows] == col_index.size(); columns
+  /// must be strictly increasing within each row.  Empty rows (an
+  /// absorbing Discard row with its self-loop pruned, say) are legal and
+  /// preserved exactly.
+  static CsrMatrix from_parts(std::size_t rows, std::size_t cols,
+                              std::vector<std::size_t> row_start,
+                              std::vector<std::size_t> col_index,
+                              std::vector<double> values);
+
+  /// Sparse identity of the given order.
+  static CsrMatrix identity(std::size_t order);
 
   [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
   [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
@@ -58,5 +74,45 @@ class CsrMatrix {
   std::vector<std::size_t> col_index_;
   std::vector<double> values_;
 };
+
+/// Reusable workspace for the sparse-sparse product.  One arena can be
+/// shared across any number of multiplies (e.g. the Fup+Fdown-1 products
+/// of a superframe cycle collapse) so the dense accumulator, the column
+/// marker and the output arrays are allocated once and recycled.
+struct SparseProductArena {
+  /// Dense per-column accumulator of the current output row.
+  std::vector<double> accumulator;
+  /// marker[c] == current row tag when column c is live in this row.
+  std::vector<std::size_t> marker;
+  /// Unsorted live columns of the current output row.
+  std::vector<std::size_t> scratch_cols;
+  /// Output CSR under construction (moved into the result).
+  std::vector<std::size_t> row_start;
+  std::vector<std::size_t> col_index;
+  std::vector<double> values;
+};
+
+/// Sparse-sparse product A * B (Gustavson's row-by-row algorithm):
+/// a symbolic pass counts the nonzeros of every output row, a prefix sum
+/// over those counts lays out `row_start`, and the numeric pass scatters
+/// each row into the arena's dense accumulator before gathering it in
+/// column order.  Numerically-zero fill-in is kept (the structure is the
+/// product structure, not a drop-tolerance one) so row-stochastic inputs
+/// yield row-stochastic outputs entry-for-entry.  Empty rows of A stay
+/// empty rows of the product.
+CsrMatrix multiply(const CsrMatrix& a, const CsrMatrix& b,
+                   SparseProductArena& arena);
+
+/// Convenience overload with a throwaway arena.
+CsrMatrix multiply(const CsrMatrix& a, const CsrMatrix& b);
+
+/// Batched distribution step Y = X * A for a dense row-major batch of
+/// row distributions X (one initial state per row).  The CSR matrix is
+/// traversed once per block of `block_rows` batch rows, so its
+/// row_start/col_index/value streams are amortized over the whole block
+/// while the active slices of X and Y stay cache-resident — the
+/// cache-blocked kernel behind SuperframeKernel's batched solves.
+Matrix left_multiply_batch(const Matrix& x, const CsrMatrix& a,
+                           std::size_t block_rows = 32);
 
 }  // namespace whart::linalg

@@ -1,0 +1,107 @@
+#include "whart/markov/superframe_kernel.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <utility>
+
+#include "whart/common/contracts.hpp"
+#include "whart/common/obs.hpp"
+
+namespace whart::markov {
+
+SuperframeKernel::SuperframeKernel(
+    std::vector<linalg::CsrMatrix> slot_matrices)
+    : slot_matrices_(std::move(slot_matrices)) {
+  expects(!slot_matrices_.empty(), "at least one slot matrix per cycle");
+  const std::size_t dim = slot_matrices_.front().rows();
+  for (const linalg::CsrMatrix& m : slot_matrices_)
+    expects(m.rows() == dim && m.cols() == dim,
+            "slot matrices square with one common dimension");
+#ifndef WHART_OBS_DISABLED
+  const bool timed = common::obs::metrics_enabled();
+  const auto build_start = timed ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
+#endif
+  // Left-to-right product so the partial result is always the collapse
+  // of a cycle prefix; one arena serves all period() - 1 multiplies.
+  linalg::SparseProductArena arena;
+  product_ = slot_matrices_.front();
+  for (std::size_t i = 1; i < slot_matrices_.size(); ++i)
+    product_ = linalg::multiply(product_, slot_matrices_[i], arena);
+  WHART_COUNT("markov.superframe.builds");
+  WHART_OBSERVE("markov.superframe.product_nnz", product_.nonzeros());
+#ifndef WHART_OBS_DISABLED
+  if (timed) {
+    const auto elapsed = std::chrono::steady_clock::now() - build_start;
+    WHART_OBSERVE(
+        "markov.superframe.build_ns",
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
+  }
+#endif
+}
+
+const linalg::CsrMatrix& SuperframeKernel::slot_matrix(
+    std::size_t position) const {
+  expects(position < slot_matrices_.size(), "cycle position in range");
+  return slot_matrices_[position];
+}
+
+linalg::Vector SuperframeKernel::distribution_after(
+    const linalg::Vector& initial, std::uint64_t steps) const {
+  expects(initial.size() == dimension(),
+          "initial distribution matches state space");
+  const std::uint64_t cycles = steps / period();
+  const std::uint64_t tail = steps % period();
+  WHART_COUNT_N("markov.superframe.cycles", cycles);
+  WHART_COUNT_N("markov.superframe.tail_steps", tail);
+  WHART_COUNT_N("markov.superframe.steps_collapsed",
+                cycles * (period() - 1));
+  linalg::Vector p = initial;
+  for (std::uint64_t c = 0; c < cycles; ++c) p = product_.left_multiply(p);
+  for (std::uint64_t t = 0; t < tail; ++t)
+    p = slot_matrices_[t].left_multiply(p);
+  return p;
+}
+
+linalg::Matrix SuperframeKernel::distributions_after(
+    const linalg::Matrix& initials, std::uint64_t steps,
+    std::size_t block_rows) const {
+  expects(initials.cols() == dimension(),
+          "initial distributions match state space");
+  const std::uint64_t cycles = steps / period();
+  const std::uint64_t tail = steps % period();
+  WHART_COUNT_N("markov.superframe.cycles",
+                cycles * initials.rows());
+  WHART_COUNT_N("markov.superframe.tail_steps", tail * initials.rows());
+  linalg::Matrix p = initials;
+  for (std::uint64_t c = 0; c < cycles; ++c)
+    p = linalg::left_multiply_batch(p, product_, block_rows);
+  for (std::uint64_t t = 0; t < tail; ++t)
+    p = linalg::left_multiply_batch(p, slot_matrices_[t], block_rows);
+  return p;
+}
+
+double SuperframeKernel::product_row_sum_residual() const {
+  double worst = 0.0;
+  for (std::size_t r = 0; r < product_.rows(); ++r)
+    worst = std::max(worst, std::abs(1.0 - product_.row_sum(r)));
+  return worst;
+}
+
+void SuperframeKernel::perturb_product_entry(std::size_t row,
+                                             std::size_t col, double delta) {
+  expects(row < dimension() && col < dimension(), "entry in range");
+  std::vector<linalg::Triplet> entries;
+  entries.reserve(product_.nonzeros() + 1);
+  for (std::size_t r = 0; r < product_.rows(); ++r)
+    product_.for_each_in_row(r, [&](std::size_t c, double v) {
+      entries.push_back({r, c, v});
+    });
+  entries.push_back({row, col, delta});  // duplicate entries sum on assembly
+  product_ =
+      linalg::CsrMatrix(dimension(), dimension(), std::move(entries));
+}
+
+}  // namespace whart::markov

@@ -8,13 +8,16 @@
 #include <functional>
 #include <vector>
 
+#include "whart/linalg/matrix.hpp"
 #include "whart/linalg/vector.hpp"
 #include "whart/markov/dtmc.hpp"
+#include "whart/markov/superframe_kernel.hpp"
 
 namespace whart::markov {
 
 /// Distribution after `steps` steps of a homogeneous chain: p0 * P^steps,
-/// computed by iterated sparse products.
+/// computed by iterated sparse products.  steps == 0 returns the initial
+/// distribution unchanged.
 linalg::Vector distribution_after(const Dtmc& chain,
                                   const linalg::Vector& initial,
                                   std::uint64_t steps);
@@ -30,6 +33,23 @@ linalg::Vector distribution_after_inhomogeneous(
     const std::function<const linalg::CsrMatrix&(std::uint64_t step)>&
         matrix_for_step,
     linalg::Vector initial, std::uint64_t steps);
+
+/// Time-inhomogeneous transient analysis for a *periodic* step sequence,
+/// answered through the superframe-product collapse: floor(steps /
+/// period) applications of the precomputed cycle matrix plus at most
+/// period - 1 per-slot tail steps.  Equivalent (to rounding) to
+/// distribution_after_inhomogeneous with matrix_for_step(t) =
+/// kernel.slot_matrix((t - 1) % kernel.period()).
+linalg::Vector distribution_after_periodic(const SuperframeKernel& kernel,
+                                           const linalg::Vector& initial,
+                                           std::uint64_t steps);
+
+/// Batched periodic transient analysis: every row of `initials` advances
+/// `steps` slots through the kernel in one cache-blocked pass.  Row i
+/// equals distribution_after_periodic(kernel, row i, steps) exactly.
+linalg::Matrix distributions_after_periodic(const SuperframeKernel& kernel,
+                                            const linalg::Matrix& initials,
+                                            std::uint64_t steps);
 
 /// Probability of being in `state` after `steps` steps from `initial`.
 double transient_probability(const Dtmc& chain, const linalg::Vector& initial,

@@ -1,9 +1,12 @@
-// Three-way differential oracle.  For one scenario it computes:
+// Four-way differential oracle.  For one scenario it computes:
 //   (1) the production leg — hart::PathModel / compute_path_measures,
 //       the parallel-and-cached engine the rest of the system uses;
 //   (2) the reference leg — verify::reference_solve, an independent
 //       dense implementation of the same math;
-//   (3) the simulator leg — sim::NetworkSimulator in the kIndependent
+//   (3) the kernel leg — the superframe-product transient kernel
+//       (PathAnalysisOptions::kernel = kSuperframeProduct), compared
+//       against the reference to prove the cycle collapse is faithful;
+//   (4) the simulator leg — sim::NetworkSimulator in the kIndependent
 //       regime, whose empirical frequencies converge to the analytic
 //       probabilities exactly.
 // Production vs. reference must agree to a deterministic relative
@@ -18,8 +21,9 @@
 // leg (and only that leg) to prove the harness catches real bugs —
 // kLinkBias biases the availabilities the production solver sees,
 // kDiscardLeak leaks discard mass, kCycleShift rotates the per-cycle
-// delivery probabilities.  A healthy harness reports findings for every
-// injection and none for kNone.
+// delivery probabilities, kProductEntry corrupts one entry of the
+// superframe-product matrix the kernel leg solves through.  A healthy
+// harness reports findings for every injection and none for kNone.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +44,9 @@ enum class Injection {
   kDiscardLeak,
   /// Production cycle probabilities rotated by one cycle.
   kCycleShift,
+  /// One entry of the kernel leg's cycle-product matrix perturbed by
+  /// 1e-3 — a stand-in for a buggy sparse-sparse product build.
+  kProductEntry,
 };
 
 struct OracleConfig {

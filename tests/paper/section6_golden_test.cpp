@@ -33,12 +33,15 @@ struct PathGolden {
 constexpr double kProbabilityTolerance = 1e-9;
 constexpr double kDelayToleranceMs = 1e-6;
 
-void expect_golden(const net::Schedule& schedule,
-                   const net::TypicalNetwork& t,
-                   const std::vector<PathGolden>& golden,
-                   double mean_delay_ms, std::size_t bottleneck) {
+void expect_golden_with_kernel(const net::Schedule& schedule,
+                               const net::TypicalNetwork& t,
+                               const std::vector<PathGolden>& golden,
+                               double mean_delay_ms, std::size_t bottleneck,
+                               hart::TransientKernel kernel) {
+  hart::AnalysisOptions options;
+  options.kernel = kernel;
   const hart::NetworkMeasures m = hart::analyze_network(
-      t.network, t.paths, schedule, t.superframe, 4);
+      t.network, t.paths, schedule, t.superframe, 4, options);
   ASSERT_EQ(m.per_path.size(), golden.size());
   for (std::size_t p = 0; p < golden.size(); ++p) {
     EXPECT_EQ(t.paths[p].hop_count(), golden[p].hop_count) << "path " << p + 1;
@@ -49,6 +52,9 @@ void expect_golden(const net::Schedule& schedule,
                 kDelayToleranceMs)
         << "path " << p + 1;
   }
+  // E[Gamma] (Eq. 13) and the slot utilization (Eq. 10-11) are pinned
+  // through BOTH transient kernels: the superframe-product collapse must
+  // land on the same paper numbers as the per-slot recursion.
   EXPECT_NEAR(m.mean_delay_ms, mean_delay_ms, kDelayToleranceMs);
   EXPECT_EQ(m.bottleneck_by_delay, bottleneck);
   // Utilization is schedule-independent (same attempts, same frame).
@@ -56,6 +62,16 @@ void expect_golden(const net::Schedule& schedule,
               kProbabilityTolerance);
   EXPECT_NEAR(m.network_utilization_delivered, 0.28286262514650007,
               kProbabilityTolerance);
+}
+
+void expect_golden(const net::Schedule& schedule,
+                   const net::TypicalNetwork& t,
+                   const std::vector<PathGolden>& golden,
+                   double mean_delay_ms, std::size_t bottleneck) {
+  expect_golden_with_kernel(schedule, t, golden, mean_delay_ms, bottleneck,
+                            hart::TransientKernel::kPerSlot);
+  expect_golden_with_kernel(schedule, t, golden, mean_delay_ms, bottleneck,
+                            hart::TransientKernel::kSuperframeProduct);
 }
 
 TEST(PaperSection6Golden, HopMixIs30_50_20) {
