@@ -19,6 +19,11 @@
 //   --kernel <name>      transient solver: per-slot (default) or
 //                        superframe (superframe-product collapse; same
 //                        results to rounding, faster for long intervals)
+//   --reuse-skeleton     share the symbolic solve phase between paths of
+//                        identical schedule shape and across sweep grid
+//                        points (default; bitwise-identical results)
+//   --no-reuse-skeleton  rebuild every solve from scratch (the
+//                        differential oracle's baseline path)
 //   --metrics[=<file>]   dump the metrics-registry snapshot as JSON
 //                        (default file: whart_metrics.json)
 //   --trace[=<file>]     record trace spans and dump Chrome trace_event
@@ -58,6 +63,7 @@ struct Options {
   std::string trace_path;
   whart::hart::TransientKernel kernel =
       whart::hart::TransientKernel::kPerSlot;
+  bool reuse_skeleton = true;
 };
 
 int usage() {
@@ -65,6 +71,7 @@ int usage() {
                "[--interval <Is>] [--simulate <intervals>] [--energy] "
                "[--stability <targetR>] [--csv <file>] [--sweep <file>] "
                "[--shards <n>] [--kernel per-slot|superframe] "
+               "[--reuse-skeleton|--no-reuse-skeleton] "
                "[--metrics[=<file>]] [--trace[=<file>]]\n";
   return 2;
 }
@@ -151,6 +158,7 @@ void print_analysis(const whart::cli::ParsedSpec& spec,
 
   whart::hart::AnalysisOptions analysis_options;
   analysis_options.kernel = options.kernel;
+  analysis_options.reuse_skeleton = options.reuse_skeleton;
   const whart::hart::NetworkMeasures measures = whart::hart::analyze_network(
       spec.network, spec.paths, schedule, spec.superframe,
       spec.reporting_interval, analysis_options);
@@ -237,7 +245,8 @@ void print_analysis(const whart::cli::ParsedSpec& spec,
         whart::hart::PathModelConfig::from_schedule(
             schedule, worst, spec.superframe, spec.reporting_interval);
     const whart::hart::SweepSeries series = whart::hart::sweep_availability(
-        config, whart::hart::linspace(0.65, 0.99, 18), 0, options.kernel);
+        config, whart::hart::linspace(0.65, 0.99, 18), 0, options.kernel,
+        options.reuse_skeleton);
     std::ofstream file(options.sweep_path);
     if (!file)
       throw std::runtime_error("cannot write '" + options.sweep_path + "'");
@@ -311,6 +320,10 @@ int main(int argc, char** argv) {
       else
         return usage();
     }
+    else if (arg == "--reuse-skeleton")
+      options.reuse_skeleton = true;
+    else if (arg == "--no-reuse-skeleton")
+      options.reuse_skeleton = false;
     else if (arg == "--metrics")
       options.metrics_path = "whart_metrics.json";
     else if (arg.rfind("--metrics=", 0) == 0)

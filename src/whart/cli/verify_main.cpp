@@ -19,7 +19,8 @@
 //   --threads <n>        scenario fan-out workers (default: WHART_THREADS)
 //   --inject <fault>     corrupt the production leg on purpose:
 //                        link-bias | discard-leak | cycle-shift |
-//                        product-entry (a healthy harness must then FAIL)
+//                        product-entry | stale-skeleton-value (a healthy
+//                        harness must then FAIL)
 //   --metrics[=<file>]   dump the obs metrics snapshot as JSON
 //                        (default file: whart_verify_metrics.json)
 //
@@ -40,7 +41,8 @@ int usage() {
   std::cerr << "usage: whart_verify [--seed <s>] [--runs <n>] "
                "[--corpus <file>] [--no-shrink] [--no-sim] "
                "[--intervals <n>] [--shards <n>] [--threads <n>] "
-               "[--inject link-bias|discard-leak|cycle-shift|product-entry] "
+               "[--inject link-bias|discard-leak|cycle-shift|product-entry|"
+               "stale-skeleton-value] "
                "[--metrics[=<file>]]\n";
   return 2;
 }
@@ -99,6 +101,9 @@ int main(int argc, char** argv) {
           config.oracle.injection = whart::verify::Injection::kCycleShift;
         else if (fault == "product-entry")
           config.oracle.injection = whart::verify::Injection::kProductEntry;
+        else if (fault == "stale-skeleton-value")
+          config.oracle.injection =
+              whart::verify::Injection::kStaleSkeletonValue;
         else
           return usage();
       } else if (arg == "--metrics") {

@@ -4,6 +4,10 @@
 #include <cmath>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
 
 #include "whart/common/contracts.hpp"
 #include "whart/common/obs.hpp"
@@ -27,18 +31,53 @@ NetworkMeasures analyze_network(const net::Network& network,
       options.cache != nullptr ? options.cache
                                : (options.use_cache ? &local_cache : nullptr);
 
+  std::vector<PathModelConfig> configs(paths.size());
+  for (std::size_t p = 0; p < paths.size(); ++p)
+    configs[p] = PathModelConfig::from_schedule(schedule, p, superframe,
+                                                reporting_interval);
+
+  // Cacheless skeleton sharing: group paths by schedule shape in a
+  // serial pre-pass so each shape runs its symbolic phase exactly once;
+  // the map is read-only during the parallel fan-out.  (With a cache the
+  // cache's own skeleton store plays this role.)
+  std::vector<std::string> shape_keys(paths.size());
+  std::unordered_map<std::string, std::shared_ptr<const PathModelSkeleton>>
+      skeletons;
+  if (cache == nullptr && options.reuse_skeleton) {
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+      shape_keys[p] =
+          PathAnalysisCache::skeleton_fingerprint(configs[p], options.kernel);
+      auto& slot = skeletons[shape_keys[p]];
+      if (slot == nullptr)
+        slot = std::make_shared<const PathModelSkeleton>(configs[p]);
+    }
+  }
+  common::WorkspacePool<SolveWorkspace> workspaces;
+
   std::vector<PathMeasures> per_path(paths.size());
   common::parallel_for(
       paths.size(),
       [&](std::size_t p) {
-        const PathModelConfig config = PathModelConfig::from_schedule(
-            schedule, p, superframe, reporting_interval);
+        const PathModelConfig& config = configs[p];
         std::vector<double> availability;
         availability.reserve(config.hop_count());
         for (const link::LinkModel& model : paths[p].hop_models(network))
           availability.push_back(model.steady_state_availability());
         if (cache != nullptr) {
-          per_path[p] = cache->measures(config, availability, options.kernel);
+          per_path[p] = cache->measures(config, availability, options.kernel,
+                                        options.reuse_skeleton);
+        } else if (options.reuse_skeleton) {
+          const PathModelSkeleton& skeleton = *skeletons.at(shape_keys[p]);
+          const SteadyStateLinks links(std::move(availability));
+          PathAnalysisOptions path_options;
+          path_options.kernel = options.kernel;
+          auto workspace = workspaces.acquire();
+          skeleton.analyze_into(links, path_options, *workspace,
+                                workspace->scratch_result);
+          // The transient depends only on the shape the skeleton keys;
+          // measures re-derive from this path's own config.
+          per_path[p] =
+              measures_from_transient(config, workspace->scratch_result);
         } else {
           const PathModel model(config);
           const SteadyStateLinks links(std::move(availability));

@@ -38,6 +38,13 @@ struct AnalysisOptions {
   /// kernel's cycle-stationarity precondition, so the choice is purely a
   /// speed/rounding trade-off; measures agree to ~1e-12.
   TransientKernel kernel = TransientKernel::kPerSlot;
+
+  /// Share the symbolic solve phase between paths of identical schedule
+  /// shape (DESIGN.md §12): paths with equal skeleton fingerprints run
+  /// Algorithm 1 once and each perform only a numeric refill.  Bitwise
+  /// identical to fresh per-path solves; off is the differential
+  /// oracle's baseline.  Forwarded to the cache when one is in use.
+  bool reuse_skeleton = true;
 };
 
 /// One point of the network-wide delay distribution.

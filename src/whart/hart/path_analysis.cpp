@@ -17,16 +17,20 @@ PathMeasures compute_path_measures(const PathModel& model,
 PathMeasures compute_path_measures(const PathModel& model,
                                    const LinkProbabilityProvider& links,
                                    const PathAnalysisOptions& options) {
-  const PathTransientResult transient = model.analyze(links, options);
-  PathMeasures m =
-      measures_from_cycles(model.config(), transient.cycle_probabilities,
-                           transient.expected_transmissions);
+  return measures_from_transient(model.config(),
+                                 model.analyze(links, options));
+}
+
+PathMeasures measures_from_transient(const PathModelConfig& config,
+                                     const PathTransientResult& transient) {
+  PathMeasures m = measures_from_cycles(config, transient.cycle_probabilities,
+                                        transient.expected_transmissions);
   // Replace the closed-form delivered-only estimate (exact only for
   // in-order schedules) with the exact backward-pass count.
   m.utilization_delivered =
       transient.expected_transmissions_delivered /
-      (static_cast<double>(model.config().reporting_interval) *
-       model.config().superframe.uplink_slots);
+      (static_cast<double>(config.reporting_interval) *
+       config.superframe.uplink_slots);
   m.diagnostics = transient.diagnostics;
   return m;
 }

@@ -79,6 +79,14 @@ PathMeasures compute_path_measures(const PathModel& model,
                                    const LinkProbabilityProvider& links,
                                    const PathAnalysisOptions& options);
 
+/// Reduce a transient solve to measures — the exact reduction
+/// compute_path_measures applies (measures_from_cycles plus the exact
+/// delivered-only utilization override).  Shared with the skeleton
+/// refill path, so fresh and refilled solves yield bitwise-identical
+/// measures whenever their transients agree bitwise.
+PathMeasures measures_from_transient(const PathModelConfig& config,
+                                     const PathTransientResult& transient);
+
 /// Derive the measures implied by known per-cycle delivery probabilities
 /// (used by the analytic model and by path composition, where no DTMC is
 /// re-solved).  `expected_transmissions` may be the exact count or the

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <span>
 
 #include "whart/common/contracts.hpp"
 #include "whart/common/obs.hpp"
@@ -106,6 +107,15 @@ PathTransientResult PathModel::analyze(
 
 PathTransientResult PathModel::analyze_per_slot(
     const LinkProbabilityProvider& links) const {
+  SolveWorkspace workspace;
+  PathTransientResult result;
+  analyze_per_slot_into(links, workspace, result);
+  return result;
+}
+
+void PathModel::analyze_per_slot_into(const LinkProbabilityProvider& links,
+                                      SolveWorkspace& ws,
+                                      PathTransientResult& result) const {
   WHART_SPAN("path_solve");
   expects(links.hop_count() >= config_.hop_count(),
           "provider covers every hop");
@@ -118,69 +128,80 @@ PathTransientResult PathModel::analyze_per_slot(
   const std::uint32_t ttl = config_.effective_ttl();
   const std::uint32_t horizon = config_.horizon();
 
-  PathTransientResult result;
   result.cycle_probabilities.assign(config_.reporting_interval, 0.0);
   result.expected_transmissions_per_hop.assign(hops, 0.0);
-  result.goal_trajectory.reserve(horizon + 1);
-  result.goal_trajectory.push_back(result.cycle_probabilities);
+  result.discard_probability = 0.0;
+  result.expected_transmissions = 0.0;
+  result.expected_transmissions_delivered = 0.0;
+  result.trajectory_stride = 1;
+  result.diagnostics = SolverDiagnostics{};
+  result.goal_trajectory.resize(horizon + 1);
+  std::size_t trajectory_entry = 0;
+  const auto record_trajectory = [&] {
+    result.goal_trajectory[trajectory_entry++].assign(
+        result.cycle_probabilities.begin(), result.cycle_probabilities.end());
+  };
+  record_trajectory();
 
   // Backward pass: beta[t][h] = P(eventual delivery | at (t, h) before
   // slot t+1).  Needed to attribute attempts to delivered messages.
-  std::vector<std::vector<double>> beta(ttl + 1,
-                                        std::vector<double>(hops, 0.0));
+  ws.beta.assign(static_cast<std::size_t>(ttl) * hops, 0.0);
+  const auto beta_at = [&](std::uint32_t t, std::size_t h) -> double& {
+    return ws.beta[static_cast<std::size_t>(t) * hops + h];
+  };
   for (std::uint32_t t = ttl; t-- > 0;) {
     const std::uint32_t slot = t + 1;
     const std::optional<std::size_t> firing = hop_in_slot(slot);
     for (std::size_t h = 0; h < hops; ++h) {
-      const double continue_beta = slot == ttl ? 0.0 : beta[t + 1][h];
+      const double continue_beta = slot == ttl ? 0.0 : beta_at(t + 1, h);
       if (firing == h) {
         const double ps = links.up_probability(
             h, config_.superframe.absolute_slot_of_uplink(slot));
         const double success_beta =
             h + 1 == hops
                 ? 1.0
-                : (slot == ttl ? 0.0 : beta[t + 1][h + 1]);
-        beta[t][h] = ps * success_beta + (1.0 - ps) * continue_beta;
+                : (slot == ttl ? 0.0 : beta_at(t + 1, h + 1));
+        beta_at(t, h) = ps * success_beta + (1.0 - ps) * continue_beta;
       } else {
-        beta[t][h] = continue_beta;
+        beta_at(t, h) = continue_beta;
       }
     }
   }
 
-  std::vector<double> mass(hops, 0.0);
-  mass[0] = 1.0;
+  ws.mass.assign(hops, 0.0);
+  ws.mass[0] = 1.0;
 
   for (std::uint32_t slot = 1; slot <= horizon; ++slot) {
     if (slot <= ttl) {
       if (const auto firing = hop_in_slot(slot); firing.has_value()) {
         const std::size_t h = *firing;
-        if (mass[h] > 0.0) {
+        if (ws.mass[h] > 0.0) {
           const double ps = links.up_probability(
               h, config_.superframe.absolute_slot_of_uplink(slot));
-          result.expected_transmissions += mass[h];
-          result.expected_transmissions_per_hop[h] += mass[h];
+          result.expected_transmissions += ws.mass[h];
+          result.expected_transmissions_per_hop[h] += ws.mass[h];
           result.expected_transmissions_delivered +=
-              mass[h] * beta[slot - 1][h];
-          const double moved = mass[h] * ps;
-          mass[h] -= moved;
+              ws.mass[h] * beta_at(slot - 1, h);
+          const double moved = ws.mass[h] * ps;
+          ws.mass[h] -= moved;
           if (h + 1 == hops) {
             const std::uint32_t cycle =
                 (slot - 1) / config_.superframe.uplink_slots;  // 0-based
             result.cycle_probabilities[cycle] += moved;
           } else {
-            mass[h + 1] += moved;
+            ws.mass[h + 1] += moved;
           }
         }
       }
       if (slot == ttl) {
         // TTL expired: every in-flight message is discarded.
-        for (double& m : mass) {
+        for (double& m : ws.mass) {
           result.discard_probability += m;
           m = 0.0;
         }
       }
     }
-    result.goal_trajectory.push_back(result.cycle_probabilities);
+    record_trajectory();
   }
 
   result.diagnostics.dtmc_states = num_states_;
@@ -202,7 +223,6 @@ PathTransientResult PathModel::analyze_per_slot(
     WHART_OBSERVE("hart.path_solve.ns", result.diagnostics.solve_ns);
   }
 #endif
-  return result;
 }
 
 std::vector<linalg::CsrMatrix> PathModel::slot_matrices(
@@ -244,6 +264,46 @@ std::vector<linalg::CsrMatrix> PathModel::slot_matrices(
 
 PathTransientResult PathModel::analyze_superframe(
     const LinkProbabilityProvider& links, double inject) const {
+  // Fresh (slow-path) build: assemble the slot matrices and collapse the
+  // cycle through SuperframeKernel, then run the shared numeric core
+  // with a throwaway workspace.  The skeleton refill path feeds the same
+  // core with refilled structures, so the two agree bitwise.
+  const std::vector<linalg::CsrMatrix> slots = slot_matrices(links);
+  markov::SuperframeKernel kernel(slots);
+  if (inject != 0.0) kernel.perturb_product_entry(0, 0, inject);
+  SolveWorkspace workspace;
+  PathTransientResult result;
+  analyze_superframe_into(links, slots, kernel.cycle_product(), workspace,
+                          result);
+  return result;
+}
+
+namespace {
+
+void ensure_zeroed(linalg::Matrix& m, std::size_t rows, std::size_t cols) {
+  if (m.rows() != rows || m.cols() != cols) {
+    m = linalg::Matrix(rows, cols);
+    return;
+  }
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = 0.0;
+}
+
+void ensure_zeroed(linalg::Vector& v, std::size_t size) {
+  if (v.size() != size) {
+    v = linalg::Vector(size);
+    return;
+  }
+  for (std::size_t i = 0; i < size; ++i) v[i] = 0.0;
+}
+
+}  // namespace
+
+void PathModel::analyze_superframe_into(
+    const LinkProbabilityProvider& links,
+    const std::vector<linalg::CsrMatrix>& slots,
+    const linalg::CsrMatrix& product, SolveWorkspace& ws,
+    PathTransientResult& result) const {
   WHART_SPAN("path_solve");
   expects(links.hop_count() >= config_.hop_count(),
           "provider covers every hop");
@@ -260,20 +320,11 @@ PathTransientResult PathModel::analyze_superframe(
   const std::uint32_t interval = config_.reporting_interval;
   const std::uint32_t horizon = config_.horizon();
 
-  markov::SuperframeKernel kernel(slot_matrices(links));
-  if (inject != 0.0) kernel.perturb_product_entry(0, 0, inject);
-
   // Transmission opportunities of one cycle, in slot order.
-  struct Firing {
-    std::uint32_t slot;  // 1-based uplink position within the frame
-    std::size_t hop;
-    double ps;
-  };
-  std::vector<Firing> firings;
-  firings.reserve(hops);
+  ws.firings.clear();
   for (std::uint32_t slot = 1; slot <= frame; ++slot)
     if (const auto h = hop_in_slot(slot); h.has_value())
-      firings.push_back(
+      ws.firings.push_back(
           {slot, *h,
            links.up_probability(
                *h, config_.superframe.absolute_slot_of_uplink(slot))});
@@ -291,46 +342,62 @@ PathTransientResult PathModel::analyze_superframe(
   //     K = sum over firing slots j of
   //         (column x_j of Prefix_{j-1}) (row x_j of Suffix_j),
   //     Prefix_{j-1} = M_1..M_{j-1} and Suffix_j = M_j..M_F.
-  linalg::Matrix prefix = linalg::Matrix::identity(dim);
-  linalg::Matrix attempts(dim, hops);
-  std::vector<linalg::Vector> prefix_columns;
-  prefix_columns.reserve(firings.size());
-  for (const Firing& f : firings) {
-    linalg::Vector column(dim);
+  ensure_zeroed(ws.prefix, dim, dim);
+  for (std::size_t i = 0; i < dim; ++i) ws.prefix(i, i) = 1.0;
+  ensure_zeroed(ws.prefix_next, dim, dim);
+  ensure_zeroed(ws.attempts, dim, hops);
+  ws.prefix_columns.resize(ws.firings.size() * dim);
+  for (std::size_t i = 0; i < ws.firings.size(); ++i) {
+    const SolveWorkspace::Firing& f = ws.firings[i];
+    double* column = ws.prefix_columns.data() + i * dim;
     for (std::size_t r = 0; r < dim; ++r) {
-      column[r] = prefix(r, f.hop);
-      attempts(r, f.hop) += column[r];
+      column[r] = ws.prefix(r, f.hop);
+      ws.attempts(r, f.hop) += column[r];
     }
-    prefix_columns.push_back(std::move(column));
-    prefix =
-        linalg::left_multiply_batch(prefix, kernel.slot_matrix(f.slot - 1));
+    linalg::left_multiply_batch_into(ws.prefix, slots[f.slot - 1],
+                                     ws.prefix_next);
+    std::swap(ws.prefix, ws.prefix_next);
   }
 
-  linalg::Matrix delivered_kernel(dim, dim);
-  linalg::Matrix suffix = linalg::Matrix::identity(dim);
-  for (std::size_t i = firings.size(); i-- > 0;) {
-    const Firing& f = firings[i];
-    const linalg::CsrMatrix& step = kernel.slot_matrix(f.slot - 1);
-    linalg::Matrix next(dim, dim);
+  ensure_zeroed(ws.delivered_kernel, dim, dim);
+  ensure_zeroed(ws.suffix, dim, dim);
+  for (std::size_t i = 0; i < dim; ++i) ws.suffix(i, i) = 1.0;
+  ensure_zeroed(ws.suffix_next, dim, dim);
+  for (std::size_t i = ws.firings.size(); i-- > 0;) {
+    const SolveWorkspace::Firing& f = ws.firings[i];
+    const linalg::CsrMatrix& step = slots[f.slot - 1];
+    for (std::size_t r = 0; r < dim; ++r)
+      for (std::size_t c = 0; c < dim; ++c) ws.suffix_next(r, c) = 0.0;
     for (std::size_t r = 0; r < dim; ++r)
       step.for_each_in_row(r, [&](std::size_t k, double v) {
-        for (std::size_t c = 0; c < dim; ++c) next(r, c) += v * suffix(k, c);
+        for (std::size_t c = 0; c < dim; ++c)
+          ws.suffix_next(r, c) += v * ws.suffix(k, c);
       });
-    suffix = std::move(next);
+    std::swap(ws.suffix, ws.suffix_next);
+    const double* column = ws.prefix_columns.data() + i * dim;
     for (std::size_t r = 0; r < dim; ++r)
       for (std::size_t c = 0; c < dim; ++c)
-        delivered_kernel(r, c) += prefix_columns[i][r] * suffix(f.hop, c);
+        ws.delivered_kernel(r, c) += column[r] * ws.suffix(f.hop, c);
   }
 
-  PathTransientResult result;
   result.cycle_probabilities.assign(interval, 0.0);
   result.expected_transmissions_per_hop.assign(hops, 0.0);
+  result.discard_probability = 0.0;
+  result.expected_transmissions = 0.0;
+  result.expected_transmissions_delivered = 0.0;
   result.trajectory_stride = frame;
-  result.goal_trajectory.reserve(interval + 1);
-  result.goal_trajectory.push_back(result.cycle_probabilities);
+  result.diagnostics = SolverDiagnostics{};
+  result.goal_trajectory.resize(interval + 1);
+  std::size_t trajectory_entry = 0;
+  const auto record_trajectory = [&] {
+    result.goal_trajectory[trajectory_entry++].assign(
+        result.cycle_probabilities.begin(), result.cycle_probabilities.end());
+  };
+  record_trajectory();
 
-  linalg::Vector p(dim);
-  p[0] = 1.0;
+  ensure_zeroed(ws.p, dim);
+  ws.p[0] = 1.0;
+  ensure_zeroed(ws.p_next, dim);
   double goal_mass_seen = 0.0;
   for (std::uint32_t cycle = 0; cycle < interval; ++cycle) {
     if (static_cast<std::uint64_t>(cycle + 1) * frame <= ttl) {
@@ -338,11 +405,20 @@ PathTransientResult PathModel::analyze_superframe(
       // product advance in place of `frame` per-slot steps.
       for (std::size_t h = 0; h < hops; ++h) {
         double a = 0.0;
-        for (std::size_t x = 0; x < dim; ++x) a += p[x] * attempts(x, h);
+        for (std::size_t x = 0; x < dim; ++x) a += ws.p[x] * ws.attempts(x, h);
         result.expected_transmissions_per_hop[h] += a;
         result.expected_transmissions += a;
       }
-      p = kernel.cycle_product().left_multiply(p);
+      // p <- p^T * product, the arithmetic of CsrMatrix::left_multiply
+      // replayed into the ping-pong buffer.
+      for (std::size_t i = 0; i < dim; ++i) ws.p_next[i] = 0.0;
+      for (std::size_t r = 0; r < dim; ++r) {
+        const double xr = ws.p[r];
+        if (xr == 0.0) continue;
+        product.for_each_in_row(
+            r, [&](std::size_t c, double v) { ws.p_next[c] += xr * v; });
+      }
+      std::swap(ws.p, ws.p_next);
     } else {
       // The cycle the TTL cuts through runs per-slot so the discard lands
       // on the exact slot; cycles past the TTL fall straight through.
@@ -353,32 +429,32 @@ PathTransientResult PathModel::analyze_superframe(
           const std::size_t h = *firing;
           const double ps = links.up_probability(
               h, config_.superframe.absolute_slot_of_uplink(slot));
-          result.expected_transmissions += p[h];
-          result.expected_transmissions_per_hop[h] += p[h];
-          const double moved = p[h] * ps;
-          p[h] -= moved;
+          result.expected_transmissions += ws.p[h];
+          result.expected_transmissions_per_hop[h] += ws.p[h];
+          const double moved = ws.p[h] * ps;
+          ws.p[h] -= moved;
           if (h + 1 == hops)
-            p[goal] += moved;
+            ws.p[goal] += moved;
           else
-            p[h + 1] += moved;
+            ws.p[h + 1] += moved;
         }
         if (slot == ttl) {
           for (std::size_t h = 0; h < hops; ++h) {
-            result.discard_probability += p[h];
-            p[h] = 0.0;
+            result.discard_probability += ws.p[h];
+            ws.p[h] = 0.0;
           }
         }
       }
     }
-    result.cycle_probabilities[cycle] = p[goal] - goal_mass_seen;
-    goal_mass_seen = p[goal];
-    result.goal_trajectory.push_back(result.cycle_probabilities);
+    result.cycle_probabilities[cycle] = ws.p[goal] - goal_mass_seen;
+    goal_mass_seen = ws.p[goal];
+    record_trajectory();
   }
   // When the TTL coincides with a product-advanced cycle boundary the
   // expired mass never passed a per-slot discard; sweep it now.
   for (std::size_t h = 0; h < hops; ++h) {
-    result.discard_probability += p[h];
-    p[h] = 0.0;
+    result.discard_probability += ws.p[h];
+    ws.p[h] = 0.0;
   }
 
   // Delivered-attempt accounting, folded backward cycle-by-cycle.  b
@@ -386,9 +462,9 @@ PathTransientResult PathModel::analyze_superframe(
   // lost, so its delivery probability is already 0); the TTL cycle runs
   // per-slot, every earlier cycle collapses through K and the product.
   {
-    linalg::Vector b(dim);
-    b[goal] = 1.0;
-    linalg::Vector u(dim);
+    ensure_zeroed(ws.b, dim);
+    ws.b[goal] = 1.0;
+    ensure_zeroed(ws.u, dim);
     const std::uint32_t ttl_cycle = (ttl - 1) / frame;  // 0-based
     for (std::uint32_t slot = ttl; slot > ttl_cycle * frame; --slot) {
       if (const auto firing = hop_in_slot(slot); firing.has_value()) {
@@ -396,30 +472,33 @@ PathTransientResult PathModel::analyze_superframe(
         const double ps = links.up_probability(
             h, config_.superframe.absolute_slot_of_uplink(slot));
         const std::size_t target = h + 1 == hops ? goal : h + 1;
-        const double b_before = ps * b[target] + (1.0 - ps) * b[h];
-        u[h] = ps * u[target] + (1.0 - ps) * u[h] + b_before;
-        b[h] = b_before;
+        const double b_before = ps * ws.b[target] + (1.0 - ps) * ws.b[h];
+        ws.u[h] = ps * ws.u[target] + (1.0 - ps) * ws.u[h] + b_before;
+        ws.b[h] = b_before;
       }
     }
-    const linalg::CsrMatrix& product = kernel.cycle_product();
+    ensure_zeroed(ws.u_next, dim);
+    ensure_zeroed(ws.b_next, dim);
     for (std::uint32_t cycle = ttl_cycle; cycle-- > 0;) {
-      linalg::Vector u_next(dim);
-      linalg::Vector b_next(dim);
+      for (std::size_t i = 0; i < dim; ++i) {
+        ws.u_next[i] = 0.0;
+        ws.b_next[i] = 0.0;
+      }
       for (std::size_t r = 0; r < dim; ++r) {
         double acc = 0.0;
         for (std::size_t c = 0; c < dim; ++c)
-          acc += delivered_kernel(r, c) * b[c];
-        u_next[r] = acc;
+          acc += ws.delivered_kernel(r, c) * ws.b[c];
+        ws.u_next[r] = acc;
       }
       for (std::size_t r = 0; r < dim; ++r)
         product.for_each_in_row(r, [&](std::size_t c, double v) {
-          u_next[r] += v * u[c];
-          b_next[r] += v * b[c];
+          ws.u_next[r] += v * ws.u[c];
+          ws.b_next[r] += v * ws.b[c];
         });
-      u = std::move(u_next);
-      b = std::move(b_next);
+      std::swap(ws.u, ws.u_next);
+      std::swap(ws.b, ws.b_next);
     }
-    result.expected_transmissions_delivered = u[0];
+    result.expected_transmissions_delivered = ws.u[0];
   }
 
   result.diagnostics.dtmc_states = dim;
@@ -443,7 +522,6 @@ PathTransientResult PathModel::analyze_superframe(
     WHART_OBSERVE("hart.path_solve.ns", result.diagnostics.solve_ns);
   }
 #endif
-  return result;
 }
 
 markov::Dtmc PathModel::to_dtmc(const LinkProbabilityProvider& links) const {
@@ -516,6 +594,158 @@ std::string PathModel::goal_state_name(std::uint32_t cycle) const {
           "cycle in 1..Is");
   return "R" + std::to_string(config_.gateway_slot() +
                               (cycle - 1) * config_.superframe.uplink_slots);
+}
+
+namespace {
+
+/// Verification-harness adapter: `inject_stale_skeleton` biases hop 0's
+/// success probability, emulating a refill that wrote stale values into
+/// the skeleton's structures.  Only the skeleton path wraps providers
+/// with this, so fresh and refilled solves diverge and the differential
+/// oracle's refill arm must notice.
+class StaleLinks final : public LinkProbabilityProvider {
+ public:
+  StaleLinks(const LinkProbabilityProvider& base, double delta) noexcept
+      : base_(base), delta_(delta) {}
+
+  [[nodiscard]] double up_probability(
+      std::size_t hop, std::uint64_t absolute_slot) const override {
+    double p = base_.up_probability(hop, absolute_slot);
+    if (hop == 0) p = std::clamp(p + delta_, 0.0, 1.0);
+    return p;
+  }
+  [[nodiscard]] std::size_t hop_count() const override {
+    return base_.hop_count();
+  }
+  [[nodiscard]] bool cycle_stationary() const override {
+    return base_.cycle_stationary();
+  }
+
+ private:
+  const LinkProbabilityProvider& base_;
+  double delta_;
+};
+
+/// Generic-probability slot patterns: any ps strictly inside (0, 1)
+/// yields the full two-entries-per-firing-row sparsity.
+std::vector<markov::CsrPattern> capture_slot_patterns(const PathModel& model) {
+  const SteadyStateLinks generic(
+      std::vector<double>(model.config().hop_count(), 0.5));
+  const std::vector<linalg::CsrMatrix> slots = model.slot_matrices(generic);
+  std::vector<markov::CsrPattern> patterns;
+  patterns.reserve(slots.size());
+  for (const linalg::CsrMatrix& m : slots)
+    patterns.push_back(markov::CsrPattern::of(m));
+  return patterns;
+}
+
+}  // namespace
+
+PathModelSkeleton::PathModelSkeleton(PathModelConfig config)
+    : model_(std::move(config)),
+      slot_patterns_(capture_slot_patterns(model_)),
+      chain_(slot_patterns_) {
+  // Provenance: for every firing uplink slot, locate the values indices
+  // of the two mutable entries of row `hop` — (hop, hop) carries 1 - ps
+  // and (hop, target) carries ps; target (hop + 1 or Goal) is always a
+  // higher column, so both are found by a scan of the sorted row.
+  const std::size_t hops = model_.config().hop_count();
+  for (std::uint32_t slot = 1; slot <= model_.config().superframe.uplink_slots;
+       ++slot) {
+    const std::optional<std::size_t> firing = model_.hop_in_slot(slot);
+    if (!firing.has_value()) continue;
+    const std::size_t h = *firing;
+    const std::size_t target = h + 1 == hops ? hops : h + 1;
+    const markov::CsrPattern& pattern = slot_patterns_[slot - 1];
+    SlotProvenance prov;
+    prov.slot = slot;
+    prov.hop = h;
+    bool found_failure = false;
+    bool found_success = false;
+    for (std::size_t k = pattern.row_start[h]; k < pattern.row_start[h + 1];
+         ++k) {
+      if (pattern.col_index[k] == h) {
+        prov.failure_index = k;
+        found_failure = true;
+      } else if (pattern.col_index[k] == target) {
+        prov.success_index = k;
+        found_success = true;
+      }
+    }
+    ensures(found_failure && found_success,
+            "firing row carries both its success and failure entries");
+    provenance_.push_back(prov);
+  }
+  WHART_COUNT("hart.skeleton.builds");
+}
+
+void PathModelSkeleton::prime(SolveWorkspace& ws) const {
+  ws.slots.clear();
+  ws.slots.reserve(slot_patterns_.size());
+  for (const markov::CsrPattern& pattern : slot_patterns_)
+    ws.slots.push_back(linalg::CsrMatrix::from_parts(
+        pattern.rows, pattern.cols, pattern.row_start, pattern.col_index,
+        std::vector<double>(pattern.nonzeros(), 1.0)));
+  const markov::CsrPattern& product = chain_.pattern();
+  ws.product = linalg::CsrMatrix::from_parts(
+      product.rows, product.cols, product.row_start, product.col_index,
+      std::vector<double>(product.nonzeros(), 0.0));
+  ws.primed = true;
+  ws.primed_config = model_.config();
+}
+
+void PathModelSkeleton::analyze_into(const LinkProbabilityProvider& links,
+                                     const PathAnalysisOptions& options,
+                                     SolveWorkspace& ws,
+                                     PathTransientResult& result) const {
+  expects(links.hop_count() >= config().hop_count(),
+          "provider covers every hop");
+  const StaleLinks stale(links, options.inject_stale_skeleton);
+  const LinkProbabilityProvider& provider =
+      options.inject_stale_skeleton != 0.0
+          ? static_cast<const LinkProbabilityProvider&>(stale)
+          : links;
+
+  if (options.kernel == TransientKernel::kSuperframeProduct &&
+      provider.cycle_stationary()) {
+    if (options.inject_product_error != 0.0) {
+      // Product-entry injection perturbs a freshly built kernel; there
+      // is no refilled equivalent, so take the fresh path.
+      WHART_COUNT("hart.skeleton.refill_fallback");
+      result = model_.analyze(provider, options);
+      return;
+    }
+    // A firing probability of exactly 0 or 1 drops an entry from the
+    // assembled slot matrix, so the captured generic pattern no longer
+    // matches a fresh build — fall back rather than refill a structure
+    // the fresh path would not produce.
+    const net::SuperframeConfig& superframe = model_.config().superframe;
+    for (const SlotProvenance& prov : provenance_) {
+      const double ps = provider.up_probability(
+          prov.hop, superframe.absolute_slot_of_uplink(prov.slot));
+      if (!(ps > 0.0) || !(ps < 1.0)) {
+        WHART_COUNT("hart.skeleton.refill_fallback");
+        result = model_.analyze(provider, options);
+        return;
+      }
+    }
+    if (!ws.primed || !(ws.primed_config == model_.config())) prime(ws);
+    for (const SlotProvenance& prov : provenance_) {
+      const double ps = provider.up_probability(
+          prov.hop, superframe.absolute_slot_of_uplink(prov.slot));
+      const std::span<double> values = ws.slots[prov.slot - 1].values();
+      values[prov.failure_index] = 1.0 - ps;
+      values[prov.success_index] = ps;
+    }
+    chain_.refill(ws.slots, ws.chain_arena, ws.product.values());
+    WHART_COUNT("hart.skeleton.refills");
+    model_.analyze_superframe_into(provider, ws.slots, ws.product, ws, result);
+    return;
+  }
+  if (options.kernel == TransientKernel::kSuperframeProduct)
+    WHART_COUNT("hart.path_solve.kernel_fallback");
+  WHART_COUNT("hart.skeleton.refills");
+  model_.analyze_per_slot_into(provider, ws, result);
 }
 
 }  // namespace whart::hart

@@ -22,8 +22,10 @@
 #include <vector>
 
 #include "whart/hart/link_probability.hpp"
+#include "whart/linalg/matrix.hpp"
 #include "whart/linalg/sparse.hpp"
 #include "whart/markov/dtmc.hpp"
+#include "whart/markov/structure.hpp"
 #include "whart/net/schedule.hpp"
 #include "whart/net/superframe.hpp"
 
@@ -56,6 +58,13 @@ struct PathAnalysisOptions {
   /// the differential oracle can prove it catches a bad product build.
   /// Always 0 in production.
   double inject_product_error = 0.0;
+
+  /// Verification-harness fault injection: when nonzero, a
+  /// PathModelSkeleton refill biases hop 0's success probability by this
+  /// delta — a deliberately stale numeric phase, so the differential
+  /// oracle can prove its refill arm catches skeleton/value drift.
+  /// Ignored by fresh PathModel::analyze builds.  Always 0 in production.
+  double inject_stale_skeleton = 0.0;
 };
 
 /// Static description of one path's model.
@@ -105,6 +114,11 @@ struct PathModelConfig {
   [[nodiscard]] net::SlotNumber gateway_slot() const noexcept {
     return hop_slots.back();
   }
+
+  /// Two configs compare equal exactly when they produce the same model
+  /// shape — the invalidation rule of skeleton/workspace reuse.
+  friend bool operator==(const PathModelConfig&,
+                         const PathModelConfig&) = default;
 };
 
 /// Numeric provenance of one path solve — the observability block
@@ -178,6 +192,51 @@ struct PathTransientResult {
   SolverDiagnostics diagnostics;
 };
 
+/// Reusable numeric-phase scratch of the skeleton solve path (DESIGN.md
+/// §12).  Every buffer grows to its high-water mark on the first solve
+/// of a given shape and is only rewritten afterwards, so a warm
+/// workspace makes PathModelSkeleton::analyze_into allocation-free.
+/// One workspace per thread; pool with common::WorkspacePool.
+struct SolveWorkspace {
+  // Numeric-phase matrices, primed from the skeleton's patterns: the
+  // per-slot matrices and the cycle product whose `values` arrays are
+  // refilled in place before each solve.
+  std::vector<linalg::CsrMatrix> slots;
+  linalg::CsrMatrix product;
+  markov::ChainRefillArena chain_arena;
+  bool primed = false;
+  PathModelConfig primed_config;  ///< shape the structures were built for
+
+  // Per-slot kernel scratch.
+  std::vector<double> beta;  ///< beta[t][h] flattened to ttl x hops
+  std::vector<double> mass;
+
+  // Superframe kernel scratch.
+  struct Firing {
+    std::uint32_t slot = 0;  ///< 1-based uplink position within the frame
+    std::size_t hop = 0;
+    double ps = 0.0;
+  };
+  std::vector<Firing> firings;
+  std::vector<double> prefix_columns;  ///< firings x dim, flattened
+  linalg::Matrix prefix;
+  linalg::Matrix prefix_next;
+  linalg::Matrix suffix;
+  linalg::Matrix suffix_next;
+  linalg::Matrix attempts;
+  linalg::Matrix delivered_kernel;
+  linalg::Vector p;
+  linalg::Vector p_next;
+  linalg::Vector b;
+  linalg::Vector b_next;
+  linalg::Vector u;
+  linalg::Vector u_next;
+
+  /// Reusable transient output for callers that immediately reduce it to
+  /// measures (sweeps, the cache) and do not keep the full result.
+  PathTransientResult scratch_result;
+};
+
 /// The unrolled path DTMC.
 class PathModel {
  public:
@@ -230,15 +289,30 @@ class PathModel {
     return num_states_;
   }
 
- private:
   /// Which hop (if any) fires in global uplink slot s (1-based).
   [[nodiscard]] std::optional<std::size_t> hop_in_slot(
       std::uint32_t global_slot) const noexcept;
+
+ private:
+  friend class PathModelSkeleton;
 
   [[nodiscard]] PathTransientResult analyze_per_slot(
       const LinkProbabilityProvider& links) const;
   [[nodiscard]] PathTransientResult analyze_superframe(
       const LinkProbabilityProvider& links, double inject) const;
+
+  /// Shared numeric cores.  Both the fresh analyze paths and the
+  /// skeleton refill path run these exact functions, so fresh and
+  /// refilled solves are bitwise identical by construction — the fresh
+  /// path merely builds its inputs (and a throwaway workspace) first.
+  void analyze_per_slot_into(const LinkProbabilityProvider& links,
+                             SolveWorkspace& workspace,
+                             PathTransientResult& result) const;
+  void analyze_superframe_into(const LinkProbabilityProvider& links,
+                               const std::vector<linalg::CsrMatrix>& slots,
+                               const linalg::CsrMatrix& product,
+                               SolveWorkspace& workspace,
+                               PathTransientResult& result) const;
 
   PathModelConfig config_;
   /// state_index_[t][h] for t = 0..ttl-1: dense index of transient state
@@ -246,6 +320,55 @@ class PathModel {
   std::vector<std::vector<std::size_t>> state_index_;
   std::size_t num_transient_ = 0;
   std::size_t num_states_ = 0;
+};
+
+/// Symbolic phase of the path solve (DESIGN.md §12): Algorithm 1 run
+/// once per (schedule, hop count, Is, TTL) shape.  The skeleton owns the
+/// state enumeration (its PathModel), the per-slot CSR sparsity patterns
+/// with a provenance map from each firing slot's two live nonzeros to
+/// their values indices, and the symbolic cycle-product chain.
+/// `analyze_into` is the numeric phase: it refills only the `values`
+/// arrays from a link provider into a SolveWorkspace and solves through
+/// the same numeric cores as PathModel::analyze — no re-enumeration, no
+/// allocation once the workspace is warm, results bitwise equal to a
+/// fresh build.
+class PathModelSkeleton {
+ public:
+  /// Runs the symbolic phase (validates the config like PathModel).
+  explicit PathModelSkeleton(PathModelConfig config);
+
+  [[nodiscard]] const PathModel& model() const noexcept { return model_; }
+  [[nodiscard]] const PathModelConfig& config() const noexcept {
+    return model_.config();
+  }
+
+  /// Numeric phase.  Falls back to a fresh model().analyze — counted as
+  /// `hart.skeleton.refill_fallback` — when refilling cannot reproduce a
+  /// fresh build: a degenerate firing probability (ps of 0 or 1 changes
+  /// the captured sparsity pattern) or a product-entry injection.  A
+  /// non-cycle-stationary provider under kSuperframeProduct degrades to
+  /// the per-slot core exactly like PathModel::analyze.
+  void analyze_into(const LinkProbabilityProvider& links,
+                    const PathAnalysisOptions& options,
+                    SolveWorkspace& workspace,
+                    PathTransientResult& result) const;
+
+ private:
+  /// Where a firing slot's two mutable values live in its slot matrix.
+  struct SlotProvenance {
+    std::uint32_t slot = 0;  ///< 1-based uplink slot within the frame
+    std::size_t hop = 0;
+    std::size_t failure_index = 0;  ///< values index of the (h, h) entry
+    std::size_t success_index = 0;  ///< values index of (h, target)
+  };
+
+  /// Materialize workspace slot/product structures from the patterns.
+  void prime(SolveWorkspace& workspace) const;
+
+  PathModel model_;
+  std::vector<markov::CsrPattern> slot_patterns_;
+  markov::ChainProductSkeleton chain_;
+  std::vector<SlotProvenance> provenance_;
 };
 
 }  // namespace whart::hart

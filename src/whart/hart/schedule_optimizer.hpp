@@ -39,7 +39,10 @@ net::Schedule build_min_worst_delay_schedule(
 /// Exact worst-case expected path delay of a schedule (ms), from the
 /// per-path DTMC solves — the quantity build_min_worst_delay_schedule
 /// minimizes, scored exactly so candidate layouts can be compared.
-/// AnalysisOptions selects threads, caching and the transient kernel.
+/// AnalysisOptions selects threads, caching, the transient kernel and
+/// skeleton reuse; scoring many candidate layouts benefits directly
+/// from the symbolic/numeric split (one skeleton per chain shape,
+/// numeric refills per candidate — see DESIGN.md §12).
 double worst_expected_delay(const net::Network& network,
                             const std::vector<net::Path>& paths,
                             const net::Schedule& schedule,

@@ -1,10 +1,14 @@
 #include "whart/hart/sensitivity.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
+#include <string>
+#include <unordered_map>
 
 #include "whart/common/contracts.hpp"
 #include "whart/common/parallel.hpp"
+#include "whart/hart/path_cache.hpp"
 #include "whart/linalg/matrix.hpp"
 #include "whart/markov/superframe_kernel.hpp"
 
@@ -241,17 +245,32 @@ std::vector<LinkSensitivity> rank_link_upgrades(
   for (net::LinkId id : network.links())
     ranking.push_back(LinkSensitivity{id, 0.0, 0});
 
+  // Paths of identical schedule shape share one symbolic build: the
+  // adjoint sweep reads only shape fields (all covered by the skeleton
+  // fingerprint), so reusing the shared skeleton's model is bitwise the
+  // same as constructing a PathModel per path.
+  std::vector<std::string> shape_keys(paths.size());
+  std::unordered_map<std::string, std::shared_ptr<const PathModelSkeleton>>
+      skeletons;
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    const PathModelConfig config = PathModelConfig::from_schedule(
+        schedule, p, superframe, reporting_interval);
+    shape_keys[p] = PathAnalysisCache::skeleton_fingerprint(config, kernel);
+    auto& slot = skeletons[shape_keys[p]];
+    if (slot == nullptr)
+      slot = std::make_shared<const PathModelSkeleton>(config);
+  }
+
   // Per-path adjoint sweeps fan out; the accumulation over shared links
   // stays serial and in path order so the sums are reproducible.
   std::vector<std::vector<double>> per_hop_all(paths.size());
   common::parallel_for(
       paths.size(),
       [&](std::size_t p) {
-        const PathModelConfig config = PathModelConfig::from_schedule(
-            schedule, p, superframe, reporting_interval);
-        const PathModel model(config);
+        const PathModelSkeleton& skeleton = *skeletons.at(shape_keys[p]);
         const SteadyStateLinks provider(paths[p].hop_models(network));
-        per_hop_all[p] = reachability_sensitivity(model, provider, kernel);
+        per_hop_all[p] =
+            reachability_sensitivity(skeleton.model(), provider, kernel);
       },
       threads);
   for (std::size_t p = 0; p < paths.size(); ++p) {

@@ -45,6 +45,9 @@ struct LinkSensitivity {
 /// Rank all links of a scheduled network, most valuable upgrade first.
 /// Per-path sensitivities are computed concurrently (`threads` as in
 /// common::parallel_for); the ranking is independent of the thread count.
+/// Paths sharing a schedule shape (equal skeleton fingerprints, DESIGN.md
+/// §12) share one symbolic model build — the adjoint sweep reads only
+/// the shape, so the ranking is bitwise-identical to per-path builds.
 std::vector<LinkSensitivity> rank_link_upgrades(
     const net::Network& network, const std::vector<net::Path>& paths,
     const net::Schedule& schedule, net::SuperframeConfig superframe,

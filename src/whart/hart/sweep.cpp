@@ -21,6 +21,24 @@ PathMeasures measure_with_links(const PathModelConfig& config,
   return compute_path_measures(path_model, links, options);
 }
 
+/// Numeric-refill counterpart of measure_with_links: the skeleton holds
+/// the symbolic phase, the pooled workspace the warm buffers.  Bitwise
+/// equal to measure_with_links on the skeleton's config (shared numeric
+/// core — see DESIGN.md §12).
+PathMeasures measure_with_skeleton(
+    const PathModelSkeleton& skeleton,
+    common::WorkspacePool<SolveWorkspace>& workspaces,
+    const link::LinkModel& model, TransientKernel kernel) {
+  const SteadyStateLinks links(skeleton.config().hop_count(), model);
+  PathAnalysisOptions options;
+  options.kernel = kernel;
+  auto workspace = workspaces.acquire();
+  skeleton.analyze_into(links, options, *workspace,
+                        workspace->scratch_result);
+  return measures_from_transient(skeleton.config(),
+                                 workspace->scratch_result);
+}
+
 }  // namespace
 
 std::vector<double> linspace(double first, double last, std::size_t count) {
@@ -35,12 +53,28 @@ std::vector<double> linspace(double first, double last, std::size_t count) {
 
 SweepSeries sweep_availability(const PathModelConfig& config,
                                const std::vector<double>& availabilities,
-                               unsigned threads, TransientKernel kernel) {
+                               unsigned threads, TransientKernel kernel,
+                               bool reuse_skeleton) {
   expects(!availabilities.empty(), "at least one sample");
   WHART_SPAN("sweep_availability");
   WHART_COUNT_N("hart.sweep.points", availabilities.size());
   SweepSeries series;
   series.parameter_name = "availability";
+  if (reuse_skeleton) {
+    // One symbolic build for the whole grid; each point refills values.
+    const PathModelSkeleton skeleton(config);
+    common::WorkspacePool<SolveWorkspace> workspaces;
+    series.points = common::parallel_map(
+        availabilities,
+        [&](double pi) {
+          return SweepPoint{
+              pi, measure_with_skeleton(skeleton, workspaces,
+                                        link::LinkModel::from_availability(pi),
+                                        kernel)};
+        },
+        threads);
+    return series;
+  }
   series.points = common::parallel_map(
       availabilities,
       [&](double pi) {
@@ -54,12 +88,27 @@ SweepSeries sweep_availability(const PathModelConfig& config,
 
 SweepSeries sweep_ber(const PathModelConfig& config,
                       const std::vector<double>& bit_error_rates,
-                      unsigned threads, TransientKernel kernel) {
+                      unsigned threads, TransientKernel kernel,
+                      bool reuse_skeleton) {
   expects(!bit_error_rates.empty(), "at least one sample");
   WHART_SPAN("sweep_ber");
   WHART_COUNT_N("hart.sweep.points", bit_error_rates.size());
   SweepSeries series;
   series.parameter_name = "ber";
+  if (reuse_skeleton) {
+    const PathModelSkeleton skeleton(config);
+    common::WorkspacePool<SolveWorkspace> workspaces;
+    series.points = common::parallel_map(
+        bit_error_rates,
+        [&](double ber) {
+          return SweepPoint{
+              ber, measure_with_skeleton(skeleton, workspaces,
+                                         link::LinkModel::from_ber(ber),
+                                         kernel)};
+        },
+        threads);
+    return series;
+  }
   series.points = common::parallel_map(
       bit_error_rates,
       [&](double ber) {
@@ -74,7 +123,8 @@ SweepSeries sweep_ber(const PathModelConfig& config,
 SweepSeries sweep_hop_count(std::uint32_t max_hops, double availability,
                             net::SuperframeConfig superframe,
                             std::uint32_t reporting_interval,
-                            unsigned threads, TransientKernel kernel) {
+                            unsigned threads, TransientKernel kernel,
+                            bool reuse_skeleton) {
   expects(max_hops >= 1, "max_hops >= 1");
   expects(max_hops <= superframe.uplink_slots, "hops fit in the frame");
   WHART_SPAN("sweep_hop_count");
@@ -85,6 +135,7 @@ SweepSeries sweep_hop_count(std::uint32_t max_hops, double availability,
   hop_counts.reserve(max_hops);
   for (std::uint32_t hops = 1; hops <= max_hops; ++hops)
     hop_counts.push_back(hops);
+  common::WorkspacePool<SolveWorkspace> workspaces;
   series.points = common::parallel_map(
       hop_counts,
       [&](std::uint32_t hops) {
@@ -93,11 +144,17 @@ SweepSeries sweep_hop_count(std::uint32_t max_hops, double availability,
           config.hop_slots.push_back(h + 1);
         config.superframe = superframe;
         config.reporting_interval = reporting_interval;
+        const link::LinkModel model =
+            link::LinkModel::from_availability(availability);
+        if (!reuse_skeleton)
+          return SweepPoint{static_cast<double>(hops),
+                            measure_with_links(config, model, kernel)};
+        // Each hop count is a distinct shape: per-point symbolic build,
+        // but the workspace pool still spares per-point solve buffers.
+        const PathModelSkeleton skeleton(config);
         return SweepPoint{
             static_cast<double>(hops),
-            measure_with_links(
-                config, link::LinkModel::from_availability(availability),
-                kernel)};
+            measure_with_skeleton(skeleton, workspaces, model, kernel)};
       },
       threads);
   return series;
@@ -106,23 +163,28 @@ SweepSeries sweep_hop_count(std::uint32_t max_hops, double availability,
 SweepSeries sweep_reporting_interval_series(
     const PathModelConfig& base_config, double availability,
     const std::vector<std::uint32_t>& intervals, unsigned threads,
-    TransientKernel kernel) {
+    TransientKernel kernel, bool reuse_skeleton) {
   expects(!intervals.empty(), "at least one interval");
   WHART_SPAN("sweep_reporting_interval");
   WHART_COUNT_N("hart.sweep.points", intervals.size());
   SweepSeries series;
   series.parameter_name = "reporting_interval";
+  common::WorkspacePool<SolveWorkspace> workspaces;
   series.points = common::parallel_map(
       intervals,
       [&](std::uint32_t is) {
         PathModelConfig config = base_config;
         config.reporting_interval = is;
         config.ttl.reset();
+        const link::LinkModel model =
+            link::LinkModel::from_availability(availability);
+        if (!reuse_skeleton)
+          return SweepPoint{static_cast<double>(is),
+                            measure_with_links(config, model, kernel)};
+        const PathModelSkeleton skeleton(config);
         return SweepPoint{
             static_cast<double>(is),
-            measure_with_links(
-                config, link::LinkModel::from_availability(availability),
-                kernel)};
+            measure_with_skeleton(skeleton, workspaces, model, kernel)};
       },
       threads);
   return series;

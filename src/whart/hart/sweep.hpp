@@ -1,6 +1,15 @@
 // Parameter sweeps: regenerate the paper's curves (reachability or delay
 // vs availability, hop count, reporting interval) as data series ready
 // for CSV export — the programmatic counterpart of the bench binaries.
+//
+// All sweeps run under steady-state (cycle-stationary) links, so the
+// superframe-product kernel is the default everywhere; kPerSlot remains
+// reachable through the `kernel` parameter (measures agree to ~1e-12).
+// Each sweep also defaults to skeleton reuse: the symbolic phase of the
+// solve (state enumeration + sparsity patterns, DESIGN.md §12) runs once
+// per schedule shape and every grid point performs only a numeric refill
+// into a pooled SolveWorkspace — bitwise-identical to per-point fresh
+// solves, just without the per-point allocation and re-enumeration.
 #pragma once
 
 #include <cstdint>
@@ -32,36 +41,43 @@ std::vector<double> linspace(double first, double last, std::size_t count);
 /// with homogeneous links (the sweep behind Figs. 8-9 and Table I).
 /// Every sweep evaluates its grid points concurrently (`threads` as in
 /// common::parallel_for: 0 = WHART_THREADS/hardware, 1 = serial) with
-/// results in parameter order, bit-identical to the serial loop.  All
-/// sweeps run under steady-state links, so `kernel` may select the
-/// superframe-product collapse (measures agree to ~1e-12).
+/// results in parameter order, bit-identical to the serial loop.
+/// `reuse_skeleton = false` rebuilds the full model at every grid point
+/// (the differential oracle's baseline; results are bitwise the same).
 SweepSeries sweep_availability(const PathModelConfig& config,
                                const std::vector<double>& availabilities,
                                unsigned threads = 0,
                                TransientKernel kernel =
-                                   TransientKernel::kPerSlot);
+                                   TransientKernel::kSuperframeProduct,
+                               bool reuse_skeleton = true);
 
 /// Sweep over the bit error rate (Eq. 1-2 pipeline), logarithmic ladders
 /// welcome.
 SweepSeries sweep_ber(const PathModelConfig& config,
                       const std::vector<double>& bit_error_rates,
                       unsigned threads = 0,
-                      TransientKernel kernel = TransientKernel::kPerSlot);
+                      TransientKernel kernel =
+                          TransientKernel::kSuperframeProduct,
+                      bool reuse_skeleton = true);
 
 /// Sweep over the hop count: paths of 1..`max_hops` hops scheduled
-/// contiguously from slot 1 (Fig. 10).
+/// contiguously from slot 1 (Fig. 10).  The schedule shape changes at
+/// every point, so skeleton reuse here only pools workspaces.
 SweepSeries sweep_hop_count(std::uint32_t max_hops, double availability,
                             net::SuperframeConfig superframe,
                             std::uint32_t reporting_interval,
                             unsigned threads = 0,
                             TransientKernel kernel =
-                                TransientKernel::kPerSlot);
+                                TransientKernel::kSuperframeProduct,
+                            bool reuse_skeleton = true);
 
-/// Sweep over the reporting interval (Section VI-D).
+/// Sweep over the reporting interval (Section VI-D).  Like the hop
+/// sweep, every point has its own shape (per-point skeleton build).
 SweepSeries sweep_reporting_interval_series(
     const PathModelConfig& base_config, double availability,
     const std::vector<std::uint32_t>& intervals, unsigned threads = 0,
-    TransientKernel kernel = TransientKernel::kPerSlot);
+    TransientKernel kernel = TransientKernel::kSuperframeProduct,
+    bool reuse_skeleton = true);
 
 /// Write a series as CSV: parameter, reachability, expected_delay_ms,
 /// delay_jitter_ms, utilization, utilization_delivered.

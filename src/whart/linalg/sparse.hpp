@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "whart/linalg/vector.hpp"
@@ -67,6 +68,15 @@ class CsrMatrix {
       visit(col_index_[k], values_[k]);
   }
 
+  /// The stored values in CSR order.  The mutable overload is the
+  /// numeric-refill hook of the symbolic/numeric split: a skeleton that
+  /// captured this matrix's sparsity pattern may overwrite values in
+  /// place (same pattern, new probabilities) without reassembly.
+  [[nodiscard]] std::span<double> values() noexcept { return values_; }
+  [[nodiscard]] std::span<const double> values() const noexcept {
+    return values_;
+  }
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
@@ -114,5 +124,12 @@ CsrMatrix multiply(const CsrMatrix& a, const CsrMatrix& b);
 /// cache-blocked kernel behind SuperframeKernel's batched solves.
 Matrix left_multiply_batch(const Matrix& x, const CsrMatrix& a,
                            std::size_t block_rows = 32);
+
+/// Allocation-free variant: writes X * A into a caller-owned `y` (which
+/// must already have shape x.rows() x a.cols(); it is zeroed first).
+/// Identical arithmetic to left_multiply_batch, so results are bitwise
+/// equal — this is the ping-pong kernel of the refill solve path.
+void left_multiply_batch_into(const Matrix& x, const CsrMatrix& a, Matrix& y,
+                              std::size_t block_rows = 32);
 
 }  // namespace whart::linalg

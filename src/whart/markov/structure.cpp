@@ -1,6 +1,7 @@
 #include "whart/markov/structure.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "whart/common/contracts.hpp"
@@ -189,6 +190,130 @@ double distribution_mass_residual(const linalg::Vector& distribution) {
   for (double value : distribution) sum += value;
   const long double residual = sum > 1.0L ? sum - 1.0L : 1.0L - sum;
   return static_cast<double>(residual);
+}
+
+CsrPattern CsrPattern::of(const linalg::CsrMatrix& matrix) {
+  CsrPattern pattern;
+  pattern.rows = matrix.rows();
+  pattern.cols = matrix.cols();
+  pattern.row_start.reserve(matrix.rows() + 1);
+  pattern.row_start.push_back(0);
+  pattern.col_index.reserve(matrix.nonzeros());
+  for (std::size_t r = 0; r < matrix.rows(); ++r) {
+    matrix.for_each_in_row(
+        r, [&](std::size_t c, double) { pattern.col_index.push_back(c); });
+    pattern.row_start.push_back(pattern.col_index.size());
+  }
+  return pattern;
+}
+
+namespace {
+
+constexpr std::size_t kNoTag = std::numeric_limits<std::size_t>::max();
+
+/// Pattern of a * b: the symbolic half of Gustavson's algorithm (the
+/// same marker walk linalg::multiply runs, minus the arithmetic).
+CsrPattern symbolic_multiply(const CsrPattern& a, const CsrPattern& b) {
+  expects(a.cols == b.rows, "inner dimensions agree");
+  CsrPattern out;
+  out.rows = a.rows;
+  out.cols = b.cols;
+  out.row_start.reserve(a.rows + 1);
+  out.row_start.push_back(0);
+  std::vector<std::size_t> marker(b.cols, kNoTag);
+  std::vector<std::size_t> scratch;
+  for (std::size_t r = 0; r < a.rows; ++r) {
+    scratch.clear();
+    for (std::size_t ka = a.row_start[r]; ka < a.row_start[r + 1]; ++ka) {
+      const std::size_t ac = a.col_index[ka];
+      for (std::size_t kb = b.row_start[ac]; kb < b.row_start[ac + 1]; ++kb) {
+        const std::size_t bc = b.col_index[kb];
+        if (marker[bc] != r) {
+          marker[bc] = r;
+          scratch.push_back(bc);
+        }
+      }
+    }
+    std::sort(scratch.begin(), scratch.end());
+    out.col_index.insert(out.col_index.end(), scratch.begin(), scratch.end());
+    out.row_start.push_back(out.col_index.size());
+  }
+  return out;
+}
+
+}  // namespace
+
+ChainProductSkeleton::ChainProductSkeleton(
+    const std::vector<CsrPattern>& factors) {
+  expects(!factors.empty(), "chain has at least one factor");
+  partials_.reserve(factors.size());
+  partials_.push_back(factors.front());
+  for (std::size_t k = 1; k < factors.size(); ++k)
+    partials_.push_back(symbolic_multiply(partials_.back(), factors[k]));
+  for (const CsrPattern& p : partials_) max_cols_ = std::max(max_cols_, p.cols);
+  for (std::size_t k = 0; k + 1 < partials_.size(); ++k)
+    max_partial_nnz_ = std::max(max_partial_nnz_, partials_[k].nonzeros());
+}
+
+void ChainProductSkeleton::refill(
+    const std::vector<linalg::CsrMatrix>& factors, ChainRefillArena& arena,
+    std::span<double> values_out) const {
+  expects(factors.size() == partials_.size(),
+          "one factor per skeleton pattern");
+  expects(values_out.size() == pattern().nonzeros(),
+          "output sized to the product pattern");
+  expects(factors.front().nonzeros() == partials_.front().nonzeros(),
+          "first factor matches its captured pattern");
+  const std::span<const double> first = factors.front().values();
+  if (factors.size() == 1) {
+    std::copy(first.begin(), first.end(), values_out.begin());
+    return;
+  }
+  // Warm-up sizing only; a warm arena keeps its capacity and these
+  // assigns/resizes allocate nothing.  The marker must be re-blanked
+  // every refill — tags repeat across refills.
+  arena.marker.assign(max_cols_, kNoTag);
+  arena.accumulator.resize(max_cols_);
+  arena.partial_a.resize(max_partial_nnz_);
+  arena.partial_b.resize(max_partial_nnz_);
+
+  // Replay the numeric pass of linalg::multiply for every chain step.
+  // The left operand's pattern is the stored partial (whose columns are
+  // sorted exactly as a fresh CSR partial would store them) and the
+  // right operand is the fresh factor, so each multiply-add runs in the
+  // very same order as a fresh chain build — the results are bitwise
+  // identical, not merely close.
+  const double* left_values = first.data();
+  std::size_t tag = 0;
+  for (std::size_t k = 1; k < partials_.size(); ++k) {
+    const CsrPattern& left = partials_[k - 1];
+    const CsrPattern& out = partials_[k];
+    const linalg::CsrMatrix& b = factors[k];
+    expects(b.rows() == left.cols && b.cols() == out.cols,
+            "factor dimensions match the skeleton");
+    double* out_values = k + 1 == partials_.size() ? values_out.data()
+                         : k % 2 == 1             ? arena.partial_a.data()
+                                                  : arena.partial_b.data();
+    for (std::size_t r = 0; r < out.rows; ++r) {
+      const std::size_t row_tag = tag++;
+      for (std::size_t ka = left.row_start[r]; ka < left.row_start[r + 1];
+           ++ka) {
+        const std::size_t ac = left.col_index[ka];
+        const double av = left_values[ka];
+        b.for_each_in_row(ac, [&](std::size_t bc, double bv) {
+          if (arena.marker[bc] != row_tag) {
+            arena.marker[bc] = row_tag;
+            arena.accumulator[bc] = av * bv;
+          } else {
+            arena.accumulator[bc] += av * bv;
+          }
+        });
+      }
+      for (std::size_t ko = out.row_start[r]; ko < out.row_start[r + 1]; ++ko)
+        out_values[ko] = arena.accumulator[out.col_index[ko]];
+    }
+    left_values = out_values;
+  }
 }
 
 }  // namespace whart::markov

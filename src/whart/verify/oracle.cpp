@@ -1,7 +1,9 @@
 #include "whart/verify/oracle.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <sstream>
 
 #include "whart/common/contracts.hpp"
@@ -171,6 +173,86 @@ OracleReport cross_validate(const Scenario& scenario,
         compare_kernel("transmissions_hop" + std::to_string(h),
                        kern.expected_transmissions_per_hop[h],
                        ref.expected_transmissions_per_hop[h]);
+    }
+
+    // Refill leg: the symbolic/numeric split's promise is bitwise, not
+    // within-tolerance — a skeleton refill replays the exact arithmetic
+    // of a fresh build.  Each kernel runs twice: cold (the workspace is
+    // primed and every buffer allocated) and warm (pure value refill
+    // into retained buffers), both compared bit for bit against the
+    // fresh solve.  kStaleSkeletonValue corrupts only this leg.
+    {
+      const hart::PathModel model(path_config);
+      const hart::PathModelSkeleton skeleton(path_config);
+      const hart::SteadyStateLinks links{availabilities};
+      hart::SolveWorkspace workspace;
+      hart::PathTransientResult refilled;
+      for (const hart::TransientKernel kernel :
+           {hart::TransientKernel::kPerSlot,
+            hart::TransientKernel::kSuperframeProduct}) {
+        hart::PathAnalysisOptions options;
+        options.kernel = kernel;
+        const hart::PathTransientResult fresh = model.analyze(links, options);
+        hart::PathAnalysisOptions refill_options = options;
+        if (config.injection == Injection::kStaleSkeletonValue)
+          refill_options.inject_stale_skeleton = 1e-6;
+        const std::string kernel_tag =
+            kernel == hart::TransientKernel::kSuperframeProduct
+                ? "superframe"
+                : "per-slot";
+        for (const char* pass : {"cold", "warm"}) {
+          skeleton.analyze_into(links, refill_options, workspace, refilled);
+          const auto compare_bits = [&](const std::string& field,
+                                        double fresh_value,
+                                        double refill_value) {
+            if (std::bit_cast<std::uint64_t>(fresh_value) !=
+                std::bit_cast<std::uint64_t>(refill_value))
+              add_finding(p,
+                          "refill:" + kernel_tag + ":" + pass + ":" + field,
+                          "fresh " + format_double(fresh_value) +
+                              " vs refill " + format_double(refill_value));
+          };
+          for (std::size_t i = 0; i < fresh.cycle_probabilities.size(); ++i)
+            compare_bits("g(" + std::to_string(i + 1) + ")",
+                         fresh.cycle_probabilities[i],
+                         refilled.cycle_probabilities[i]);
+          compare_bits("discard", fresh.discard_probability,
+                       refilled.discard_probability);
+          compare_bits("expected_transmissions", fresh.expected_transmissions,
+                       refilled.expected_transmissions);
+          compare_bits("transmissions_delivered",
+                       fresh.expected_transmissions_delivered,
+                       refilled.expected_transmissions_delivered);
+          for (std::size_t h = 0;
+               h < fresh.expected_transmissions_per_hop.size(); ++h)
+            compare_bits("transmissions_hop" + std::to_string(h),
+                         fresh.expected_transmissions_per_hop[h],
+                         refilled.expected_transmissions_per_hop[h]);
+          if (fresh.goal_trajectory.size() != refilled.goal_trajectory.size()) {
+            add_finding(p, "refill:" + kernel_tag + ":" + pass + ":trajectory",
+                        "fresh " +
+                            std::to_string(fresh.goal_trajectory.size()) +
+                            " trajectory entries vs refill " +
+                            std::to_string(refilled.goal_trajectory.size()));
+          } else {
+            for (std::size_t t = 0; t < fresh.goal_trajectory.size(); ++t) {
+              if (fresh.goal_trajectory[t].size() !=
+                  refilled.goal_trajectory[t].size()) {
+                add_finding(
+                    p,
+                    "refill:" + kernel_tag + ":" + pass + ":trajectory",
+                    "entry " + std::to_string(t) + " size mismatch");
+                continue;
+              }
+              for (std::size_t s = 0; s < fresh.goal_trajectory[t].size(); ++s)
+                compare_bits("trajectory(" + std::to_string(t) + "," +
+                                 std::to_string(s) + ")",
+                             fresh.goal_trajectory[t][s],
+                             refilled.goal_trajectory[t][s]);
+            }
+          }
+        }
+      }
     }
   }
 

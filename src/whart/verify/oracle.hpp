@@ -8,7 +8,11 @@
 //       against the reference to prove the cycle collapse is faithful;
 //   (4) the simulator leg — sim::NetworkSimulator in the kIndependent
 //       regime, whose empirical frequencies converge to the analytic
-//       probabilities exactly.
+//       probabilities exactly;
+//   (5) the refill leg — a PathModelSkeleton numeric refill (symbolic
+//       phase captured once, values refilled per solve; DESIGN.md §12),
+//       run cold and warm for both kernels and required to reproduce
+//       the fresh solve BITWISE, not merely within tolerance.
 // Production vs. reference must agree to a deterministic relative
 // tolerance (both are exact solvers of the same chain).  Production vs.
 // simulator is judged statistically: a disagreement counts only when
@@ -22,8 +26,10 @@
 // kLinkBias biases the availabilities the production solver sees,
 // kDiscardLeak leaks discard mass, kCycleShift rotates the per-cycle
 // delivery probabilities, kProductEntry corrupts one entry of the
-// superframe-product matrix the kernel leg solves through.  A healthy
-// harness reports findings for every injection and none for kNone.
+// superframe-product matrix the kernel leg solves through,
+// kStaleSkeletonValue biases one refilled value of the refill leg (a
+// stand-in for a stale skeleton provenance map).  A healthy harness
+// reports findings for every injection and none for kNone.
 #pragma once
 
 #include <cstdint>
@@ -47,6 +53,10 @@ enum class Injection {
   /// One entry of the kernel leg's cycle-product matrix perturbed by
   /// 1e-3 — a stand-in for a buggy sparse-sparse product build.
   kProductEntry,
+  /// The refill leg's hop-0 success probability biased by 1e-6 during
+  /// the numeric refill only — a stand-in for a stale or mis-indexed
+  /// skeleton provenance map.  Caught by the bitwise refill comparison.
+  kStaleSkeletonValue,
 };
 
 struct OracleConfig {

@@ -1,0 +1,188 @@
+// The symbolic/numeric split (DESIGN.md §12): a PathModelSkeleton's
+// numeric refill must reproduce a fresh PathModel::analyze bit for bit —
+// for both transient kernels, on cold and warm workspaces, across a
+// generated scenario corpus and in the degenerate regimes where the
+// refill falls back to a fresh solve.  Plus the shape-only fingerprint
+// that decides when two paths may share one skeleton.
+#include "whart/hart/path_model.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "whart/hart/link_probability.hpp"
+#include "whart/hart/path_cache.hpp"
+#include "whart/net/superframe.hpp"
+#include "whart/verify/scenario.hpp"
+
+namespace whart::hart {
+namespace {
+
+// Exact (==, not approximate) comparison: the split's whole contract is
+// bitwise equality, so any rounding difference is a bug.
+void expect_identical(const PathTransientResult& fresh,
+                      const PathTransientResult& refilled) {
+  EXPECT_EQ(refilled.cycle_probabilities, fresh.cycle_probabilities);
+  EXPECT_EQ(refilled.discard_probability, fresh.discard_probability);
+  EXPECT_EQ(refilled.trajectory_stride, fresh.trajectory_stride);
+  ASSERT_EQ(refilled.goal_trajectory.size(), fresh.goal_trajectory.size());
+  for (std::size_t k = 0; k < fresh.goal_trajectory.size(); ++k)
+    EXPECT_EQ(refilled.goal_trajectory[k], fresh.goal_trajectory[k]);
+  EXPECT_EQ(refilled.expected_transmissions, fresh.expected_transmissions);
+  EXPECT_EQ(refilled.expected_transmissions_per_hop,
+            fresh.expected_transmissions_per_hop);
+  EXPECT_EQ(refilled.expected_transmissions_delivered,
+            fresh.expected_transmissions_delivered);
+}
+
+void expect_refill_matches_fresh(const PathModelConfig& config,
+                                 const std::vector<double>& availabilities) {
+  const PathModel model(config);
+  const PathModelSkeleton skeleton(config);
+  const SteadyStateLinks links{availabilities};
+  SolveWorkspace workspace;
+  PathTransientResult refilled;
+  for (const TransientKernel kernel :
+       {TransientKernel::kPerSlot, TransientKernel::kSuperframeProduct}) {
+    PathAnalysisOptions options;
+    options.kernel = kernel;
+    const PathTransientResult fresh = model.analyze(links, options);
+    // Cold pass primes the workspace; the warm pass reuses it — both
+    // must match the fresh build exactly.
+    skeleton.analyze_into(links, options, workspace, refilled);
+    expect_identical(fresh, refilled);
+    skeleton.analyze_into(links, options, workspace, refilled);
+    expect_identical(fresh, refilled);
+  }
+}
+
+TEST(PathSkeleton, RefillMatchesFreshAcrossScenarioCorpus) {
+  const verify::ScenarioGenerator generator;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const verify::Scenario scenario = generator.generate(seed);
+    for (std::size_t p = 0; p < scenario.path_count(); ++p) {
+      SCOPED_TRACE("path " + std::to_string(p));
+      expect_refill_matches_fresh(scenario.path_config(p),
+                                  scenario.hop_availabilities(p));
+    }
+  }
+}
+
+TEST(PathSkeleton, WarmWorkspaceSurvivesChangingAvailabilities) {
+  PathModelConfig config;
+  config.hop_slots = {2, 5, 7};
+  config.superframe = net::SuperframeConfig::symmetric(9);
+  config.reporting_interval = 4;
+  const PathModel model(config);
+  const PathModelSkeleton skeleton(config);
+  SolveWorkspace workspace;  // shared across every point below
+  PathTransientResult refilled;
+  for (const TransientKernel kernel :
+       {TransientKernel::kPerSlot, TransientKernel::kSuperframeProduct}) {
+    PathAnalysisOptions options;
+    options.kernel = kernel;
+    for (const double availability : {0.55, 0.7, 0.83, 0.91, 0.99}) {
+      const SteadyStateLinks links(config.hop_count(),
+                                   link::LinkModel::from_availability(
+                                       availability));
+      skeleton.analyze_into(links, options, workspace, refilled);
+      expect_identical(model.analyze(links, options), refilled);
+    }
+  }
+}
+
+TEST(PathSkeleton, DegenerateProbabilitiesFallBackBitwiseEqual) {
+  // ps of 0 or 1 changes the captured sparsity pattern, so analyze_into
+  // must detect it and fall back to a fresh solve — still bitwise equal.
+  PathModelConfig config;
+  config.hop_slots = {1, 3};
+  config.superframe = net::SuperframeConfig::symmetric(5);
+  config.reporting_interval = 3;
+  expect_refill_matches_fresh(config, {0.0, 0.7});
+  expect_refill_matches_fresh(config, {1.0, 1.0});
+  expect_refill_matches_fresh(config, {0.8, 0.0});
+}
+
+TEST(PathSkeleton, FingerprintIgnoresAvailabilitiesButNotShape) {
+  PathModelConfig config;
+  config.hop_slots = {1, 2, 4};
+  config.superframe = net::SuperframeConfig::symmetric(6);
+  config.reporting_interval = 3;
+
+  const std::string shape = PathAnalysisCache::skeleton_fingerprint(
+      config, TransientKernel::kSuperframeProduct);
+
+  // Same shape, any availabilities: the skeleton part is identical.
+  EXPECT_EQ(shape, PathAnalysisCache::skeleton_fingerprint(
+                       config, TransientKernel::kSuperframeProduct));
+
+  // The kernel is part of the shape (kernels agree only to rounding).
+  EXPECT_NE(shape, PathAnalysisCache::skeleton_fingerprint(
+                       config, TransientKernel::kPerSlot));
+
+  // Any symbolic-phase input changes it.
+  PathModelConfig other = config;
+  other.reporting_interval = 4;
+  EXPECT_NE(shape, PathAnalysisCache::skeleton_fingerprint(
+                       other, TransientKernel::kSuperframeProduct));
+  other = config;
+  other.hop_slots = {1, 2, 5};
+  EXPECT_NE(shape, PathAnalysisCache::skeleton_fingerprint(
+                       other, TransientKernel::kSuperframeProduct));
+  other = config;
+  other.superframe = net::SuperframeConfig::symmetric(7);
+  EXPECT_NE(shape, PathAnalysisCache::skeleton_fingerprint(
+                       other, TransientKernel::kSuperframeProduct));
+  other = config;
+  other.ttl = 10;
+  EXPECT_NE(shape, PathAnalysisCache::skeleton_fingerprint(
+                       other, TransientKernel::kSuperframeProduct));
+}
+
+TEST(PathSkeleton, ValueFingerprintExtendsSkeletonFingerprint) {
+  // hop_slots starting at 1 are already canonical, so the full value
+  // fingerprint must begin with the shape-only prefix and differ only in
+  // the appended availability bits.
+  PathModelConfig config;
+  config.hop_slots = {1, 2, 3};
+  config.superframe = net::SuperframeConfig::symmetric(5);
+  config.reporting_interval = 2;
+  const std::string shape = PathAnalysisCache::skeleton_fingerprint(
+      config, TransientKernel::kPerSlot);
+  const std::string low = PathAnalysisCache::fingerprint(
+      config, {0.7, 0.8, 0.9}, TransientKernel::kPerSlot);
+  const std::string high = PathAnalysisCache::fingerprint(
+      config, {0.9, 0.9, 0.9}, TransientKernel::kPerSlot);
+  ASSERT_GT(low.size(), shape.size());
+  EXPECT_EQ(low.substr(0, shape.size()), shape);
+  EXPECT_EQ(high.substr(0, shape.size()), shape);
+  EXPECT_NE(low, high);  // availabilities live in the value part
+}
+
+TEST(PathSkeleton, StaleInjectionBreaksBitwiseEquality) {
+  // The stale-skeleton-value fault must actually perturb the refill —
+  // otherwise the oracle's fifth leg (and its WILL_FAIL self-test)
+  // verifies nothing.
+  PathModelConfig config;
+  config.hop_slots = {1, 2, 3};
+  config.superframe = net::SuperframeConfig::symmetric(5);
+  config.reporting_interval = 3;
+  const PathModel model(config);
+  const PathModelSkeleton skeleton(config);
+  const SteadyStateLinks links{std::vector<double>{0.8, 0.85, 0.9}};
+  PathAnalysisOptions options;
+  options.kernel = TransientKernel::kSuperframeProduct;
+  const PathTransientResult fresh = model.analyze(links, options);
+
+  PathAnalysisOptions stale = options;
+  stale.inject_stale_skeleton = 1e-6;
+  SolveWorkspace workspace;
+  PathTransientResult refilled;
+  skeleton.analyze_into(links, stale, workspace, refilled);
+  EXPECT_NE(fresh.cycle_probabilities, refilled.cycle_probabilities);
+}
+
+}  // namespace
+}  // namespace whart::hart

@@ -1,0 +1,158 @@
+// Workspace pooling under the parallel engine (DESIGN.md §12): the
+// WorkspacePool leases, the pooled skeleton sweeps and the
+// skeleton-sharing network analysis must all be thread-count invariant
+// and bitwise equal to the fresh-build paths.  Lives in test_parallel so
+// the TSan CI job covers every lease/release and shared-skeleton read.
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "whart/common/parallel.hpp"
+#include "whart/hart/network_analysis.hpp"
+#include "whart/hart/sweep.hpp"
+#include "whart/net/typical_network.hpp"
+
+namespace whart::hart {
+namespace {
+
+TEST(WorkspacePool, SequentialLeasesReuseOneWorkspace) {
+  common::WorkspacePool<int> pool;
+  EXPECT_EQ(pool.created(), 0u);
+  int* first = nullptr;
+  {
+    auto lease = pool.acquire();
+    *lease = 41;
+    first = &*lease;
+  }
+  EXPECT_EQ(pool.created(), 1u);
+  {
+    auto lease = pool.acquire();
+    // The idle workspace comes back, warm state intact.
+    EXPECT_EQ(&*lease, first);
+    EXPECT_EQ(*lease, 41);
+  }
+  EXPECT_EQ(pool.created(), 1u);
+}
+
+TEST(WorkspacePool, GrowsToPeakConcurrentLeases) {
+  common::WorkspacePool<int> pool;
+  {
+    auto a = pool.acquire();
+    auto b = pool.acquire();
+    auto c = pool.acquire();
+    EXPECT_EQ(pool.created(), 3u);
+  }
+  // All three returned; further sequential traffic creates nothing new.
+  for (int i = 0; i < 8; ++i) auto lease = pool.acquire();
+  EXPECT_EQ(pool.created(), 3u);
+}
+
+TEST(WorkspacePool, MovedLeaseReleasesExactlyOnce) {
+  common::WorkspacePool<int> pool;
+  {
+    auto a = pool.acquire();
+    auto b = std::move(a);
+    *b = 7;
+    auto c = pool.acquire();  // a must not have returned its workspace
+    EXPECT_EQ(pool.created(), 2u);
+    c = std::move(b);  // c's workspace goes back, b's transfers in
+    EXPECT_EQ(*c, 7);
+  }
+  EXPECT_EQ(pool.created(), 2u);
+}
+
+PathModelConfig sweep_config() {
+  PathModelConfig config;
+  config.hop_slots = {1, 2, 3, 5};
+  config.superframe = net::SuperframeConfig::symmetric(8);
+  config.reporting_interval = 4;
+  return config;
+}
+
+void expect_identical(const SweepSeries& a, const SweepSeries& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].parameter, b.points[i].parameter);
+    EXPECT_EQ(a.points[i].measures.reachability,
+              b.points[i].measures.reachability);
+    EXPECT_EQ(a.points[i].measures.expected_delay_ms,
+              b.points[i].measures.expected_delay_ms);
+    EXPECT_EQ(a.points[i].measures.delay_jitter_ms,
+              b.points[i].measures.delay_jitter_ms);
+    EXPECT_EQ(a.points[i].measures.utilization,
+              b.points[i].measures.utilization);
+    EXPECT_EQ(a.points[i].measures.cycle_probabilities,
+              b.points[i].measures.cycle_probabilities);
+  }
+}
+
+TEST(SkeletonPool, PooledSweepIsThreadCountInvariantAndMatchesFresh) {
+  const PathModelConfig config = sweep_config();
+  const std::vector<double> grid = linspace(0.6, 0.99, 33);
+  for (const TransientKernel kernel :
+       {TransientKernel::kPerSlot, TransientKernel::kSuperframeProduct}) {
+    // Fresh per-point builds, serial: the pre-split reference.
+    const SweepSeries fresh =
+        sweep_availability(config, grid, 1, kernel, false);
+    // Pooled refills must match it at every thread count.
+    expect_identical(sweep_availability(config, grid, 1, kernel, true),
+                     fresh);
+    expect_identical(sweep_availability(config, grid, 4, kernel, true),
+                     fresh);
+    expect_identical(sweep_availability(config, grid, 8, kernel, true),
+                     fresh);
+  }
+}
+
+TEST(SkeletonPool, PooledBerAndIntervalSweepsMatchFresh) {
+  const PathModelConfig config = sweep_config();
+  const std::vector<double> bers{1e-5, 1e-4, 5e-4, 1e-3};
+  expect_identical(
+      sweep_ber(config, bers, 4, TransientKernel::kSuperframeProduct, true),
+      sweep_ber(config, bers, 1, TransientKernel::kSuperframeProduct,
+                false));
+  const std::vector<std::uint32_t> intervals{1, 2, 4, 8};
+  expect_identical(
+      sweep_reporting_interval_series(
+          config, 0.83, intervals, 4,
+          TransientKernel::kSuperframeProduct, true),
+      sweep_reporting_interval_series(
+          config, 0.83, intervals, 1,
+          TransientKernel::kSuperframeProduct, false));
+}
+
+TEST(SkeletonPool, SharedSkeletonNetworkAnalysisMatchesFresh) {
+  const net::TypicalNetwork t = net::make_typical_network();
+  AnalysisOptions fresh_options;
+  fresh_options.threads = 1;
+  fresh_options.use_cache = false;
+  fresh_options.reuse_skeleton = false;
+  const NetworkMeasures fresh = analyze_network(
+      t.network, t.paths, t.eta_a, t.superframe, 4, fresh_options);
+
+  for (const unsigned threads : {1u, 4u}) {
+    AnalysisOptions options;
+    options.threads = threads;
+    options.use_cache = false;
+    options.reuse_skeleton = true;  // paths sharing a shape share a skeleton
+    const NetworkMeasures pooled = analyze_network(
+        t.network, t.paths, t.eta_a, t.superframe, 4, options);
+    ASSERT_EQ(pooled.per_path.size(), fresh.per_path.size());
+    for (std::size_t p = 0; p < fresh.per_path.size(); ++p) {
+      EXPECT_EQ(pooled.per_path[p].reachability,
+                fresh.per_path[p].reachability);
+      EXPECT_EQ(pooled.per_path[p].expected_delay_ms,
+                fresh.per_path[p].expected_delay_ms);
+      EXPECT_EQ(pooled.per_path[p].utilization,
+                fresh.per_path[p].utilization);
+      EXPECT_EQ(pooled.per_path[p].cycle_probabilities,
+                fresh.per_path[p].cycle_probabilities);
+    }
+    EXPECT_EQ(pooled.mean_delay_ms, fresh.mean_delay_ms);
+    EXPECT_EQ(pooled.network_utilization, fresh.network_utilization);
+  }
+}
+
+}  // namespace
+}  // namespace whart::hart

@@ -26,6 +26,27 @@ TEST(Linspace, EvenSpacingWithExactEndpoints) {
   EXPECT_THROW(linspace(0.0, 1.0, 1), precondition_error);
 }
 
+TEST(Linspace, CountTwoIsExactlyTheEndpoints) {
+  const auto v = linspace(0.3, 0.7, 2);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], 0.3);
+  EXPECT_DOUBLE_EQ(v[1], 0.7);
+}
+
+TEST(Linspace, DegenerateRangeRepeatsTheValue) {
+  const auto v = linspace(0.83, 0.83, 5);
+  ASSERT_EQ(v.size(), 5u);
+  for (const double x : v) EXPECT_DOUBLE_EQ(x, 0.83);
+}
+
+TEST(Linspace, DescendingRangeDescendsWithExactEndpoints) {
+  const auto v = linspace(0.99, 0.65, 18);
+  ASSERT_EQ(v.size(), 18u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.99);
+  EXPECT_DOUBLE_EQ(v.back(), 0.65);
+  for (std::size_t i = 1; i < v.size(); ++i) EXPECT_LT(v[i], v[i - 1]);
+}
+
 TEST(SweepAvailability, ReachabilityIsMonotone) {
   const SweepSeries series =
       sweep_availability(example_config(), linspace(0.65, 0.95, 13));
@@ -81,6 +102,36 @@ TEST(SweepCsv, HeaderAndRowCount) {
   std::size_t rows = 0;
   for (std::string line; std::getline(lines, line);) ++rows;
   EXPECT_EQ(rows, 2u);
+}
+
+TEST(SweepCsv, GoldenOutputForHandBuiltSeries) {
+  // Hand-built measures pin the exact byte-for-byte format (std::to_string
+  // fixed six-decimal fields, '\n' terminators, no quoting).
+  SweepSeries series;
+  series.parameter_name = "availability";
+  SweepPoint point;
+  point.parameter = 0.5;
+  point.measures.reachability = 0.875;
+  point.measures.expected_delay_ms = 120.0;
+  point.measures.delay_jitter_ms = 35.25;
+  point.measures.utilization = 0.125;
+  point.measures.utilization_delivered = 0.0625;
+  series.points.push_back(point);
+  point.parameter = 0.75;
+  point.measures.reachability = 1.0;
+  point.measures.expected_delay_ms = 80.5;
+  point.measures.delay_jitter_ms = 0.0;
+  point.measures.utilization = 0.25;
+  point.measures.utilization_delivered = 0.25;
+  series.points.push_back(point);
+
+  std::ostringstream out;
+  write_series_csv(out, series);
+  EXPECT_EQ(out.str(),
+            "availability,reachability,expected_delay_ms,delay_jitter_ms,"
+            "utilization,utilization_delivered\n"
+            "0.500000,0.875000,120.000000,35.250000,0.125000,0.062500\n"
+            "0.750000,1.000000,80.500000,0.000000,0.250000,0.250000\n");
 }
 
 TEST(SweepValidation, EmptyInputsThrow) {

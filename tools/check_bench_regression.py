@@ -16,6 +16,12 @@ the superframe-product kernel beats the per-slot recursion by at least
     tools/check_bench_regression.py --current out.json \
         --require-speedup 'BM_TypicalNetworkSolve/64/0:BM_TypicalNetworkSolve/64/1:5.0'
 
+and bound a benchmark's user counter — e.g. that the skeleton refill
+steady state allocates zero bytes:
+
+    tools/check_bench_regression.py --current out.json \
+        --require-counter-max 'BM_RefillSteadyState:steady_state_bytes:0'
+
 Stdlib only; no third-party packages.
 """
 
@@ -51,6 +57,23 @@ def load_benchmarks(path: str) -> dict[str, float]:
     return times
 
 
+def load_counter(path: str, bench_name: str, counter: str) -> float | None:
+    """A user counter of one benchmark (google-benchmark emits user
+    counters as top-level keys of each benchmark entry).  Prefers the
+    non-aggregate entry; falls back to the `_mean` aggregate."""
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    fallback = None
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("name", "")
+        if name == bench_name and counter in bench:
+            if bench.get("run_type") != "aggregate":
+                return float(bench[counter])
+        if name == bench_name + "_mean" and counter in bench:
+            fallback = float(bench[counter])
+    return fallback
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", help="committed google-benchmark JSON")
@@ -70,6 +93,10 @@ def main() -> int:
                         metavar="SLOW:FAST:RATIO",
                         help="assert cpu_time(SLOW)/cpu_time(FAST) >= RATIO "
                              "within the current run (repeatable)")
+    parser.add_argument("--require-counter-max", action="append", default=[],
+                        metavar="NAME:COUNTER:MAX",
+                        help="assert user counter COUNTER of benchmark NAME "
+                             "is <= MAX in the current run (repeatable)")
     args = parser.parse_args()
 
     current = load_benchmarks(args.current)
@@ -91,6 +118,24 @@ def main() -> int:
         line = (f"speedup {slow_name} / {fast_name}: {achieved:.2f}x "
                 f"(required {required:.2f}x)")
         if achieved < required:
+            failures.append(line)
+        else:
+            print(f"ok: {line}")
+
+    for spec in args.require_counter_max:
+        try:
+            bench_name, counter, max_text = spec.rsplit(":", 2)
+            maximum = float(max_text)
+        except ValueError:
+            parser.error(f"bad --require-counter-max spec: {spec!r}")
+        value = load_counter(args.current, bench_name, counter)
+        if value is None:
+            failures.append(f"counter {spec}: benchmark or counter missing "
+                            f"from {args.current}")
+            continue
+        line = (f"counter {bench_name}[{counter}] = {value:g} "
+                f"(max {maximum:g})")
+        if value > maximum:
             failures.append(line)
         else:
             print(f"ok: {line}")
