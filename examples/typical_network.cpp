@@ -4,15 +4,18 @@
 //
 // Optional flags: --metrics=<file> dumps the metrics-registry snapshot
 // as JSON; --trace=<file> records spans and dumps Chrome trace_event
-// JSON.  Without flags the behaviour is unchanged.
+// JSON; --obs-dir=<dir> writes the full five-artifact observability
+// bundle.  Without flags the behaviour is unchanged.
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "whart/common/obs.hpp"
 #include "whart/hart/network_analysis.hpp"
 #include "whart/net/typical_network.hpp"
 #include "whart/report/metrics_export.hpp"
+#include "whart/report/obs_dir.hpp"
 #include "whart/report/table.hpp"
 #include "whart/sim/simulator.hpp"
 
@@ -22,15 +25,18 @@ int main(int argc, char** argv) {
 
   std::string metrics_path;
   std::string trace_path;
+  std::string obs_dir;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--metrics=", 0) == 0)
       metrics_path = arg.substr(10);
     else if (arg.rfind("--trace=", 0) == 0)
       trace_path = arg.substr(8);
+    else if (arg.rfind("--obs-dir=", 0) == 0)
+      obs_dir = arg.substr(10);
     else {
       std::cerr << "usage: typical_network [--metrics=<file>] "
-                   "[--trace=<file>]\n";
+                   "[--trace=<file>] [--obs-dir=<dir>]\n";
       return 2;
     }
   }
@@ -38,6 +44,9 @@ int main(int argc, char** argv) {
     common::obs::set_trace_enabled(true);
     common::obs::TraceCollector::instance().clear();
   }
+  std::unique_ptr<report::ObsDirSession> obs_session;
+  if (!obs_dir.empty())
+    obs_session = std::make_unique<report::ObsDirSession>(obs_dir);
 
   const net::TypicalNetwork plant =
       net::make_typical_network(link::LinkModel::from_ber(2e-4));
@@ -117,5 +126,6 @@ int main(int argc, char** argv) {
         file, common::obs::TraceCollector::instance().events());
     std::cout << "wrote Chrome trace to " << trace_path << "\n";
   }
+  if (obs_session) obs_session->finish();
   return 0;
 }

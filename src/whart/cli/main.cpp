@@ -29,9 +29,15 @@
 //   --trace[=<file>]     record trace spans and dump Chrome trace_event
 //                        JSON (default file: whart_trace.json); also
 //                        prints the aggregate span table
+//   --obs-dir=<dir>      full observability bundle: enables metrics,
+//                        tracing, the flight recorder and a background
+//                        sampler, then writes metrics.json, trace.json,
+//                        events.jsonl, metrics.prom and timeseries.csv
+//                        into <dir> (created if missing)
 #include <cmath>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "whart/cli/spec_parser.hpp"
@@ -44,6 +50,7 @@
 #include "whart/report/csv.hpp"
 #include "whart/report/histogram.hpp"
 #include "whart/report/metrics_export.hpp"
+#include "whart/report/obs_dir.hpp"
 #include "whart/report/table.hpp"
 #include "whart/sim/simulator.hpp"
 
@@ -61,6 +68,7 @@ struct Options {
   std::uint64_t shards = 0;  // 0 = simulator default
   std::string metrics_path;
   std::string trace_path;
+  std::string obs_dir;
   whart::hart::TransientKernel kernel =
       whart::hart::TransientKernel::kPerSlot;
   bool reuse_skeleton = true;
@@ -72,7 +80,8 @@ int usage() {
                "[--stability <targetR>] [--csv <file>] [--sweep <file>] "
                "[--shards <n>] [--kernel per-slot|superframe] "
                "[--reuse-skeleton|--no-reuse-skeleton] "
-               "[--metrics[=<file>]] [--trace[=<file>]]\n";
+               "[--metrics[=<file>]] [--trace[=<file>]] "
+               "[--obs-dir=<dir>]\n";
   return 2;
 }
 
@@ -332,6 +341,8 @@ int main(int argc, char** argv) {
       options.trace_path = "whart_trace.json";
     else if (arg.rfind("--trace=", 0) == 0)
       options.trace_path = arg.substr(8);
+    else if (arg.rfind("--obs-dir=", 0) == 0)
+      options.obs_dir = arg.substr(10);
     else
       return usage();
   }
@@ -341,6 +352,14 @@ int main(int argc, char** argv) {
   }
 
   try {
+    // The bundle session turns every surface on before the analysis and
+    // writes the five artifacts when it goes out of scope (or earlier,
+    // at the explicit finish() below).
+    std::unique_ptr<whart::report::ObsDirSession> obs_session;
+    if (!options.obs_dir.empty())
+      obs_session =
+          std::make_unique<whart::report::ObsDirSession>(options.obs_dir);
+
     whart::cli::ParsedSpec spec;
     if (source == "--typical") {
       whart::net::TypicalNetwork typical = whart::net::make_typical_network();
@@ -361,6 +380,7 @@ int main(int argc, char** argv) {
     if (options.interval_override > 0)
       spec.reporting_interval = options.interval_override;
     print_analysis(spec, options);
+    if (obs_session) obs_session->finish();
     write_observability(options);
     return 0;
   } catch (const std::exception& error) {

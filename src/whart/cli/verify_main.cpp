@@ -23,16 +23,21 @@
 //                        harness must then FAIL)
 //   --metrics[=<file>]   dump the obs metrics snapshot as JSON
 //                        (default file: whart_verify_metrics.json)
+//   --obs-dir=<dir>      full observability bundle (metrics.json,
+//                        trace.json, events.jsonl, metrics.prom,
+//                        timeseries.csv) written into <dir>
 //
 // Exit status: 0 when every scenario passes, 1 on any finding, 2 on
 // usage errors.  Reproduce any reported failure with --seed <seed>
 // --runs 1.
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "whart/common/obs.hpp"
 #include "whart/report/metrics_export.hpp"
+#include "whart/report/obs_dir.hpp"
 #include "whart/verify/runner.hpp"
 
 namespace {
@@ -43,7 +48,7 @@ int usage() {
                "[--intervals <n>] [--shards <n>] [--threads <n>] "
                "[--inject link-bias|discard-leak|cycle-shift|product-entry|"
                "stale-skeleton-value] "
-               "[--metrics[=<file>]]\n";
+               "[--metrics[=<file>]] [--obs-dir=<dir>]\n";
   return 2;
 }
 
@@ -52,6 +57,7 @@ int usage() {
 int main(int argc, char** argv) {
   whart::verify::VerifyConfig config;
   std::string metrics_path;
+  std::string obs_dir;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -110,6 +116,8 @@ int main(int argc, char** argv) {
         metrics_path = "whart_verify_metrics.json";
       } else if (arg.starts_with("--metrics=")) {
         metrics_path = arg.substr(std::string("--metrics=").size());
+      } else if (arg.starts_with("--obs-dir=")) {
+        obs_dir = arg.substr(std::string("--obs-dir=").size());
       } else {
         return usage();
       }
@@ -119,9 +127,13 @@ int main(int argc, char** argv) {
   }
 
   if (!metrics_path.empty()) whart::common::obs::set_metrics_enabled(true);
+  std::unique_ptr<whart::report::ObsDirSession> obs_session;
+  if (!obs_dir.empty())
+    obs_session = std::make_unique<whart::report::ObsDirSession>(obs_dir);
 
   const whart::verify::VerifyReport report =
       whart::verify::run_verification(config);
+  if (obs_session) obs_session->finish();
 
   std::cout << "scenarios: " << report.scenarios_run << " ("
             << report.corpus_replayed << " from corpus), simulated "

@@ -23,6 +23,12 @@ class invariant_error : public std::logic_error {
 
 namespace detail {
 
+/// Defined in common/obs.cpp: hands the failure to the flight recorder,
+/// which dumps its last-N-events context (JSONL) to the configured
+/// crash-dump path before the exception unwinds.  Best-effort and
+/// noexcept — it can never mask the contract violation itself.
+void notify_contract_failure(const char* what) noexcept;
+
 [[noreturn]] inline void contract_failure(const char* kind, const char* expr,
                                           const std::string& message,
                                           const std::source_location& loc) {
@@ -32,6 +38,7 @@ namespace detail {
   what += loc.file_name();
   what += ':';
   what += std::to_string(loc.line());
+  notify_contract_failure(what.c_str());
   if (kind[0] == 'p') throw precondition_error(what);
   throw invariant_error(what);
 }

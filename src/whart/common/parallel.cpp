@@ -68,15 +68,24 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
-  std::size_t depth = 0;
+  // Capture the submitting thread's causality (span + request id) and
+  // start a flow arrow; the wrapped task re-establishes it in the
+  // worker.  Inert — and the task left unwrapped — when tracing is off.
+  const obs::TaskLink link = obs::TaskLink::begin();
+  WHART_EVENT(kTaskSubmit, "parallel.pool", link.flow_id(), 0);
+  if (link.active()) {
+    task = [link, inner = std::move(task)] {
+      const obs::TaskScope scope(link);
+      inner();
+    };
+  }
   {
     const std::lock_guard lock(mutex_);
     queue_.push_back(std::move(task));
     ++in_flight_;
-    depth = queue_.size() - next_task_;
   }
   WHART_COUNT("parallel.tasks");
-  WHART_GAUGE_SET("parallel.queue.depth", depth);
+  WHART_GAUGE_ADD("parallel.queue.depth", 1);
   work_available_.notify_one();
 }
 
@@ -98,6 +107,11 @@ void ThreadPool::worker_loop() {
       if (next_task_ >= queue_.size()) return;  // stopping, queue drained
       task = std::move(queue_[next_task_++]);
     }
+    // Depth counts submitted-but-not-yet-started tasks; the inc/dec
+    // deltas are lock-free (Gauge::add) where the old set() needed the
+    // queue size under the pool mutex.
+    WHART_GAUGE_ADD("parallel.queue.depth", -1);
+    WHART_EVENT(kTaskStart, "parallel.pool", 0, 0);
     {
       WHART_TIMER("parallel.task.ns");
       task();

@@ -22,7 +22,7 @@ NetworkMeasures analyze_network(const net::Network& network,
                                 net::SuperframeConfig superframe,
                                 std::uint32_t reporting_interval,
                                 const AnalysisOptions& options) {
-  WHART_SPAN("analyze_network");
+  WHART_REQUEST_SPAN("analyze_network");
   expects(!paths.empty(), "at least one path");
   WHART_COUNT("hart.network.analyses");
   WHART_GAUGE_SET("hart.network.paths", static_cast<double>(paths.size()));

@@ -107,11 +107,13 @@ PathMeasures PathAnalysisCache::measures(
     bool reuse_skeleton) {
   expects(hop_availability.size() >= config.hop_count(),
           "one availability per hop");
-  const std::string key = fingerprint(config, hop_availability, kernel);
 
   bool found = false;
   Entry entry;
+  std::string key;
   {
+    WHART_TIMER("hart.stage.cache_lookup.ns");
+    key = fingerprint(config, hop_availability, kernel);
     const std::lock_guard lock(mutex_);
     if (const auto it = entries_.find(key); it != entries_.end()) {
       found = true;
@@ -121,9 +123,11 @@ PathMeasures PathAnalysisCache::measures(
   if (found) {
     hits_.add(1);
     WHART_COUNT("hart.path_cache.hits");
+    WHART_EVENT(kCacheHit, "hart.path_cache", config.hop_count(), 0);
   } else {
     misses_.add(1);
     WHART_COUNT("hart.path_cache.misses");
+    WHART_EVENT(kCacheMiss, "hart.path_cache", config.hop_count(), 0);
   }
 
   if (!found) {

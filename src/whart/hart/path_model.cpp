@@ -215,6 +215,7 @@ void PathModel::analyze_per_slot_into(const LinkProbabilityProvider& links,
       std::abs(1.0 - goal_mass - result.discard_probability);
   WHART_COUNT("hart.path_solve.count");
   WHART_OBSERVE("hart.path_solve.states", num_states_);
+  WHART_EVENT(kSolveDone, "hart.path_solve", num_states_, 0);
 #ifndef WHART_OBS_DISABLED
   if (timed) {
     const auto elapsed = std::chrono::steady_clock::now() - solve_start;
@@ -462,6 +463,7 @@ void PathModel::analyze_superframe_into(
   // lost, so its delivery probability is already 0); the TTL cycle runs
   // per-slot, every earlier cycle collapses through K and the product.
   {
+    WHART_TIMER("hart.stage.tail_solve.ns");
     ensure_zeroed(ws.b, dim);
     ws.b[goal] = 1.0;
     ensure_zeroed(ws.u, dim);
@@ -514,6 +516,7 @@ void PathModel::analyze_superframe_into(
   WHART_COUNT("hart.path_solve.count");
   WHART_COUNT("hart.path_solve.superframe");
   WHART_OBSERVE("hart.path_solve.states", dim);
+  WHART_EVENT(kSolveDone, "hart.path_solve", dim, 0);
 #ifndef WHART_OBS_DISABLED
   if (timed) {
     const auto elapsed = std::chrono::steady_clock::now() - solve_start;
@@ -626,6 +629,17 @@ class StaleLinks final : public LinkProbabilityProvider {
   double delta_;
 };
 
+/// Stage-attribution clock for the skeleton constructor: the symbolic
+/// build spends its time in the member-initializer list, so the start
+/// timestamp is taken while the first member initializes and the
+/// elapsed time is observed at the end of the constructor body.
+thread_local std::chrono::steady_clock::time_point g_skeleton_build_start;
+
+PathModelConfig mark_skeleton_build(PathModelConfig config) {
+  g_skeleton_build_start = std::chrono::steady_clock::now();
+  return config;
+}
+
 /// Generic-probability slot patterns: any ps strictly inside (0, 1)
 /// yields the full two-entries-per-firing-row sparsity.
 std::vector<markov::CsrPattern> capture_slot_patterns(const PathModel& model) {
@@ -642,7 +656,7 @@ std::vector<markov::CsrPattern> capture_slot_patterns(const PathModel& model) {
 }  // namespace
 
 PathModelSkeleton::PathModelSkeleton(PathModelConfig config)
-    : model_(std::move(config)),
+    : model_(mark_skeleton_build(std::move(config))),
       slot_patterns_(capture_slot_patterns(model_)),
       chain_(slot_patterns_) {
   // Provenance: for every firing uplink slot, locate the values indices
@@ -677,6 +691,12 @@ PathModelSkeleton::PathModelSkeleton(PathModelConfig config)
     provenance_.push_back(prov);
   }
   WHART_COUNT("hart.skeleton.builds");
+  WHART_OBSERVE(
+      "hart.stage.skeleton_build.ns",
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - g_skeleton_build_start)
+              .count()));
 }
 
 void PathModelSkeleton::prime(SolveWorkspace& ws) const {
@@ -730,14 +750,17 @@ void PathModelSkeleton::analyze_into(const LinkProbabilityProvider& links,
       }
     }
     if (!ws.primed || !(ws.primed_config == model_.config())) prime(ws);
-    for (const SlotProvenance& prov : provenance_) {
-      const double ps = provider.up_probability(
-          prov.hop, superframe.absolute_slot_of_uplink(prov.slot));
-      const std::span<double> values = ws.slots[prov.slot - 1].values();
-      values[prov.failure_index] = 1.0 - ps;
-      values[prov.success_index] = ps;
+    {
+      WHART_TIMER("hart.stage.refill.ns");
+      for (const SlotProvenance& prov : provenance_) {
+        const double ps = provider.up_probability(
+            prov.hop, superframe.absolute_slot_of_uplink(prov.slot));
+        const std::span<double> values = ws.slots[prov.slot - 1].values();
+        values[prov.failure_index] = 1.0 - ps;
+        values[prov.success_index] = ps;
+      }
+      chain_.refill(ws.slots, ws.chain_arena, ws.product.values());
     }
-    chain_.refill(ws.slots, ws.chain_arena, ws.product.values());
     WHART_COUNT("hart.skeleton.refills");
     model_.analyze_superframe_into(provider, ws.slots, ws.product, ws, result);
     return;

@@ -39,7 +39,7 @@ std::vector<double> expected_extra_cycles(
 net::Schedule build_min_worst_delay_schedule(
     const net::Network& network, const std::vector<net::Path>& paths,
     net::SuperframeConfig superframe, std::uint32_t reporting_interval) {
-  WHART_SPAN("schedule_optimize");
+  WHART_REQUEST_SPAN("schedule_optimize");
   expects(net::required_uplink_slots(paths) <= superframe.uplink_slots,
           "paths fit into the uplink frame");
   const std::vector<double> extra =

@@ -56,7 +56,7 @@ SweepSeries sweep_availability(const PathModelConfig& config,
                                unsigned threads, TransientKernel kernel,
                                bool reuse_skeleton) {
   expects(!availabilities.empty(), "at least one sample");
-  WHART_SPAN("sweep_availability");
+  WHART_REQUEST_SPAN("sweep_availability");
   WHART_COUNT_N("hart.sweep.points", availabilities.size());
   SweepSeries series;
   series.parameter_name = "availability";
@@ -91,7 +91,7 @@ SweepSeries sweep_ber(const PathModelConfig& config,
                       unsigned threads, TransientKernel kernel,
                       bool reuse_skeleton) {
   expects(!bit_error_rates.empty(), "at least one sample");
-  WHART_SPAN("sweep_ber");
+  WHART_REQUEST_SPAN("sweep_ber");
   WHART_COUNT_N("hart.sweep.points", bit_error_rates.size());
   SweepSeries series;
   series.parameter_name = "ber";
@@ -127,7 +127,7 @@ SweepSeries sweep_hop_count(std::uint32_t max_hops, double availability,
                             bool reuse_skeleton) {
   expects(max_hops >= 1, "max_hops >= 1");
   expects(max_hops <= superframe.uplink_slots, "hops fit in the frame");
-  WHART_SPAN("sweep_hop_count");
+  WHART_REQUEST_SPAN("sweep_hop_count");
   WHART_COUNT_N("hart.sweep.points", max_hops);
   SweepSeries series;
   series.parameter_name = "hops";
@@ -165,7 +165,7 @@ SweepSeries sweep_reporting_interval_series(
     const std::vector<std::uint32_t>& intervals, unsigned threads,
     TransientKernel kernel, bool reuse_skeleton) {
   expects(!intervals.empty(), "at least one interval");
-  WHART_SPAN("sweep_reporting_interval");
+  WHART_REQUEST_SPAN("sweep_reporting_interval");
   WHART_COUNT_N("hart.sweep.points", intervals.size());
   SweepSeries series;
   series.parameter_name = "reporting_interval";

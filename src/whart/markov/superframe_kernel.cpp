@@ -33,11 +33,13 @@ SuperframeKernel::SuperframeKernel(
 #ifndef WHART_OBS_DISABLED
   if (timed) {
     const auto elapsed = std::chrono::steady_clock::now() - build_start;
-    WHART_OBSERVE(
-        "markov.superframe.build_ns",
-        static_cast<std::uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-                .count()));
+    const auto elapsed_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count());
+    WHART_OBSERVE("markov.superframe.build_ns", elapsed_ns);
+    // Stage-attribution alias: the product build is one of the named
+    // pipeline stages reported by tools/obs_report.py.
+    WHART_OBSERVE("hart.stage.product_build.ns", elapsed_ns);
   }
 #endif
 }

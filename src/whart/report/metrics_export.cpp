@@ -1,5 +1,6 @@
 #include "whart/report/metrics_export.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <ostream>
 #include <string>
@@ -48,6 +49,9 @@ void write_histogram(std::ostream& out,
   out << "{\"count\": " << histogram.count << ", \"sum\": " << histogram.sum
       << ", \"min\": " << histogram.min << ", \"max\": " << histogram.max
       << ", \"mean\": " << json_number(histogram.mean())
+      << ", \"p50\": " << json_number(histogram.p50())
+      << ", \"p90\": " << json_number(histogram.p90())
+      << ", \"p99\": " << json_number(histogram.p99())
       << ", \"buckets\": [";
   bool first = true;
   for (const auto& bucket : histogram.buckets) {
@@ -57,6 +61,25 @@ void write_histogram(std::ostream& out,
         << ", \"count\": " << bucket.count << "}";
   }
   out << "]}";
+}
+
+/// Prometheus metric-name sanitization: `whart_` prefix, every
+/// character outside [a-zA-Z0-9_] becomes '_'.
+std::string prom_name(std::string_view name) {
+  std::string out = "whart_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const auto uc = static_cast<unsigned char>(c);
+    out += (std::isalnum(uc) != 0) ? c : '_';
+  }
+  return out;
+}
+
+/// Prometheus sample values: text format spells non-finite values out.
+std::string prom_number(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  return std::to_string(value);
 }
 
 }  // namespace
@@ -134,7 +157,10 @@ void write_metrics_json(std::ostream& out,
           << json_escape(span.name) << "\", \"count\": " << span.count
           << ", \"total_ns\": " << span.total_ns
           << ", \"min_ns\": " << span.min_ns
-          << ", \"max_ns\": " << span.max_ns << "}";
+          << ", \"max_ns\": " << span.max_ns
+          << ", \"p50_ns\": " << span.p50_ns
+          << ", \"p90_ns\": " << span.p90_ns
+          << ", \"p99_ns\": " << span.p99_ns << "}";
       first = false;
     }
     out << "\n  ]";
@@ -143,7 +169,8 @@ void write_metrics_json(std::ostream& out,
 }
 
 void write_chrome_trace_json(
-    std::ostream& out, const std::vector<common::obs::SpanRecord>& events) {
+    std::ostream& out, const std::vector<common::obs::SpanRecord>& events,
+    const std::vector<common::obs::FlowRecord>& flows) {
   out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
   bool first = true;
   for (const auto& event : events) {
@@ -154,21 +181,95 @@ void write_chrome_trace_json(
         << json_number(static_cast<double>(event.start_ns) / 1000.0)
         << ", \"dur\": "
         << json_number(static_cast<double>(event.duration_ns) / 1000.0)
-        << ", \"args\": {\"depth\": " << event.depth << "}}";
+        << ", \"args\": {\"depth\": " << event.depth;
+    if (event.span_id != 0) out << ", \"span\": " << event.span_id;
+    if (event.parent_id != 0) out << ", \"parent\": " << event.parent_id;
+    if (event.request_id != 0) out << ", \"request\": " << event.request_id;
+    if (event.flow_id != 0) out << ", \"flow\": " << event.flow_id;
+    out << "}}";
+    first = false;
+  }
+  // Cross-thread causality: one "s"/"f" pair per pool-task handoff; the
+  // flow id ties the arrow to the destination span's "flow" arg.
+  for (const auto& flow : flows) {
+    out << (first ? "\n" : ",\n") << "  {\"name\": \"task\", \"cat\": "
+        << "\"flow\", \"ph\": \"" << (flow.begin ? 's' : 'f')
+        << "\", \"pid\": 1, \"tid\": " << flow.thread_id << ", \"ts\": "
+        << json_number(static_cast<double>(flow.ts_ns) / 1000.0)
+        << ", \"id\": " << flow.flow_id;
+    if (!flow.begin) out << ", \"bp\": \"e\"";
+    out << "}";
     first = false;
   }
   out << (first ? "" : "\n") << "]}\n";
 }
 
+void write_prometheus_text(std::ostream& out,
+                           const common::obs::MetricsSnapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string prom = prom_name(name) + "_total";
+    out << "# HELP " << prom << " whart counter " << name << "\n";
+    out << "# TYPE " << prom << " counter\n";
+    out << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string prom = prom_name(name);
+    out << "# HELP " << prom << " whart gauge " << name << "\n";
+    out << "# TYPE " << prom << " gauge\n";
+    out << prom << " " << prom_number(value) << "\n";
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    const std::string prom = prom_name(name);
+    out << "# HELP " << prom << " whart histogram " << name << "\n";
+    out << "# TYPE " << prom << " summary\n";
+    out << prom << "{quantile=\"0.5\"} " << prom_number(histogram.p50())
+        << "\n";
+    out << prom << "{quantile=\"0.9\"} " << prom_number(histogram.p90())
+        << "\n";
+    out << prom << "{quantile=\"0.99\"} " << prom_number(histogram.p99())
+        << "\n";
+    out << prom << "_sum " << histogram.sum << "\n";
+    out << prom << "_count " << histogram.count << "\n";
+  }
+}
+
+void write_timeseries_csv(
+    std::ostream& out,
+    const std::vector<common::obs::TimedMetricsSnapshot>& series) {
+  out << "t_ms,name,value\n";
+  for (const auto& sample : series) {
+    const std::string t_ms =
+        Table::fixed(static_cast<double>(sample.t_ns) / 1e6, 3);
+    for (const auto& [name, value] : sample.metrics.counters)
+      out << t_ms << "," << name << "," << value << "\n";
+    for (const auto& [name, value] : sample.metrics.gauges)
+      out << t_ms << "," << name << "," << json_number(value) << "\n";
+    for (const auto& [name, histogram] : sample.metrics.histograms) {
+      out << t_ms << "," << name << ".count," << histogram.count << "\n";
+      out << t_ms << "," << name << ".mean,"
+          << json_number(histogram.mean()) << "\n";
+      out << t_ms << "," << name << ".p50," << json_number(histogram.p50())
+          << "\n";
+      out << t_ms << "," << name << ".p90," << json_number(histogram.p90())
+          << "\n";
+      out << t_ms << "," << name << ".p99," << json_number(histogram.p99())
+          << "\n";
+    }
+  }
+}
+
 void print_span_table(std::ostream& out,
                       const std::vector<common::obs::SpanAggregate>& spans) {
-  Table table({"span", "count", "total ms", "mean ms", "min ms", "max ms"});
+  Table table({"span", "count", "total ms", "mean ms", "p50 ms", "p99 ms",
+               "min ms", "max ms"});
   for (const auto& span : spans) {
     const double total_ms = static_cast<double>(span.total_ns) / 1e6;
     const double mean_ms =
         span.count > 0 ? total_ms / static_cast<double>(span.count) : 0.0;
     table.add_row({span.name, std::to_string(span.count),
                    Table::fixed(total_ms, 3), Table::fixed(mean_ms, 3),
+                   Table::fixed(static_cast<double>(span.p50_ns) / 1e6, 3),
+                   Table::fixed(static_cast<double>(span.p99_ns) / 1e6, 3),
                    Table::fixed(static_cast<double>(span.min_ns) / 1e6, 3),
                    Table::fixed(static_cast<double>(span.max_ns) / 1e6, 3)});
   }

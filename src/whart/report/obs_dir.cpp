@@ -1,0 +1,84 @@
+#include "whart/report/obs_dir.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+
+#include "whart/report/metrics_export.hpp"
+
+namespace whart::report {
+
+namespace obs = common::obs;
+
+namespace {
+
+std::ofstream open_artifact(const std::filesystem::path& dir,
+                            const char* name) {
+  const std::filesystem::path path = dir / name;
+  std::ofstream file(path);
+  if (!file)
+    throw std::runtime_error("cannot write '" + path.string() + "'");
+  return file;
+}
+
+}  // namespace
+
+ObsDirSession::ObsDirSession(std::string dir,
+                             std::chrono::milliseconds sample_interval)
+    : dir_(std::move(dir)) {
+  std::filesystem::create_directories(dir_);
+  obs::set_metrics_enabled(true);
+  obs::set_trace_enabled(true);
+  obs::set_events_enabled(true);
+  obs::TraceCollector::instance().clear();
+  obs::EventLog::instance().clear();
+  obs::set_contract_dump_path(
+      (std::filesystem::path(dir_) / "events_crash.jsonl").string());
+  sampler_ = std::make_unique<obs::Sampler>(sample_interval);
+}
+
+ObsDirSession::~ObsDirSession() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructor path: the bundle is best-effort; the analysis result
+    // already reached the caller.
+  }
+}
+
+void ObsDirSession::finish() {
+  if (finished_) return;
+  finished_ = true;
+  sampler_->stop();
+
+  const std::filesystem::path dir(dir_);
+  obs::TraceCollector& collector = obs::TraceCollector::instance();
+  const obs::MetricsSnapshot snapshot = obs::Registry::instance().snapshot();
+
+  {
+    std::ofstream file = open_artifact(dir, "metrics.json");
+    write_metrics_json(file, snapshot, collector.aggregate());
+  }
+  {
+    std::ofstream file = open_artifact(dir, "trace.json");
+    write_chrome_trace_json(file, collector.events(), collector.flows());
+  }
+  {
+    std::ofstream file = open_artifact(dir, "events.jsonl");
+    obs::EventLog::instance().write_jsonl(file);
+  }
+  {
+    std::ofstream file = open_artifact(dir, "metrics.prom");
+    write_prometheus_text(file, snapshot);
+  }
+  {
+    std::ofstream file = open_artifact(dir, "timeseries.csv");
+    write_timeseries_csv(file, sampler_->series());
+  }
+  std::cout << "wrote observability bundle (metrics.json, trace.json, "
+               "events.jsonl, metrics.prom, timeseries.csv) to "
+            << dir_ << "\n";
+}
+
+}  // namespace whart::report

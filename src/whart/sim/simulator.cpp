@@ -256,7 +256,7 @@ SimulationReport NetworkSimulator::run_shard(std::uint64_t seed,
 }
 
 SimulationReport NetworkSimulator::run() const {
-  WHART_SPAN("simulate");
+  WHART_REQUEST_SPAN("simulate");
   WHART_COUNT("sim.runs");
   WHART_COUNT_N("sim.intervals", config_.intervals);
   const std::uint64_t shards =

@@ -2,6 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "whart/common/obs.hpp"
+
 namespace whart {
 namespace {
 
@@ -49,6 +56,37 @@ TEST(Contracts, MacrosStringifyTheCondition) {
     EXPECT_NE(std::string(error.what()).find("custom detail"),
               std::string::npos);
   }
+}
+
+TEST(Contracts, FailureDumpsFlightRecorderContext) {
+  namespace obs = common::obs;
+  const bool events_before = obs::events_enabled();
+  const std::string path_before = obs::contract_dump_path();
+  const std::string dump_path =
+      testing::TempDir() + "whart_contracts_dump_test.jsonl";
+  std::remove(dump_path.c_str());
+
+  obs::set_events_enabled(true);
+  obs::EventLog::instance().clear();
+  obs::set_contract_dump_path(dump_path);
+  WHART_EVENT(kGeneric, "test.contracts.breadcrumb", 41, 42);
+  EXPECT_THROW(expects(false, "dump me"), precondition_error);
+
+  obs::set_contract_dump_path(path_before);
+  obs::set_events_enabled(events_before);
+
+  std::ifstream file(dump_path);
+  ASSERT_TRUE(file.is_open()) << dump_path;
+  std::stringstream content;
+  content << file.rdbuf();
+  const std::string text = content.str();
+  // First line names the failure; the rest is the recorder's recent
+  // context, which must include the breadcrumb recorded just before.
+  EXPECT_NE(text.find("\"kind\": \"contract_failure\""), std::string::npos);
+  EXPECT_NE(text.find("dump me"), std::string::npos);
+  EXPECT_NE(text.find("test.contracts.breadcrumb"), std::string::npos);
+  std::remove(dump_path.c_str());
+  obs::EventLog::instance().clear();
 }
 
 }  // namespace

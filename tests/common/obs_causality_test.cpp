@@ -1,0 +1,252 @@
+// Cross-thread trace causality: span ids and parent links, request-id
+// propagation through ThreadPool tasks, flow begin/end pairing, and the
+// epoch-guarded clear() that lets in-flight spans from a previous
+// epoch discard themselves instead of corrupting the fresh buffers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "whart/common/obs.hpp"
+#include "whart/common/parallel.hpp"
+
+namespace whart::common::obs {
+namespace {
+
+struct FlagGuard {
+  bool metrics = metrics_enabled();
+  bool trace = trace_enabled();
+  bool events = events_enabled();
+  ~FlagGuard() {
+    set_metrics_enabled(metrics);
+    set_trace_enabled(trace);
+    set_events_enabled(events);
+  }
+};
+
+const SpanRecord* find_span(const std::vector<SpanRecord>& spans,
+                            std::string_view name) {
+  for (const SpanRecord& s : spans)
+    if (std::string_view(s.name) == name) return &s;
+  return nullptr;
+}
+
+TEST(Causality, NestedSpansLinkParentAndShareNoRequest) {
+  FlagGuard guard;
+  TraceCollector& collector = TraceCollector::instance();
+  collector.clear();
+  set_trace_enabled(true);
+  {
+    WHART_SPAN("test_causality_outer");
+    WHART_SPAN("test_causality_inner");
+  }
+  set_trace_enabled(false);
+
+  const std::vector<SpanRecord> spans = collector.events();
+  const SpanRecord* outer = find_span(spans, "test_causality_outer");
+  const SpanRecord* inner = find_span(spans, "test_causality_inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_NE(outer->span_id, 0u);
+  EXPECT_NE(inner->span_id, 0u);
+  EXPECT_NE(outer->span_id, inner->span_id);
+  EXPECT_EQ(inner->parent_id, outer->span_id);
+  EXPECT_EQ(outer->parent_id, 0u);
+  // Plain spans do not fabricate a request id.
+  EXPECT_EQ(outer->request_id, 0u);
+  EXPECT_EQ(inner->request_id, 0u);
+  collector.clear();
+}
+
+TEST(Causality, RequestSpanAllocatesIdAndOutermostWins) {
+  FlagGuard guard;
+  TraceCollector& collector = TraceCollector::instance();
+  collector.clear();
+  set_trace_enabled(true);
+  std::uint64_t outer_id = 0;
+  std::uint64_t inner_id = 0;
+  {
+    ScopedRequestSpan outer("test_request_outer");
+    outer_id = outer.request_id();
+    {
+      ScopedRequestSpan inner("test_request_inner");
+      inner_id = inner.request_id();
+    }
+  }
+  set_trace_enabled(false);
+
+  EXPECT_NE(outer_id, 0u);
+  // A nested entry point joins the enclosing request.
+  EXPECT_EQ(inner_id, outer_id);
+
+  const std::vector<SpanRecord> spans = collector.events();
+  const SpanRecord* outer = find_span(spans, "test_request_outer");
+  const SpanRecord* inner = find_span(spans, "test_request_inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->request_id, outer_id);
+  EXPECT_EQ(inner->request_id, outer_id);
+  EXPECT_EQ(inner->parent_id, outer->span_id);
+  collector.clear();
+}
+
+TEST(Causality, RequestBeginEndReachTheFlightRecorder) {
+  FlagGuard guard;
+  EventLog& log = EventLog::instance();
+  log.clear();
+  set_trace_enabled(false);
+  set_events_enabled(true);
+  std::uint64_t id = 0;
+  {
+    ScopedRequestSpan request("test_request_events");
+    id = request.request_id();
+  }
+  EXPECT_NE(id, 0u);
+  bool saw_begin = false;
+  bool saw_end = false;
+  for (const EventRecord& e : log.events()) {
+    if (e.kind == EventKind::kRequestBegin && e.payload0 == id)
+      saw_begin = true;
+    if (e.kind == EventKind::kRequestEnd && e.payload0 == id) saw_end = true;
+  }
+  EXPECT_TRUE(saw_begin);
+  EXPECT_TRUE(saw_end);
+  log.clear();
+}
+
+TEST(Causality, PoolTasksCarryFlowAndRequestAcrossThreads) {
+  FlagGuard guard;
+  TraceCollector& collector = TraceCollector::instance();
+  collector.clear();
+  set_trace_enabled(true);
+
+  constexpr std::size_t kTasks = 16;
+  std::uint64_t request_id = 0;
+  {
+    ScopedRequestSpan request("test_request_pool");
+    request_id = request.request_id();
+    parallel_for(
+        kTasks, [](std::size_t) { WHART_SPAN("test_pool_body"); }, 4);
+  }
+  set_trace_enabled(false);
+
+  const std::vector<SpanRecord> spans = collector.events();
+  const std::vector<FlowRecord> flows = collector.flows();
+
+  // Every pool_task span carries a flow id with a begin/end pair, and
+  // inherits the submitting request.
+  std::size_t pool_tasks = 0;
+  for (const SpanRecord& s : spans) {
+    if (std::string_view(s.name) != "pool_task") continue;
+    ++pool_tasks;
+    EXPECT_NE(s.flow_id, 0u);
+    EXPECT_EQ(s.request_id, request_id);
+    EXPECT_NE(s.parent_id, 0u);
+    bool has_begin = false;
+    bool has_end = false;
+    for (const FlowRecord& f : flows) {
+      if (f.flow_id != s.flow_id) continue;
+      if (f.begin)
+        has_begin = true;
+      else
+        has_end = true;
+    }
+    EXPECT_TRUE(has_begin) << "flow " << s.flow_id;
+    EXPECT_TRUE(has_end) << "flow " << s.flow_id;
+  }
+  // parallel_for may run serially when the pool width is 1; with an
+  // explicit width of 4 the pool always engages.
+  EXPECT_GT(pool_tasks, 0u);
+
+  // The worker-side body spans parent to their pool_task span and keep
+  // the request id.
+  for (const SpanRecord& s : spans) {
+    if (std::string_view(s.name) != "test_pool_body") continue;
+    EXPECT_EQ(s.request_id, request_id);
+    const auto parent = std::find_if(
+        spans.begin(), spans.end(),
+        [&](const SpanRecord& p) { return p.span_id == s.parent_id; });
+    ASSERT_NE(parent, spans.end());
+    EXPECT_EQ(std::string_view(parent->name), "pool_task");
+  }
+  collector.clear();
+}
+
+TEST(Causality, ClearDiscardsSpansFromThePreviousEpoch) {
+  FlagGuard guard;
+  TraceCollector& collector = TraceCollector::instance();
+  collector.clear();
+  set_trace_enabled(true);
+  {
+    WHART_SPAN("test_epoch_stale");
+    // The collector is cleared while this span is open: the span was
+    // stamped with the previous epoch and must drop itself at close.
+    collector.clear();
+    WHART_SPAN("test_epoch_fresh_inner");
+  }
+  {
+    WHART_SPAN("test_epoch_fresh");
+  }
+  set_trace_enabled(false);
+
+  const std::vector<SpanRecord> spans = collector.events();
+  EXPECT_EQ(find_span(spans, "test_epoch_stale"), nullptr);
+  ASSERT_NE(find_span(spans, "test_epoch_fresh"), nullptr);
+  // A span opened after the clear records normally even while a stale
+  // span is still on the stack.
+  EXPECT_NE(find_span(spans, "test_epoch_fresh_inner"), nullptr);
+  collector.clear();
+}
+
+// TSan-covered: clear() racing pool workers that are opening/closing
+// spans and task links must stay data-race free, and post-clear state
+// must be consistent (no stale records, depth balanced).
+TEST(Causality, ClearRacingPoolWorkersIsSafe) {
+  FlagGuard guard;
+  TraceCollector& collector = TraceCollector::instance();
+  collector.clear();
+  set_trace_enabled(true);
+
+  std::atomic<bool> stop{false};
+  std::thread clearer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      collector.clear();
+      std::this_thread::yield();
+    }
+  });
+  for (int round = 0; round < 20; ++round) {
+    parallel_for(
+        64, [](std::size_t) { WHART_SPAN("test_epoch_race"); }, 4);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  clearer.join();
+  set_trace_enabled(false);
+
+  // Whatever survived must be well-formed records from the last epoch.
+  for (const SpanRecord& s : collector.events()) {
+    EXPECT_NE(s.name, nullptr);
+    EXPECT_NE(s.span_id, 0u);
+  }
+  collector.clear();
+  EXPECT_TRUE(collector.events().empty());
+  EXPECT_TRUE(collector.flows().empty());
+}
+
+TEST(Causality, TaskLinkInertWhenTracingDisabled) {
+  FlagGuard guard;
+  set_trace_enabled(false);
+  const TaskLink link = TaskLink::begin();
+  EXPECT_FALSE(link.active());
+  EXPECT_EQ(link.flow_id(), 0u);
+  // A TaskScope over an inert link is a no-op.
+  const TaskScope scope(link);
+  EXPECT_EQ(current_trace_context().span_id, 0u);
+}
+
+}  // namespace
+}  // namespace whart::common::obs

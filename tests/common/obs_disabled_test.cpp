@@ -26,7 +26,10 @@ TEST(ObsDisabled, MacrosCompileToNoOpsAndNeverEvaluateArguments) {
   WHART_COUNT("disabled.counter");
   WHART_COUNT_N("disabled.counter", count_me());
   WHART_GAUGE_SET("disabled.gauge", count_me());
+  WHART_GAUGE_ADD("disabled.gauge", count_me());
   WHART_OBSERVE("disabled.hist", count_me());
+  WHART_REQUEST_SPAN("disabled_request");
+  WHART_EVENT(kGeneric, "disabled.event", count_me(), count_me());
   EXPECT_EQ(evaluations, 0);
 }
 
@@ -37,6 +40,10 @@ TEST(ObsDisabled, MacrosAreStatementSafe) {
   else
     WHART_COUNT("disabled.other_branch");
   for (int i = 0; i < 2; ++i) WHART_COUNT_N("disabled.loop", i);
+  if (true)
+    WHART_EVENT(kGeneric, "disabled.branch_event", 1, 2);
+  else
+    WHART_GAUGE_ADD("disabled.branch_gauge", 1.0);
   SUCCEED();
 }
 

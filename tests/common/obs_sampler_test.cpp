@@ -1,0 +1,86 @@
+// The continuous metrics surface: the background Sampler's start/stop
+// samples, interval ticks, ring capacity bound and monotonic
+// timestamps.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "whart/common/obs.hpp"
+
+namespace whart::common::obs {
+namespace {
+
+struct FlagGuard {
+  bool metrics = metrics_enabled();
+  bool trace = trace_enabled();
+  bool events = events_enabled();
+  ~FlagGuard() {
+    set_metrics_enabled(metrics);
+    set_trace_enabled(trace);
+    set_events_enabled(events);
+  }
+};
+
+TEST(SamplerTest, ShortRunStillYieldsStartAndStopSamples) {
+  FlagGuard guard;
+  set_metrics_enabled(true);
+  Sampler sampler(std::chrono::milliseconds(10'000));
+  sampler.stop();
+  const std::vector<TimedMetricsSnapshot> series = sampler.series();
+  // One sample at start, one at stop — even though no interval elapsed.
+  ASSERT_GE(series.size(), 2u);
+  EXPECT_LE(series.front().t_ns, series.back().t_ns);
+}
+
+TEST(SamplerTest, TicksAccumulateAndSnapshotsSeeTheRegistry) {
+  FlagGuard guard;
+  set_metrics_enabled(true);
+  Registry::instance().counter("test.obs.sampler.counter").reset();
+
+  Sampler sampler(std::chrono::milliseconds(5));
+  WHART_COUNT("test.obs.sampler.counter");
+  // Wait for at least one interval tick past the start sample.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (sampler.samples() < 2 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  sampler.stop();
+
+  const std::vector<TimedMetricsSnapshot> series = sampler.series();
+  ASSERT_GE(series.size(), 2u);
+  for (std::size_t i = 1; i < series.size(); ++i)
+    EXPECT_GE(series[i].t_ns, series[i - 1].t_ns);
+  // The final (stop) sample observes the counter bumped after start.
+  const auto& last = series.back().metrics;
+  ASSERT_TRUE(last.counters.contains("test.obs.sampler.counter"));
+  EXPECT_EQ(last.counters.at("test.obs.sampler.counter"), 1u);
+}
+
+TEST(SamplerTest, RingIsBoundedByCapacity) {
+  FlagGuard guard;
+  set_metrics_enabled(true);
+  Sampler sampler(std::chrono::milliseconds(1), /*capacity=*/4);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (sampler.samples() < 10 && std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  sampler.stop();
+  EXPECT_LE(sampler.series().size(), 4u);
+  EXPECT_GE(sampler.samples(), 10u);
+}
+
+TEST(SamplerTest, StopIsIdempotent) {
+  FlagGuard guard;
+  set_metrics_enabled(true);
+  Sampler sampler(std::chrono::milliseconds(50));
+  sampler.stop();
+  const std::size_t after_first = sampler.series().size();
+  sampler.stop();
+  EXPECT_EQ(sampler.series().size(), after_first);
+}
+
+}  // namespace
+}  // namespace whart::common::obs

@@ -9,6 +9,8 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <sstream>
+#include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
@@ -22,9 +24,11 @@ namespace {
 struct FlagGuard {
   bool metrics = metrics_enabled();
   bool trace = trace_enabled();
+  bool events = events_enabled();
   ~FlagGuard() {
     set_metrics_enabled(metrics);
     set_trace_enabled(trace);
+    set_events_enabled(events);
   }
 };
 
@@ -84,6 +88,156 @@ TEST(Histogram, RecordsCountSumMinMax) {
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.min(), 0u);
   EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Gauge, AddAccumulatesDeltas) {
+  Gauge g;
+  g.set(1.0);
+  g.add(2.5);
+  g.add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+}
+
+TEST(Gauge, AddIsAtomicUnderContention) {
+  Gauge g;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&g] {
+      for (int i = 0; i < kIncrements; ++i) g.add(1.0);
+      for (int i = 0; i < kIncrements / 2; ++i) g.add(-1.0);
+    });
+  for (std::thread& t : threads) t.join();
+  // Integers this small are exact in a double, so lost updates show up
+  // as an exact-count mismatch.
+  EXPECT_DOUBLE_EQ(g.value(), kThreads * (kIncrements / 2.0));
+}
+
+TEST(HistogramQuantile, ExactWhenOneValuePerBucket) {
+  Registry& reg = Registry::instance();
+  Histogram& h = reg.histogram("test.obs.quantile.single");
+  h.reset();
+  h.record(4);
+  const HistogramSnapshot snap =
+      reg.snapshot().histograms.at("test.obs.quantile.single");
+  // A single observation: every quantile collapses to it.
+  EXPECT_DOUBLE_EQ(snap.quantile(0.0), 4.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 4.0);
+}
+
+TEST(HistogramQuantile, ClampedToObservedRange) {
+  Registry& reg = Registry::instance();
+  Histogram& h = reg.histogram("test.obs.quantile.clamp");
+  h.reset();
+  h.record(100);
+  h.record(120);
+  const HistogramSnapshot snap =
+      reg.snapshot().histograms.at("test.obs.quantile.clamp");
+  // Both values land in bucket [64, 127]; interpolation must stay
+  // inside [min, max], not wander to the bucket boundaries.
+  EXPECT_GE(snap.quantile(0.01), 100.0);
+  EXPECT_LE(snap.quantile(0.99), 120.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(snap.quantile(1.0), 120.0);
+}
+
+TEST(HistogramQuantile, EmptyHistogramIsZero) {
+  Registry& reg = Registry::instance();
+  reg.histogram("test.obs.quantile.empty").reset();
+  const HistogramSnapshot snap =
+      reg.snapshot().histograms.at("test.obs.quantile.empty");
+  EXPECT_DOUBLE_EQ(snap.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snap.p99(), 0.0);
+}
+
+TEST(HistogramQuantile, GoldenUniformDistribution) {
+  Registry& reg = Registry::instance();
+  Histogram& h = reg.histogram("test.obs.quantile.golden");
+  h.reset();
+  // Uniform 1..1000: the true quantile q sits near 1000 * q.  Log
+  // buckets blur within a factor of 2, and linear interpolation inside
+  // the crossing bucket recovers most of it; assert a generous +-25%
+  // relative window plus the hard bucket-boundary bound.
+  for (std::uint64_t v = 1; v <= 1000; ++v) h.record(v);
+  const HistogramSnapshot snap =
+      reg.snapshot().histograms.at("test.obs.quantile.golden");
+  const struct {
+    double q;
+    double expected;
+  } cases[] = {{0.50, 500.0}, {0.90, 900.0}, {0.99, 990.0}};
+  for (const auto& c : cases) {
+    const double estimate = snap.quantile(c.q);
+    EXPECT_GE(estimate, c.expected * 0.75) << "q=" << c.q;
+    EXPECT_LE(estimate, c.expected * 1.25) << "q=" << c.q;
+  }
+  // Monotone in q.
+  EXPECT_LE(snap.p50(), snap.p90());
+  EXPECT_LE(snap.p90(), snap.p99());
+}
+
+TEST(EventLogTest, RecordsAndDrains) {
+  FlagGuard guard;
+  set_events_enabled(true);
+  EventLog& log = EventLog::instance();
+  log.clear();
+  WHART_EVENT(kCacheHit, "test.obs.events.hit", 7, 9);
+  WHART_EVENT(kCacheMiss, "test.obs.events.miss", 1, 0);
+  const std::vector<EventRecord> events = log.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, EventKind::kCacheHit);
+  EXPECT_EQ(log.name(events[0].name_id), "test.obs.events.hit");
+  EXPECT_EQ(events[0].payload0, 7u);
+  EXPECT_EQ(events[0].payload1, 9u);
+  EXPECT_LE(events[0].ts_ns, events[1].ts_ns);
+
+  std::ostringstream jsonl;
+  log.write_jsonl(jsonl);
+  const std::string text = jsonl.str();
+  EXPECT_NE(text.find("\"kind\": \"cache_hit\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\": \"test.obs.events.miss\""),
+            std::string::npos);
+  log.clear();
+  EXPECT_TRUE(log.events().empty());
+}
+
+TEST(EventLogTest, DisabledRecordsNothing) {
+  FlagGuard guard;
+  EventLog& log = EventLog::instance();
+  log.clear();
+  set_events_enabled(false);
+  WHART_EVENT(kGeneric, "test.obs.events.off", 0, 0);
+  EXPECT_TRUE(log.events().empty());
+}
+
+TEST(EventLogTest, RingOverwritesOldestAndCountsDrops) {
+  FlagGuard guard;
+  set_events_enabled(true);
+  EventLog& log = EventLog::instance();
+  log.clear();
+  const std::uint64_t dropped_before = log.dropped();
+  constexpr std::uint64_t kTotal = 5000;  // well past the ring capacity
+  for (std::uint64_t i = 0; i < kTotal; ++i)
+    WHART_EVENT(kGeneric, "test.obs.events.flood", i, 0);
+  const std::vector<EventRecord> events = log.events();
+  ASSERT_FALSE(events.empty());
+  EXPECT_LT(events.size(), kTotal);
+  EXPECT_GT(log.dropped(), dropped_before);
+  // The survivors are the newest records, in order.
+  EXPECT_EQ(events.back().payload0, kTotal - 1);
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_EQ(events[i].payload0, events[i - 1].payload0 + 1);
+  log.clear();
+}
+
+TEST(EventKindNames, AreSnakeCase) {
+  EXPECT_STREQ(event_kind_name(EventKind::kGeneric), "generic");
+  EXPECT_STREQ(event_kind_name(EventKind::kRequestBegin), "request_begin");
+  EXPECT_STREQ(event_kind_name(EventKind::kTaskSubmit), "task_submit");
+  EXPECT_STREQ(event_kind_name(EventKind::kContractFailure),
+               "contract_failure");
 }
 
 TEST(Registry, SameNameSameMetric) {

@@ -16,10 +16,12 @@
 namespace whart::report {
 namespace {
 
+using common::obs::FlowRecord;
 using common::obs::HistogramSnapshot;
 using common::obs::MetricsSnapshot;
 using common::obs::SpanAggregate;
 using common::obs::SpanRecord;
+using common::obs::TimedMetricsSnapshot;
 
 /// Minimal structural JSON validator: tracks bracket/brace nesting and
 /// string/escape state.  Catches unbalanced structure, raw control
@@ -161,6 +163,120 @@ TEST(ChromeTrace, EmptyEventListStillValid) {
   const std::string text = out.str();
   EXPECT_TRUE(json_well_formed(text)) << text;
   EXPECT_NE(text.find("\"traceEvents\": []"), std::string::npos);
+}
+
+TEST(MetricsExport, HistogramJsonCarriesQuantileEstimates) {
+  std::ostringstream out;
+  write_metrics_json(out, sample_snapshot());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"p50\""), std::string::npos);
+  EXPECT_NE(text.find("\"p90\""), std::string::npos);
+  EXPECT_NE(text.find("\"p99\""), std::string::npos);
+}
+
+TEST(ChromeTrace, CausalityIdsAppearOnlyWhenNonzero) {
+  std::vector<SpanRecord> events;
+  SpanRecord with_ids{"pool_task", 1, 0, 1'000, 2'000};
+  with_ids.span_id = 7;
+  with_ids.parent_id = 3;
+  with_ids.request_id = 2;
+  with_ids.flow_id = 5;
+  events.push_back(with_ids);
+  events.push_back({"legacy_span", 0, 0, 500, 100});
+  std::ostringstream out;
+  write_chrome_trace_json(out, events);
+  const std::string text = out.str();
+  EXPECT_TRUE(json_well_formed(text)) << text;
+  EXPECT_NE(text.find("\"span\": 7"), std::string::npos);
+  EXPECT_NE(text.find("\"parent\": 3"), std::string::npos);
+  EXPECT_NE(text.find("\"request\": 2"), std::string::npos);
+  EXPECT_NE(text.find("\"flow\": 5"), std::string::npos);
+  // The pre-causality record gets no id keys at all.
+  EXPECT_EQ(text.find("\"span\": 0"), std::string::npos);
+  EXPECT_EQ(text.find("\"parent\": 0"), std::string::npos);
+}
+
+TEST(ChromeTrace, FlowEventsPairStartAndFinish) {
+  std::vector<FlowRecord> flows;
+  flows.push_back({9, 1'000, 0, true});
+  flows.push_back({9, 3'000, 2, false});
+  std::ostringstream out;
+  write_chrome_trace_json(out, {}, flows);
+  const std::string text = out.str();
+  EXPECT_TRUE(json_well_formed(text)) << text;
+  EXPECT_NE(text.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"f\""), std::string::npos);
+  EXPECT_NE(text.find("\"id\": 9"), std::string::npos);
+  // Chrome requires bp:"e" on the finish side to bind to the enclosing
+  // slice; the start side must not carry it.
+  const std::size_t f_pos = text.find("\"ph\": \"f\"");
+  EXPECT_NE(text.find("\"bp\": \"e\"", f_pos), std::string::npos);
+  EXPECT_EQ(text.find("\"bp\": \"e\""), text.find("\"bp\": \"e\"", f_pos));
+}
+
+TEST(PrometheusText, RendersCountersGaugesAndSummaries) {
+  std::ostringstream out;
+  write_prometheus_text(out, sample_snapshot());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("# TYPE whart_hart_path_cache_hits_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("whart_hart_path_cache_hits_total 30"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE whart_parallel_pool_size gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE whart_hart_path_solve_ns summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("whart_hart_path_solve_ns{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("whart_hart_path_solve_ns_sum 12"), std::string::npos);
+  EXPECT_NE(text.find("whart_hart_path_solve_ns_count 2"),
+            std::string::npos);
+}
+
+TEST(PrometheusText, SanitizesNamesAndSpellsNonFinite) {
+  MetricsSnapshot snapshot;
+  snapshot.gauges["weird-name.with/slash"] =
+      std::numeric_limits<double>::infinity();
+  std::ostringstream out;
+  write_prometheus_text(out, snapshot);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("whart_weird_name_with_slash +Inf"),
+            std::string::npos);
+}
+
+TEST(TimeseriesCsv, LongFormatWithHistogramExpansion) {
+  TimedMetricsSnapshot sample;
+  sample.t_ns = 2'000'000;  // 2 ms
+  sample.metrics = sample_snapshot();
+  std::ostringstream out;
+  write_timeseries_csv(out, {sample});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("t_ms,name,value\n"), std::string::npos);
+  EXPECT_NE(text.find("2.000,parallel.tasks,4"), std::string::npos);
+  EXPECT_NE(text.find("2.000,parallel.pool.size,8"), std::string::npos);
+  EXPECT_NE(text.find("2.000,hart.path_solve.ns.count,2"),
+            std::string::npos);
+  EXPECT_NE(text.find("hart.path_solve.ns.p50,"), std::string::npos);
+  EXPECT_NE(text.find("hart.path_solve.ns.p99,"), std::string::npos);
+}
+
+TEST(TimeseriesCsv, EmptySeriesIsJustTheHeader) {
+  std::ostringstream out;
+  write_timeseries_csv(out, {});
+  EXPECT_EQ(out.str(), "t_ms,name,value\n");
+}
+
+TEST(SpanTable, PrintsQuantileColumns) {
+  std::vector<SpanAggregate> spans = {
+      {"path_solve", 10, 2'000'000, 100'000, 400'000, 150'000, 350'000,
+       400'000}};
+  std::ostringstream out;
+  print_span_table(out, spans);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("p50 ms"), std::string::npos);
+  EXPECT_NE(text.find("p99 ms"), std::string::npos);
+  EXPECT_NE(text.find("0.150"), std::string::npos);
+  EXPECT_NE(text.find("0.400"), std::string::npos);
 }
 
 TEST(SpanTable, PrintsOneRowPerSpan) {

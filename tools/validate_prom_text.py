@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Validate the Prometheus text exposition written by --obs-dir.
+
+Usage: validate_prom_text.py <metrics.prom>
+
+Implements the subset of the text-format grammar the exporter emits:
+`# HELP` / `# TYPE` comment lines, metric names matching
+[a-zA-Z_:][a-zA-Z0-9_:]*, optional {label="value"} sets and a numeric
+sample value (including +Inf/-Inf/NaN).  Cross-checks structure: every
+sample belongs to a typed family, counters end in _total, summaries
+carry quantile samples plus _sum/_count, and every family name starts
+with the whart_ prefix.  Exits non-zero on the first violation.
+"""
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+LABEL_RE = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="[^"\\]*"$')
+TYPES = {"counter", "gauge", "summary", "histogram", "untyped"}
+
+
+def fail(message: str) -> None:
+    print(f"validate_prom_text: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def parse_value(text: str, where: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        fail(f"{where}: unparsable sample value '{text}'")
+        raise AssertionError  # unreachable
+
+
+def family_of(sample_name: str) -> str:
+    """The family a sample belongs to (strips summary suffixes)."""
+    for suffix in ("_sum", "_count", "_bucket"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: validate_prom_text.py <metrics.prom>")
+    path = sys.argv[1]
+
+    types: dict[str, str] = {}
+    helps: set[str] = set()
+    samples: dict[str, list[tuple[dict, float]]] = {}
+
+    with open(path, encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, start=1):
+            line = raw.rstrip("\n")
+            where = f"{path}:{lineno}"
+            if not line.strip():
+                continue
+            if line.startswith("# HELP "):
+                parts = line.split(None, 3)
+                if len(parts) < 4:
+                    fail(f"{where}: malformed HELP line")
+                if not NAME_RE.match(parts[2]):
+                    fail(f"{where}: bad metric name '{parts[2]}' in HELP")
+                helps.add(parts[2])
+                continue
+            if line.startswith("# TYPE "):
+                parts = line.split()
+                if len(parts) != 4:
+                    fail(f"{where}: malformed TYPE line")
+                name, kind = parts[2], parts[3]
+                if not NAME_RE.match(name):
+                    fail(f"{where}: bad metric name '{name}' in TYPE")
+                if kind not in TYPES:
+                    fail(f"{where}: unknown type '{kind}'")
+                if name in types:
+                    fail(f"{where}: duplicate TYPE for '{name}'")
+                types[name] = kind
+                continue
+            if line.startswith("#"):
+                continue  # other comments are legal
+            match = SAMPLE_RE.match(line)
+            if not match:
+                fail(f"{where}: unparsable sample line '{line}'")
+            labels = {}
+            if match.group("labels"):
+                for pair in match.group("labels").split(","):
+                    if not LABEL_RE.match(pair.strip()):
+                        fail(f"{where}: malformed label '{pair}'")
+                    key, value = pair.strip().split("=", 1)
+                    labels[key] = value.strip('"')
+            value = parse_value(match.group("value"), where)
+            samples.setdefault(match.group("name"), []).append(
+                (labels, value)
+            )
+
+    if not samples:
+        fail(f"{path}: no samples")
+
+    for name in samples:
+        family = family_of(name)
+        if family not in types:
+            fail(f"{path}: sample '{name}' has no TYPE declaration")
+        if not family.startswith("whart_"):
+            fail(f"{path}: family '{family}' lacks the whart_ prefix")
+        if types[family] == "counter" and not name.endswith("_total"):
+            fail(f"{path}: counter sample '{name}' must end in _total")
+
+    for family, kind in types.items():
+        if family not in helps:
+            fail(f"{path}: family '{family}' has TYPE but no HELP")
+        if kind == "summary":
+            quantiles = [
+                labels["quantile"]
+                for labels, _ in samples.get(family, [])
+                if "quantile" in labels
+            ]
+            if not quantiles:
+                fail(f"{path}: summary '{family}' has no quantile samples")
+            for required in (f"{family}_sum", f"{family}_count"):
+                if required not in samples:
+                    fail(f"{path}: summary '{family}' missing {required}")
+        elif kind in ("counter", "gauge"):
+            sample_name = (
+                family if kind == "gauge" else family
+            )
+            if sample_name not in samples:
+                fail(f"{path}: family '{family}' declared but never sampled")
+            for _, value in samples[sample_name]:
+                if kind == "counter" and not math.isnan(value) and value < 0:
+                    fail(f"{path}: counter '{family}' is negative ({value})")
+
+    counters = sum(1 for k in types.values() if k == "counter")
+    summaries = sum(1 for k in types.values() if k == "summary")
+    print(
+        f"validate_prom_text: {path}: OK ({len(types)} families: "
+        f"{counters} counters, {summaries} summaries, "
+        f"{sum(len(v) for v in samples.values())} samples)"
+    )
+
+
+if __name__ == "__main__":
+    main()
