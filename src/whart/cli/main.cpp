@@ -24,6 +24,12 @@
 //                        points (default; bitwise-identical results)
 //   --no-reuse-skeleton  rebuild every solve from scratch (the
 //                        differential oracle's baseline path)
+//   --batch-lanes <n>    SoA batch width of the --sweep grid: same-shape
+//                        sweep points refill and solve n lanes at a time
+//                        through the vectorized batch core (DESIGN.md
+//                        §13; 1 = scalar refills, requires
+//                        --reuse-skeleton; sweep values agree with
+//                        scalar to rounding)
 //   --metrics[=<file>]   dump the metrics-registry snapshot as JSON
 //                        (default file: whart_metrics.json)
 //   --trace[=<file>]     record trace spans and dump Chrome trace_event
@@ -72,6 +78,7 @@ struct Options {
   whart::hart::TransientKernel kernel =
       whart::hart::TransientKernel::kPerSlot;
   bool reuse_skeleton = true;
+  std::size_t batch_lanes = 1;
 };
 
 int usage() {
@@ -80,6 +87,7 @@ int usage() {
                "[--stability <targetR>] [--csv <file>] [--sweep <file>] "
                "[--shards <n>] [--kernel per-slot|superframe] "
                "[--reuse-skeleton|--no-reuse-skeleton] "
+               "[--batch-lanes <n>] "
                "[--metrics[=<file>]] [--trace[=<file>]] "
                "[--obs-dir=<dir>]\n";
   return 2;
@@ -255,7 +263,7 @@ void print_analysis(const whart::cli::ParsedSpec& spec,
             schedule, worst, spec.superframe, spec.reporting_interval);
     const whart::hart::SweepSeries series = whart::hart::sweep_availability(
         config, whart::hart::linspace(0.65, 0.99, 18), 0, options.kernel,
-        options.reuse_skeleton);
+        options.reuse_skeleton, options.batch_lanes);
     std::ofstream file(options.sweep_path);
     if (!file)
       throw std::runtime_error("cannot write '" + options.sweep_path + "'");
@@ -333,6 +341,8 @@ int main(int argc, char** argv) {
       options.reuse_skeleton = true;
     else if (arg == "--no-reuse-skeleton")
       options.reuse_skeleton = false;
+    else if (arg == "--batch-lanes" && i + 1 < argc)
+      options.batch_lanes = std::stoull(argv[++i]);
     else if (arg == "--metrics")
       options.metrics_path = "whart_metrics.json";
     else if (arg.rfind("--metrics=", 0) == 0)

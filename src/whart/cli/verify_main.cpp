@@ -19,8 +19,8 @@
 //   --threads <n>        scenario fan-out workers (default: WHART_THREADS)
 //   --inject <fault>     corrupt the production leg on purpose:
 //                        link-bias | discard-leak | cycle-shift |
-//                        product-entry | stale-skeleton-value (a healthy
-//                        harness must then FAIL)
+//                        product-entry | stale-skeleton-value |
+//                        lane-swap (a healthy harness must then FAIL)
 //   --metrics[=<file>]   dump the obs metrics snapshot as JSON
 //                        (default file: whart_verify_metrics.json)
 //   --obs-dir=<dir>      full observability bundle (metrics.json,
@@ -47,7 +47,7 @@ int usage() {
                "[--corpus <file>] [--no-shrink] [--no-sim] "
                "[--intervals <n>] [--shards <n>] [--threads <n>] "
                "[--inject link-bias|discard-leak|cycle-shift|product-entry|"
-               "stale-skeleton-value] "
+               "stale-skeleton-value|lane-swap] "
                "[--metrics[=<file>]] [--obs-dir=<dir>]\n";
   return 2;
 }
@@ -110,6 +110,8 @@ int main(int argc, char** argv) {
         else if (fault == "stale-skeleton-value")
           config.oracle.injection =
               whart::verify::Injection::kStaleSkeletonValue;
+        else if (fault == "lane-swap")
+          config.oracle.injection = whart::verify::Injection::kLaneSwap;
         else
           return usage();
       } else if (arg == "--metrics") {

@@ -10,6 +10,7 @@
 #include "whart/common/contracts.hpp"
 #include "whart/common/obs.hpp"
 #include "whart/linalg/matrix.hpp"
+#include "whart/linalg/simd.hpp"
 #include "whart/markov/superframe_kernel.hpp"
 
 namespace whart::hart {
@@ -527,6 +528,307 @@ void PathModel::analyze_superframe_into(
 #endif
 }
 
+void PathModel::analyze_superframe_batch_into(
+    const std::vector<markov::CsrPattern>& slot_patterns,
+    const markov::CsrPattern& product_pattern, BatchSolveWorkspace& ws,
+    std::span<PathTransientResult* const> results) const {
+  // Common batch widths run the fixed-width instantiation (flat-unrolled
+  // lane loops); anything else takes the runtime-width fallback.  Same
+  // arithmetic either way — the dispatch only changes code generation.
+  switch (results.size()) {
+    case 4:
+      analyze_superframe_batch_lanes<4>(slot_patterns, product_pattern, ws,
+                                        results);
+      break;
+    case 8:
+      analyze_superframe_batch_lanes<8>(slot_patterns, product_pattern, ws,
+                                        results);
+      break;
+    case 16:
+      analyze_superframe_batch_lanes<16>(slot_patterns, product_pattern, ws,
+                                         results);
+      break;
+    default:
+      analyze_superframe_batch_lanes<0>(slot_patterns, product_pattern, ws,
+                                        results);
+      break;
+  }
+}
+
+template <std::size_t kLanes>
+void PathModel::analyze_superframe_batch_lanes(
+    const std::vector<markov::CsrPattern>& slot_patterns,
+    const markov::CsrPattern& product_pattern, BatchSolveWorkspace& ws,
+    std::span<PathTransientResult* const> results) const {
+  WHART_SPAN("path_solve_batch");
+  namespace simd = linalg::simd;
+  const std::size_t lanes = kLanes == 0 ? results.size() : kLanes;
+  expects(lanes >= 1, "at least one lane");
+  expects(ws.ps.size() == ws.firings.size() * lanes,
+          "one success probability per firing per lane");
+  expects(ws.product_values.size() == product_pattern.nonzeros() * lanes,
+          "product values refilled for this lane count");
+#ifndef WHART_OBS_DISABLED
+  const bool timed = common::obs::metrics_enabled();
+  const auto solve_start = timed ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
+#endif
+  const std::size_t hops = config_.hop_count();
+  const std::size_t dim = hops + 2;
+  const std::size_t goal = hops;
+  const std::uint32_t frame = config_.superframe.uplink_slots;
+  const std::uint32_t ttl = config_.effective_ttl();
+  const std::uint32_t interval = config_.reporting_interval;
+  const std::uint32_t horizon = config_.horizon();
+
+  // ps lanes of the firing scheduled in global uplink slot `slot` (the
+  // firings list spans one frame; cycle-stationary lanes repeat it).
+  const auto firing_lanes = [&](std::uint32_t slot) -> const double* {
+    const std::uint32_t in_frame = ((slot - 1) % frame) + 1;
+    for (std::size_t i = 0; i < ws.firings.size(); ++i)
+      if (ws.firings[i].slot == in_frame) return ws.ps.data() + i * lanes;
+    return nullptr;
+  };
+
+  // One-cycle accounting structures from the dense prefix/suffix sweep of
+  // analyze_superframe_into, each entry widened to a lane array; the
+  // per-lane accumulation order matches the scalar sweep entry for entry.
+  ws.prefix.assign(dim * dim * lanes, 0.0);
+  for (std::size_t i = 0; i < dim; ++i)
+    simd::fill(ws.prefix.data() + (i * dim + i) * lanes, 1.0, lanes);
+  ws.prefix_next.assign(dim * dim * lanes, 0.0);
+  ws.attempts.assign(dim * hops * lanes, 0.0);
+  ws.prefix_columns.resize(ws.firings.size() * dim * lanes);
+  for (std::size_t i = 0; i < ws.firings.size(); ++i) {
+    const BatchSolveWorkspace::Firing& f = ws.firings[i];
+    double* column = ws.prefix_columns.data() + i * dim * lanes;
+    for (std::size_t r = 0; r < dim; ++r) {
+      simd::copy(column + r * lanes,
+                 ws.prefix.data() + (r * dim + f.hop) * lanes, lanes);
+      simd::add(ws.attempts.data() + (r * hops + f.hop) * lanes,
+                column + r * lanes, lanes);
+    }
+    // prefix <- prefix * M_slot: the arithmetic of left_multiply_batch_into
+    // (accumulation ascending over the slot matrix's rows), lane-wide.
+    const markov::CsrPattern& step = slot_patterns[f.slot - 1];
+    const std::vector<double>& step_values = ws.slot_values[f.slot - 1];
+    simd::fill(ws.prefix_next.data(), 0.0, dim * dim * lanes);
+    for (std::size_t k = 0; k < dim; ++k)
+      for (std::size_t idx = step.row_start[k]; idx < step.row_start[k + 1];
+           ++idx) {
+        const std::size_t c = step.col_index[idx];
+        const double* value = step_values.data() + idx * lanes;
+        for (std::size_t r = 0; r < dim; ++r)
+          simd::mul_add(ws.prefix_next.data() + (r * dim + c) * lanes,
+                        ws.prefix.data() + (r * dim + k) * lanes, value,
+                        lanes);
+      }
+    std::swap(ws.prefix, ws.prefix_next);
+  }
+
+  ws.delivered_kernel.assign(dim * dim * lanes, 0.0);
+  ws.suffix.assign(dim * dim * lanes, 0.0);
+  for (std::size_t i = 0; i < dim; ++i)
+    simd::fill(ws.suffix.data() + (i * dim + i) * lanes, 1.0, lanes);
+  ws.suffix_next.assign(dim * dim * lanes, 0.0);
+  for (std::size_t i = ws.firings.size(); i-- > 0;) {
+    const BatchSolveWorkspace::Firing& f = ws.firings[i];
+    const markov::CsrPattern& step = slot_patterns[f.slot - 1];
+    const std::vector<double>& step_values = ws.slot_values[f.slot - 1];
+    simd::fill(ws.suffix_next.data(), 0.0, dim * dim * lanes);
+    for (std::size_t r = 0; r < dim; ++r)
+      for (std::size_t idx = step.row_start[r]; idx < step.row_start[r + 1];
+           ++idx) {
+        const std::size_t k = step.col_index[idx];
+        const double* value = step_values.data() + idx * lanes;
+        for (std::size_t c = 0; c < dim; ++c)
+          simd::mul_add(ws.suffix_next.data() + (r * dim + c) * lanes, value,
+                        ws.suffix.data() + (k * dim + c) * lanes, lanes);
+      }
+    std::swap(ws.suffix, ws.suffix_next);
+    const double* column = ws.prefix_columns.data() + i * dim * lanes;
+    for (std::size_t r = 0; r < dim; ++r)
+      for (std::size_t c = 0; c < dim; ++c)
+        simd::mul_add(ws.delivered_kernel.data() + (r * dim + c) * lanes,
+                      column + r * lanes,
+                      ws.suffix.data() + (f.hop * dim + c) * lanes, lanes);
+  }
+
+  for (PathTransientResult* result : results) {
+    result->cycle_probabilities.assign(interval, 0.0);
+    result->expected_transmissions_per_hop.assign(hops, 0.0);
+    result->discard_probability = 0.0;
+    result->expected_transmissions = 0.0;
+    result->expected_transmissions_delivered = 0.0;
+    result->trajectory_stride = frame;
+    result->diagnostics = SolverDiagnostics{};
+    result->goal_trajectory.resize(interval + 1);
+  }
+  std::size_t trajectory_entry = 0;
+  const auto record_trajectory = [&] {
+    for (PathTransientResult* result : results)
+      result->goal_trajectory[trajectory_entry].assign(
+          result->cycle_probabilities.begin(),
+          result->cycle_probabilities.end());
+    ++trajectory_entry;
+  };
+  record_trajectory();
+
+  ws.p.assign(dim * lanes, 0.0);
+  simd::fill(ws.p.data(), 1.0, lanes);
+  ws.p_next.assign(dim * lanes, 0.0);
+  ws.lane_scratch.assign(lanes, 0.0);
+  ws.goal_seen.assign(lanes, 0.0);
+  for (std::uint32_t cycle = 0; cycle < interval; ++cycle) {
+    if (static_cast<std::uint64_t>(cycle + 1) * frame <= ttl) {
+      // Full pre-TTL cycle: attempts via the accounting matrix, then one
+      // product advance in place of `frame` per-slot steps.
+      for (std::size_t h = 0; h < hops; ++h) {
+        simd::fill(ws.lane_scratch.data(), 0.0, lanes);
+        for (std::size_t x = 0; x < dim; ++x)
+          simd::mul_add(ws.lane_scratch.data(), ws.p.data() + x * lanes,
+                        ws.attempts.data() + (x * hops + h) * lanes, lanes);
+        for (std::size_t l = 0; l < lanes; ++l) {
+          results[l]->expected_transmissions_per_hop[h] += ws.lane_scratch[l];
+          results[l]->expected_transmissions += ws.lane_scratch[l];
+        }
+      }
+      // p <- p^T * product.  The scalar core skips rows with p[r] == 0;
+      // lanes cannot branch independently, and the skipped contributions
+      // are exact zeros, so every row is visited.
+      simd::fill(ws.p_next.data(), 0.0, dim * lanes);
+      for (std::size_t r = 0; r < dim; ++r)
+        for (std::size_t idx = product_pattern.row_start[r];
+             idx < product_pattern.row_start[r + 1]; ++idx)
+          simd::mul_add(
+              ws.p_next.data() + product_pattern.col_index[idx] * lanes,
+              ws.p.data() + r * lanes,
+              ws.product_values.data() + idx * lanes, lanes);
+      std::swap(ws.p, ws.p_next);
+    } else {
+      // The cycle the TTL cuts through runs per-slot so the discard lands
+      // on the exact slot; cycles past the TTL fall straight through.
+      for (std::uint32_t s = 1; s <= frame; ++s) {
+        const std::uint32_t slot = cycle * frame + s;
+        if (slot > ttl) break;
+        if (const double* ps_lanes = firing_lanes(slot); ps_lanes != nullptr) {
+          const std::size_t h = hop_in_slot(slot).value();
+          const std::size_t target = h + 1 == hops ? goal : h + 1;
+          for (std::size_t l = 0; l < lanes; ++l) {
+            const double ph = ws.p[h * lanes + l];
+            results[l]->expected_transmissions += ph;
+            results[l]->expected_transmissions_per_hop[h] += ph;
+            const double moved = ph * ps_lanes[l];
+            ws.p[h * lanes + l] -= moved;
+            ws.p[target * lanes + l] += moved;
+          }
+        }
+        if (slot == ttl) {
+          for (std::size_t h = 0; h < hops; ++h)
+            for (std::size_t l = 0; l < lanes; ++l) {
+              results[l]->discard_probability += ws.p[h * lanes + l];
+              ws.p[h * lanes + l] = 0.0;
+            }
+        }
+      }
+    }
+    for (std::size_t l = 0; l < lanes; ++l) {
+      results[l]->cycle_probabilities[cycle] =
+          ws.p[goal * lanes + l] - ws.goal_seen[l];
+      ws.goal_seen[l] = ws.p[goal * lanes + l];
+    }
+    record_trajectory();
+  }
+  // When the TTL coincides with a product-advanced cycle boundary the
+  // expired mass never passed a per-slot discard; sweep it now.
+  for (std::size_t h = 0; h < hops; ++h)
+    for (std::size_t l = 0; l < lanes; ++l) {
+      results[l]->discard_probability += ws.p[h * lanes + l];
+      ws.p[h * lanes + l] = 0.0;
+    }
+
+  // Delivered-attempt accounting, folded backward cycle-by-cycle exactly
+  // as in the scalar core.
+  {
+    WHART_TIMER("hart.stage.tail_solve.ns");
+    ws.b.assign(dim * lanes, 0.0);
+    simd::fill(ws.b.data() + goal * lanes, 1.0, lanes);
+    ws.u.assign(dim * lanes, 0.0);
+    const std::uint32_t ttl_cycle = (ttl - 1) / frame;  // 0-based
+    for (std::uint32_t slot = ttl; slot > ttl_cycle * frame; --slot) {
+      if (const double* ps_lanes = firing_lanes(slot); ps_lanes != nullptr) {
+        const std::size_t h = hop_in_slot(slot).value();
+        const std::size_t target = h + 1 == hops ? goal : h + 1;
+        for (std::size_t l = 0; l < lanes; ++l) {
+          const double ps = ps_lanes[l];
+          const double b_before = ps * ws.b[target * lanes + l] +
+                                  (1.0 - ps) * ws.b[h * lanes + l];
+          ws.u[h * lanes + l] = ps * ws.u[target * lanes + l] +
+                                (1.0 - ps) * ws.u[h * lanes + l] + b_before;
+          ws.b[h * lanes + l] = b_before;
+        }
+      }
+    }
+    ws.u_next.assign(dim * lanes, 0.0);
+    ws.b_next.assign(dim * lanes, 0.0);
+    for (std::uint32_t cycle = ttl_cycle; cycle-- > 0;) {
+      simd::fill(ws.u_next.data(), 0.0, dim * lanes);
+      simd::fill(ws.b_next.data(), 0.0, dim * lanes);
+      for (std::size_t r = 0; r < dim; ++r) {
+        simd::fill(ws.lane_scratch.data(), 0.0, lanes);
+        for (std::size_t c = 0; c < dim; ++c)
+          simd::mul_add(ws.lane_scratch.data(),
+                        ws.delivered_kernel.data() + (r * dim + c) * lanes,
+                        ws.b.data() + c * lanes, lanes);
+        simd::copy(ws.u_next.data() + r * lanes, ws.lane_scratch.data(),
+                   lanes);
+      }
+      for (std::size_t r = 0; r < dim; ++r)
+        for (std::size_t idx = product_pattern.row_start[r];
+             idx < product_pattern.row_start[r + 1]; ++idx) {
+          const std::size_t c = product_pattern.col_index[idx];
+          const double* value = ws.product_values.data() + idx * lanes;
+          simd::mul_add(ws.u_next.data() + r * lanes, value,
+                        ws.u.data() + c * lanes, lanes);
+          simd::mul_add(ws.b_next.data() + r * lanes, value,
+                        ws.b.data() + c * lanes, lanes);
+        }
+      std::swap(ws.u, ws.u_next);
+      std::swap(ws.b, ws.b_next);
+    }
+    for (std::size_t l = 0; l < lanes; ++l)
+      results[l]->expected_transmissions_delivered = ws.u[l];
+  }
+
+  for (PathTransientResult* result : results) {
+    result->diagnostics.dtmc_states = dim;
+    result->diagnostics.transient_states = hops;
+    result->diagnostics.absorbing_states = 2;
+    result->diagnostics.forward_steps = horizon;
+    result->diagnostics.kernel = TransientKernel::kSuperframeProduct;
+    const double goal_mass =
+        std::accumulate(result->cycle_probabilities.begin(),
+                        result->cycle_probabilities.end(), 0.0);
+    result->diagnostics.mass_residual =
+        std::abs(1.0 - goal_mass - result->discard_probability);
+  }
+  WHART_COUNT_N("hart.path_solve.count", lanes);
+  WHART_COUNT_N("hart.path_solve.superframe", lanes);
+  WHART_OBSERVE("hart.path_solve.states", dim);
+  WHART_EVENT(kSolveDone, "hart.path_solve", dim, 0);
+#ifndef WHART_OBS_DISABLED
+  if (timed) {
+    const auto elapsed = std::chrono::steady_clock::now() - solve_start;
+    const auto total_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+    // Each lane's reported solve time is its amortized share of the batch.
+    for (PathTransientResult* result : results)
+      result->diagnostics.solve_ns = total_ns / lanes;
+    WHART_OBSERVE("hart.path_solve.ns", total_ns);
+  }
+#endif
+}
+
 markov::Dtmc PathModel::to_dtmc(const LinkProbabilityProvider& links) const {
   expects(links.hop_count() >= config_.hop_count(),
           "provider covers every hop");
@@ -690,6 +992,11 @@ PathModelSkeleton::PathModelSkeleton(PathModelConfig config)
             "firing row carries both its success and failure entries");
     provenance_.push_back(prov);
   }
+  // Compile the SoA replay plan with the rest of the symbolic phase: the
+  // batch refill then walks a flat op list instead of re-deriving the
+  // Gustavson bookkeeping on every batch.
+  batch_refill_ =
+      std::make_unique<const markov::BatchRefill>(chain_, slot_patterns_);
   WHART_COUNT("hart.skeleton.builds");
   WHART_OBSERVE(
       "hart.stage.skeleton_build.ns",
@@ -769,6 +1076,110 @@ void PathModelSkeleton::analyze_into(const LinkProbabilityProvider& links,
     WHART_COUNT("hart.path_solve.kernel_fallback");
   WHART_COUNT("hart.skeleton.refills");
   model_.analyze_per_slot_into(provider, ws, result);
+}
+
+void PathModelSkeleton::prime_batch(BatchSolveWorkspace& ws,
+                                    std::size_t lanes) const {
+  ws.slot_values.resize(slot_patterns_.size());
+  for (std::size_t s = 0; s < slot_patterns_.size(); ++s)
+    ws.slot_values[s].assign(slot_patterns_[s].nonzeros() * lanes, 1.0);
+  ws.product_values.assign(chain_.pattern().nonzeros() * lanes, 0.0);
+  ws.primed = true;
+  ws.primed_lanes = lanes;
+  ws.primed_config = model_.config();
+}
+
+void PathModelSkeleton::analyze_batch_into(
+    std::span<const LinkProbabilityProvider* const> links,
+    const PathAnalysisOptions& options, BatchSolveWorkspace& ws,
+    std::span<PathTransientResult> results) const {
+  expects(links.size() == results.size(), "one result per provider");
+  const net::SuperframeConfig& superframe = model_.config().superframe;
+
+  // Partition lanes: a lane is batchable when the SoA core reproduces its
+  // scalar refill exactly — superframe kernel, cycle-stationary provider,
+  // no fault injections that perturb the refill path, and no degenerate
+  // firing probability (ps of 0 or 1 changes the captured pattern).
+  ws.batched_index.clear();
+  ws.scalar_index.clear();
+  // The scan stashes every candidate's firing probabilities
+  // (candidate-major) so the refill gather below reuses them instead of
+  // querying each provider a second time.
+  ws.ps_scan.resize(links.size() * provenance_.size());
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    expects(links[i]->hop_count() >= config().hop_count(),
+            "provider covers every hop");
+    bool batchable = options.kernel == TransientKernel::kSuperframeProduct &&
+                     options.inject_product_error == 0.0 &&
+                     options.inject_stale_skeleton == 0.0 &&
+                     links[i]->cycle_stationary();
+    if (batchable)
+      for (std::size_t fi = 0; fi < provenance_.size(); ++fi) {
+        const SlotProvenance& prov = provenance_[fi];
+        const double ps = links[i]->up_probability(
+            prov.hop, superframe.absolute_slot_of_uplink(prov.slot));
+        ws.ps_scan[i * provenance_.size() + fi] = ps;
+        if (!(ps > 0.0) || !(ps < 1.0)) {
+          batchable = false;
+          break;
+        }
+      }
+    (batchable ? ws.batched_index : ws.scalar_index).push_back(i);
+  }
+  // A batch needs at least two lanes to amortize anything; below that,
+  // every point takes the scalar refill path.
+  if (ws.batched_index.size() < 2) {
+    WHART_COUNT_N("hart.batch.remainder_points", links.size());
+    for (std::size_t i = 0; i < links.size(); ++i)
+      analyze_into(*links[i], options, ws.scalar, results[i]);
+    return;
+  }
+  if (!ws.scalar_index.empty()) {
+    WHART_COUNT_N("hart.batch.remainder_points", ws.scalar_index.size());
+    for (std::size_t i : ws.scalar_index)
+      analyze_into(*links[i], options, ws.scalar, results[i]);
+  }
+
+  const std::size_t lanes = ws.batched_index.size();
+  if (!ws.primed || ws.primed_lanes != lanes ||
+      !(ws.primed_config == model_.config()))
+    prime_batch(ws, lanes);
+  WHART_COUNT("hart.batch.refills");
+  WHART_COUNT_N("hart.batch.lanes_filled", lanes);
+  {
+    WHART_TIMER("hart.stage.batch_refill.ns");
+    // One SoA refill prices every lane: gather each firing's per-lane
+    // success probabilities into the slot value lanes, then replay the
+    // cycle-product chain once for all lanes.  provenance_ is in slot
+    // order, so ws.firings matches the scalar core's firing order.
+    ws.firings.clear();
+    ws.ps.resize(provenance_.size() * lanes);
+    for (std::size_t fi = 0; fi < provenance_.size(); ++fi) {
+      const SlotProvenance& prov = provenance_[fi];
+      ws.firings.push_back({prov.slot, prov.hop});
+      std::vector<double>& slot_values = ws.slot_values[prov.slot - 1];
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const double ps =
+            ws.ps_scan[ws.batched_index[l] * provenance_.size() + fi];
+        ws.ps[fi * lanes + l] = ps;
+        slot_values[prov.failure_index * lanes + l] = 1.0 - ps;
+        slot_values[prov.success_index * lanes + l] = ps;
+      }
+    }
+    batch_refill_->refill(ws.slot_values, lanes, ws.chain_arena,
+                          std::span<double>(ws.product_values));
+  }
+  if (options.inject_lane_swap) {
+    // Verification-harness injection: cross-lane contamination of the
+    // refilled product, the signature of a lane-indexing bug.
+    for (std::size_t k = 0; k < chain_.pattern().nonzeros(); ++k)
+      std::swap(ws.product_values[k * lanes],
+                ws.product_values[k * lanes + 1]);
+  }
+  ws.result_ptrs.clear();
+  for (std::size_t i : ws.batched_index) ws.result_ptrs.push_back(&results[i]);
+  model_.analyze_superframe_batch_into(slot_patterns_, chain_.pattern(), ws,
+                                       ws.result_ptrs);
 }
 
 }  // namespace whart::hart

@@ -17,13 +17,16 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "whart/hart/link_probability.hpp"
 #include "whart/linalg/matrix.hpp"
 #include "whart/linalg/sparse.hpp"
+#include "whart/markov/batch_refill.hpp"
 #include "whart/markov/dtmc.hpp"
 #include "whart/markov/structure.hpp"
 #include "whart/net/schedule.hpp"
@@ -65,6 +68,19 @@ struct PathAnalysisOptions {
   /// oracle can prove its refill arm catches skeleton/value drift.
   /// Ignored by fresh PathModel::analyze builds.  Always 0 in production.
   double inject_stale_skeleton = 0.0;
+
+  /// Evaluation points refilled together by the SoA batch core
+  /// (DESIGN.md §13): sweeps and rank_link_upgrades chunk same-shape
+  /// grid points into batches of at most this many lanes and solve them
+  /// through PathModelSkeleton::analyze_batch_into.  1 = scalar refills.
+  std::size_t batch_lanes = 1;
+
+  /// Verification-harness fault injection: swap the first two value
+  /// lanes of the batched cycle product after the SoA refill — the
+  /// signature of a lane-indexing bug in the Gustavson replay (cross-
+  /// lane contamination), which the differential oracle's batch arm
+  /// must catch.  Always false in production.
+  bool inject_lane_swap = false;
 };
 
 /// Static description of one path's model.
@@ -237,6 +253,72 @@ struct SolveWorkspace {
   PathTransientResult scratch_result;
 };
 
+/// Reusable SoA scratch of PathModelSkeleton::analyze_batch_into
+/// (DESIGN.md §13).  Every numeric structure of the superframe solve is
+/// widened by a lane dimension in entry-major layout — entry k of a
+/// buffer occupies lane array [k * lanes, (k + 1) * lanes) — so the
+/// batched core streams the shared patterns once while the arithmetic
+/// runs lane-parallel.  Buffers reach their high-water mark on the first
+/// solve of a (shape, lane count) and warm batched solves allocate
+/// nothing.  One workspace per thread; pool with common::WorkspacePool.
+struct BatchSolveWorkspace {
+  /// SoA slot values primed from the skeleton's patterns (per slot:
+  /// nonzeros x lanes; constant entries hold 1.0, firing entries are
+  /// refilled per batch) and the SoA cycle-product values they collapse
+  /// into through markov::BatchRefill.
+  std::vector<std::vector<double>> slot_values;
+  std::vector<double> product_values;
+  markov::BatchLaneArena chain_arena;
+  bool primed = false;
+  std::size_t primed_lanes = 0;
+  PathModelConfig primed_config;  ///< shape the structures were built for
+
+  /// Transmission opportunities of one cycle, in slot order, with their
+  /// per-lane success probabilities (firings x lanes).
+  struct Firing {
+    std::uint32_t slot = 0;  ///< 1-based uplink position within the frame
+    std::size_t hop = 0;
+  };
+  std::vector<Firing> firings;
+  std::vector<double> ps;
+
+  // Lane-widened superframe solve scratch (dims as in SolveWorkspace,
+  // each times lanes).
+  std::vector<double> prefix_columns;  ///< firings x dim x lanes
+  std::vector<double> prefix;          ///< dim x dim x lanes
+  std::vector<double> prefix_next;
+  std::vector<double> suffix;
+  std::vector<double> suffix_next;
+  std::vector<double> attempts;  ///< dim x hops x lanes
+  std::vector<double> delivered_kernel;  ///< dim x dim x lanes
+  std::vector<double> p;  ///< dim x lanes
+  std::vector<double> p_next;
+  std::vector<double> b;
+  std::vector<double> b_next;
+  std::vector<double> u;
+  std::vector<double> u_next;
+  std::vector<double> lane_scratch;  ///< lanes
+  std::vector<double> goal_seen;     ///< lanes
+
+  /// Lane bookkeeping of one analyze_batch_into call: which caller
+  /// indices were packed into the SoA solve vs sent to the scalar path.
+  std::vector<std::size_t> batched_index;
+  std::vector<std::size_t> scalar_index;
+  std::vector<PathTransientResult*> result_ptrs;
+  /// Per-candidate firing probabilities gathered during the
+  /// batchability scan (candidate-major: candidate i's values occupy
+  /// [i * firings, (i + 1) * firings)), reused by the refill gather so
+  /// each provider is queried once per firing.
+  std::vector<double> ps_scan;
+
+  /// Scalar-path scratch of the per-lane fallbacks.
+  SolveWorkspace scalar;
+
+  /// Reusable transient outputs for callers that immediately reduce the
+  /// batch to measures (sweeps) and do not keep the full results.
+  std::vector<PathTransientResult> scratch_results;
+};
+
 /// The unrolled path DTMC.
 class PathModel {
  public:
@@ -314,6 +396,27 @@ class PathModel {
                                SolveWorkspace& workspace,
                                PathTransientResult& result) const;
 
+  /// SoA batch core (DESIGN.md §13): the superframe solve with every
+  /// numeric buffer widened by a lane dimension.  The workspace's
+  /// firings/ps and product_values must already be filled for
+  /// results.size() lanes; per-lane arithmetic order matches
+  /// analyze_superframe_into, so each lane agrees with its scalar solve
+  /// to rounding (1e-12 in the lane-equivalence battery).
+  void analyze_superframe_batch_into(
+      const std::vector<markov::CsrPattern>& slot_patterns,
+      const markov::CsrPattern& product_pattern, BatchSolveWorkspace& workspace,
+      std::span<PathTransientResult* const> results) const;
+  /// Lane-count-specialized body of analyze_superframe_batch_into:
+  /// kLanes == 0 reads the width from results.size() at runtime; the
+  /// fixed-width instantiations (dispatched for common batch sizes) give
+  /// every simd helper a compile-time trip count so the lane loops
+  /// unroll flat.  Arithmetic is identical in every instantiation.
+  template <std::size_t kLanes>
+  void analyze_superframe_batch_lanes(
+      const std::vector<markov::CsrPattern>& slot_patterns,
+      const markov::CsrPattern& product_pattern, BatchSolveWorkspace& workspace,
+      std::span<PathTransientResult* const> results) const;
+
   PathModelConfig config_;
   /// state_index_[t][h] for t = 0..ttl-1: dense index of transient state
   /// (t, h), or SIZE_MAX when unreachable.
@@ -353,7 +456,22 @@ class PathModelSkeleton {
                     SolveWorkspace& workspace,
                     PathTransientResult& result) const;
 
- private:
+  /// Batched numeric phase (DESIGN.md §13): refill up to
+  /// options.batch_lanes evaluation points through one SoA pass over the
+  /// shared patterns and solve them lane-parallel.  `links` and `results`
+  /// are parallel arrays (one provider and output per lane).  Lanes the
+  /// batch core cannot reproduce exactly — non-cycle-stationary
+  /// providers, degenerate firing probabilities, or injection options —
+  /// are routed through the scalar analyze_into per lane (counted as
+  /// `hart.batch.remainder_points`); a batch only forms when at least
+  /// two lanes qualify.  Each batched lane agrees with its scalar solve
+  /// to rounding (~1e-15 relative), not bitwise: SIMD backends may fuse
+  /// multiply-adds differently from the scalar build.
+  void analyze_batch_into(std::span<const LinkProbabilityProvider* const> links,
+                          const PathAnalysisOptions& options,
+                          BatchSolveWorkspace& workspace,
+                          std::span<PathTransientResult> results) const;
+
   /// Where a firing slot's two mutable values live in its slot matrix.
   struct SlotProvenance {
     std::uint32_t slot = 0;  ///< 1-based uplink slot within the frame
@@ -362,13 +480,39 @@ class PathModelSkeleton {
     std::size_t success_index = 0;  ///< values index of (h, target)
   };
 
+  /// Per-slot sparsity patterns (Fup + Fdown entries) of one cycle.
+  [[nodiscard]] const std::vector<markov::CsrPattern>& slot_patterns()
+      const noexcept {
+    return slot_patterns_;
+  }
+
+  /// Symbolic cycle-product chain over the slot patterns.
+  [[nodiscard]] const markov::ChainProductSkeleton& chain() const noexcept {
+    return chain_;
+  }
+
+  /// Firing-slot provenance in slot order (which values indices each
+  /// transmission opportunity's failure/success probabilities occupy).
+  [[nodiscard]] std::span<const SlotProvenance> provenance() const noexcept {
+    return provenance_;
+  }
+
+ private:
   /// Materialize workspace slot/product structures from the patterns.
   void prime(SolveWorkspace& workspace) const;
+
+  /// Materialize the SoA slot/product value arrays for `lanes` lanes.
+  void prime_batch(BatchSolveWorkspace& workspace, std::size_t lanes) const;
 
   PathModel model_;
   std::vector<markov::CsrPattern> slot_patterns_;
   markov::ChainProductSkeleton chain_;
   std::vector<SlotProvenance> provenance_;
+  /// Compiled SoA replay plan over chain_/slot_patterns_ (DESIGN.md
+  /// §13), built once here with the rest of the symbolic phase.  Borrows
+  /// the two members above, which also keeps the skeleton non-copyable
+  /// by value — it is always shared by pointer.
+  std::unique_ptr<const markov::BatchRefill> batch_refill_;
 };
 
 }  // namespace whart::hart

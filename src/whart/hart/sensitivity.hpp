@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "whart/hart/link_probability.hpp"
@@ -33,6 +34,18 @@ std::vector<double> reachability_sensitivity(
     const PathModel& model, const LinkProbabilityProvider& links,
     TransientKernel kernel = TransientKernel::kPerSlot);
 
+/// Batched sensitivity (DESIGN.md §13): one adjoint sweep over the
+/// skeleton's shared patterns prices every provider at once, SoA
+/// lane-parallel.  Returns one dR/dps vector per provider, in order.
+/// Lanes the batch sweep cannot take (kernel != kSuperframeProduct or a
+/// non-cycle-stationary provider) run the scalar sweep instead, as does
+/// the whole call when fewer than two lanes qualify; batched lanes agree
+/// with their scalar sweeps to rounding (~1e-15 relative).
+std::vector<std::vector<double>> reachability_sensitivity_batch(
+    const PathModelSkeleton& skeleton,
+    std::span<const LinkProbabilityProvider* const> links,
+    TransientKernel kernel = TransientKernel::kPerSlot);
+
 /// Network-level link ranking: for every link, the summed dR/dpi over
 /// all paths using it — the total reachability (expected delivered
 /// messages per interval) gained per unit of availability improvement.
@@ -48,10 +61,15 @@ struct LinkSensitivity {
 /// Paths sharing a schedule shape (equal skeleton fingerprints, DESIGN.md
 /// §12) share one symbolic model build — the adjoint sweep reads only
 /// the shape, so the ranking is bitwise-identical to per-path builds.
+/// `batch_lanes > 1` additionally groups same-shape paths into SoA
+/// batches of at most that many lanes priced through
+/// reachability_sensitivity_batch (the ranking then agrees with the
+/// scalar path to rounding rather than bitwise).
 std::vector<LinkSensitivity> rank_link_upgrades(
     const net::Network& network, const std::vector<net::Path>& paths,
     const net::Schedule& schedule, net::SuperframeConfig superframe,
     std::uint32_t reporting_interval, unsigned threads = 0,
-    TransientKernel kernel = TransientKernel::kPerSlot);
+    TransientKernel kernel = TransientKernel::kPerSlot,
+    std::size_t batch_lanes = 1);
 
 }  // namespace whart::hart

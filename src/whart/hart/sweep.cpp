@@ -1,10 +1,16 @@
 #include "whart/hart/sweep.hpp"
 
+#include <limits>
+#include <memory>
+#include <mutex>
 #include <ostream>
+#include <string>
+#include <unordered_map>
 
 #include "whart/common/contracts.hpp"
 #include "whart/common/obs.hpp"
 #include "whart/common/parallel.hpp"
+#include "whart/hart/path_cache.hpp"
 #include "whart/report/csv.hpp"
 
 namespace whart::hart {
@@ -39,10 +45,162 @@ PathMeasures measure_with_skeleton(
                                  workspace->scratch_result);
 }
 
+/// One grid point of any sweep: the swept parameter, the model shape it
+/// evaluates, and the link model supplying its availabilities.
+struct PointSpec {
+  double parameter = 0.0;
+  PathModelConfig config;
+  link::LinkModel model;
+};
+
+/// Shared sweep runner.  Solves every spec (in parallel across points or
+/// batches) and returns SweepPoints in spec order.  With skeleton reuse,
+/// points with equal skeleton fingerprints share one symbolic build; with
+/// batch_lanes > 1 they are additionally chunked — preserving
+/// first-appearance order, contiguity not required — into SoA batches of
+/// at most batch_lanes lanes solved through analyze_batch_into.
+std::vector<SweepPoint> solve_points(const std::vector<PointSpec>& specs,
+                                     unsigned threads, TransientKernel kernel,
+                                     bool reuse_skeleton,
+                                     std::size_t batch_lanes) {
+  if (!reuse_skeleton)
+    return common::parallel_map(
+        specs,
+        [&](const PointSpec& spec) {
+          return SweepPoint{spec.parameter,
+                            measure_with_links(spec.config, spec.model,
+                                               kernel)};
+        },
+        threads);
+
+  // One symbolic build per distinct shape, shared across its points.
+  // Most sweeps vary only the link model, so consecutive points usually
+  // share a shape: compare the fingerprint-relevant config fields against
+  // the previous point before paying for a fingerprint build and a map
+  // probe — the common all-same-shape sweep then fingerprints once.
+  const auto same_shape = [](const PathModelConfig& a,
+                             const PathModelConfig& b) {
+    return a.superframe.uplink_slots == b.superframe.uplink_slots &&
+           a.reporting_interval == b.reporting_interval &&
+           a.effective_ttl() == b.effective_ttl() &&
+           a.hop_slots == b.hop_slots && a.retry_slots == b.retry_slots;
+  };
+  // The store is process-wide, not per call: sweeps are typically
+  // invoked many times on one schedule shape (sensitivity perturbs the
+  // links only, rank_link_upgrades re-sweeps per candidate link), so a
+  // shape's symbolic phase runs once per process.  Skeletons are
+  // immutable after construction and handed out as shared const
+  // pointers; the map only grows under its mutex, and distinct shapes
+  // are few (the same never-evicted argument as PathAnalysisCache's
+  // skeleton store).
+  static std::mutex skeleton_mutex;
+  static std::unordered_map<std::string,
+                            std::shared_ptr<const PathModelSkeleton>>
+      skeleton_store;
+
+  // Points carry a dense shape id instead of a fingerprint string —
+  // per-point work is then an integer copy, not a string allocation and
+  // hash probe.
+  std::vector<std::size_t> shape_of(specs.size());
+  std::vector<std::shared_ptr<const PathModelSkeleton>> shapes;
+  std::unordered_map<std::string, std::size_t> shape_ids;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const PointSpec& spec = specs[i];
+    if (i > 0 && same_shape(spec.config, specs[i - 1].config)) {
+      shape_of[i] = shape_of[i - 1];
+      continue;
+    }
+    std::string key =
+        PathAnalysisCache::skeleton_fingerprint(spec.config, kernel);
+    const auto [it, inserted] =
+        shape_ids.try_emplace(std::move(key), shapes.size());
+    if (inserted) {
+      const std::lock_guard lock(skeleton_mutex);
+      std::shared_ptr<const PathModelSkeleton>& shared =
+          skeleton_store[it->first];
+      if (shared == nullptr)
+        shared = std::make_shared<const PathModelSkeleton>(spec.config);
+      shapes.push_back(shared);
+    }
+    shape_of[i] = it->second;
+  }
+
+  std::vector<SweepPoint> points(specs.size());
+  if (batch_lanes <= 1) {
+    common::WorkspacePool<SolveWorkspace> workspaces;
+    common::parallel_for(
+        specs.size(),
+        [&](std::size_t i) {
+          points[i] =
+              SweepPoint{specs[i].parameter,
+                         measure_with_skeleton(*shapes[shape_of[i]],
+                                               workspaces, specs[i].model,
+                                               kernel)};
+        },
+        threads);
+    return points;
+  }
+
+  // Chunk same-shape point indices into lane batches of at most
+  // batch_lanes.  A batch fills until full, then the next same-shape
+  // point opens a fresh one, so non-contiguous same-shape points group
+  // together while output order stays the caller's.
+  constexpr std::size_t kNoBatch = std::numeric_limits<std::size_t>::max();
+  std::vector<std::vector<std::size_t>> batches;
+  std::vector<std::size_t> open(shapes.size(), kNoBatch);  // shape -> batch
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    std::size_t& slot = open[shape_of[i]];
+    if (slot == kNoBatch) {
+      slot = batches.size();
+      batches.emplace_back();
+    }
+    std::vector<std::size_t>& batch = batches[slot];
+    batch.push_back(i);
+    if (batch.size() == batch_lanes) slot = kNoBatch;
+  }
+
+  common::WorkspacePool<BatchSolveWorkspace> workspaces;
+  common::parallel_for(
+      batches.size(),
+      [&](std::size_t bi) {
+        const std::vector<std::size_t>& batch = batches[bi];
+        const PathModelSkeleton& skeleton =
+            *shapes[shape_of[batch.front()]];
+        PathAnalysisOptions options;
+        options.kernel = kernel;
+        options.batch_lanes = batch_lanes;
+        auto workspace = workspaces.acquire();
+        // Reserve before taking element pointers — emplace_back must not
+        // reallocate under the provider span.
+        std::vector<SteadyStateLinks> links;
+        links.reserve(batch.size());
+        std::vector<const LinkProbabilityProvider*> providers;
+        providers.reserve(batch.size());
+        for (std::size_t i : batch) {
+          links.emplace_back(skeleton.config().hop_count(), specs[i].model);
+          providers.push_back(&links.back());
+        }
+        workspace->scratch_results.resize(batch.size());
+        skeleton.analyze_batch_into(providers, options, *workspace,
+                                    workspace->scratch_results);
+        // Measures come from each point's own config: batch lanes share a
+        // shape fingerprint (frame, Is, TTL, firing pattern), not the
+        // Fdown/gateway-offset fields the delay measures read.
+        for (std::size_t j = 0; j < batch.size(); ++j)
+          points[batch[j]] = SweepPoint{
+              specs[batch[j]].parameter,
+              measures_from_transient(specs[batch[j]].config,
+                                      workspace->scratch_results[j])};
+      },
+      threads);
+  return points;
+}
+
 }  // namespace
 
 std::vector<double> linspace(double first, double last, std::size_t count) {
-  expects(count >= 2, "count >= 2");
+  expects(count >= 1, "count >= 1");
+  if (count == 1) return {first};
   std::vector<double> values(count);
   const double step = (last - first) / static_cast<double>(count - 1);
   for (std::size_t i = 0; i < count; ++i)
@@ -54,69 +212,36 @@ std::vector<double> linspace(double first, double last, std::size_t count) {
 SweepSeries sweep_availability(const PathModelConfig& config,
                                const std::vector<double>& availabilities,
                                unsigned threads, TransientKernel kernel,
-                               bool reuse_skeleton) {
+                               bool reuse_skeleton, std::size_t batch_lanes) {
   expects(!availabilities.empty(), "at least one sample");
   WHART_REQUEST_SPAN("sweep_availability");
   WHART_COUNT_N("hart.sweep.points", availabilities.size());
   SweepSeries series;
   series.parameter_name = "availability";
-  if (reuse_skeleton) {
-    // One symbolic build for the whole grid; each point refills values.
-    const PathModelSkeleton skeleton(config);
-    common::WorkspacePool<SolveWorkspace> workspaces;
-    series.points = common::parallel_map(
-        availabilities,
-        [&](double pi) {
-          return SweepPoint{
-              pi, measure_with_skeleton(skeleton, workspaces,
-                                        link::LinkModel::from_availability(pi),
-                                        kernel)};
-        },
-        threads);
-    return series;
-  }
-  series.points = common::parallel_map(
-      availabilities,
-      [&](double pi) {
-        return SweepPoint{
-            pi, measure_with_links(
-                    config, link::LinkModel::from_availability(pi), kernel)};
-      },
-      threads);
+  std::vector<PointSpec> specs;
+  specs.reserve(availabilities.size());
+  for (double pi : availabilities)
+    specs.push_back({pi, config, link::LinkModel::from_availability(pi)});
+  series.points =
+      solve_points(specs, threads, kernel, reuse_skeleton, batch_lanes);
   return series;
 }
 
 SweepSeries sweep_ber(const PathModelConfig& config,
                       const std::vector<double>& bit_error_rates,
                       unsigned threads, TransientKernel kernel,
-                      bool reuse_skeleton) {
+                      bool reuse_skeleton, std::size_t batch_lanes) {
   expects(!bit_error_rates.empty(), "at least one sample");
   WHART_REQUEST_SPAN("sweep_ber");
   WHART_COUNT_N("hart.sweep.points", bit_error_rates.size());
   SweepSeries series;
   series.parameter_name = "ber";
-  if (reuse_skeleton) {
-    const PathModelSkeleton skeleton(config);
-    common::WorkspacePool<SolveWorkspace> workspaces;
-    series.points = common::parallel_map(
-        bit_error_rates,
-        [&](double ber) {
-          return SweepPoint{
-              ber, measure_with_skeleton(skeleton, workspaces,
-                                         link::LinkModel::from_ber(ber),
-                                         kernel)};
-        },
-        threads);
-    return series;
-  }
-  series.points = common::parallel_map(
-      bit_error_rates,
-      [&](double ber) {
-        return SweepPoint{
-            ber, measure_with_links(config, link::LinkModel::from_ber(ber),
-                                    kernel)};
-      },
-      threads);
+  std::vector<PointSpec> specs;
+  specs.reserve(bit_error_rates.size());
+  for (double ber : bit_error_rates)
+    specs.push_back({ber, config, link::LinkModel::from_ber(ber)});
+  series.points =
+      solve_points(specs, threads, kernel, reuse_skeleton, batch_lanes);
   return series;
 }
 
@@ -124,69 +249,52 @@ SweepSeries sweep_hop_count(std::uint32_t max_hops, double availability,
                             net::SuperframeConfig superframe,
                             std::uint32_t reporting_interval,
                             unsigned threads, TransientKernel kernel,
-                            bool reuse_skeleton) {
+                            bool reuse_skeleton, std::size_t batch_lanes) {
   expects(max_hops >= 1, "max_hops >= 1");
   expects(max_hops <= superframe.uplink_slots, "hops fit in the frame");
   WHART_REQUEST_SPAN("sweep_hop_count");
   WHART_COUNT_N("hart.sweep.points", max_hops);
   SweepSeries series;
   series.parameter_name = "hops";
-  std::vector<std::uint32_t> hop_counts;
-  hop_counts.reserve(max_hops);
-  for (std::uint32_t hops = 1; hops <= max_hops; ++hops)
-    hop_counts.push_back(hops);
-  common::WorkspacePool<SolveWorkspace> workspaces;
-  series.points = common::parallel_map(
-      hop_counts,
-      [&](std::uint32_t hops) {
-        PathModelConfig config;
-        for (std::uint32_t h = 0; h < hops; ++h)
-          config.hop_slots.push_back(h + 1);
-        config.superframe = superframe;
-        config.reporting_interval = reporting_interval;
-        const link::LinkModel model =
-            link::LinkModel::from_availability(availability);
-        if (!reuse_skeleton)
-          return SweepPoint{static_cast<double>(hops),
-                            measure_with_links(config, model, kernel)};
-        // Each hop count is a distinct shape: per-point symbolic build,
-        // but the workspace pool still spares per-point solve buffers.
-        const PathModelSkeleton skeleton(config);
-        return SweepPoint{
-            static_cast<double>(hops),
-            measure_with_skeleton(skeleton, workspaces, model, kernel)};
-      },
-      threads);
+  const link::LinkModel model =
+      link::LinkModel::from_availability(availability);
+  std::vector<PointSpec> specs;
+  specs.reserve(max_hops);
+  for (std::uint32_t hops = 1; hops <= max_hops; ++hops) {
+    PathModelConfig config;
+    for (std::uint32_t h = 0; h < hops; ++h)
+      config.hop_slots.push_back(h + 1);
+    config.superframe = superframe;
+    config.reporting_interval = reporting_interval;
+    specs.push_back(
+        {static_cast<double>(hops), std::move(config), model});
+  }
+  series.points =
+      solve_points(specs, threads, kernel, reuse_skeleton, batch_lanes);
   return series;
 }
 
 SweepSeries sweep_reporting_interval_series(
     const PathModelConfig& base_config, double availability,
     const std::vector<std::uint32_t>& intervals, unsigned threads,
-    TransientKernel kernel, bool reuse_skeleton) {
+    TransientKernel kernel, bool reuse_skeleton, std::size_t batch_lanes) {
   expects(!intervals.empty(), "at least one interval");
   WHART_REQUEST_SPAN("sweep_reporting_interval");
   WHART_COUNT_N("hart.sweep.points", intervals.size());
   SweepSeries series;
   series.parameter_name = "reporting_interval";
-  common::WorkspacePool<SolveWorkspace> workspaces;
-  series.points = common::parallel_map(
-      intervals,
-      [&](std::uint32_t is) {
-        PathModelConfig config = base_config;
-        config.reporting_interval = is;
-        config.ttl.reset();
-        const link::LinkModel model =
-            link::LinkModel::from_availability(availability);
-        if (!reuse_skeleton)
-          return SweepPoint{static_cast<double>(is),
-                            measure_with_links(config, model, kernel)};
-        const PathModelSkeleton skeleton(config);
-        return SweepPoint{
-            static_cast<double>(is),
-            measure_with_skeleton(skeleton, workspaces, model, kernel)};
-      },
-      threads);
+  const link::LinkModel model =
+      link::LinkModel::from_availability(availability);
+  std::vector<PointSpec> specs;
+  specs.reserve(intervals.size());
+  for (std::uint32_t is : intervals) {
+    PathModelConfig config = base_config;
+    config.reporting_interval = is;
+    config.ttl.reset();
+    specs.push_back({static_cast<double>(is), std::move(config), model});
+  }
+  series.points =
+      solve_points(specs, threads, kernel, reuse_skeleton, batch_lanes);
   return series;
 }
 

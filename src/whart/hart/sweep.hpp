@@ -10,6 +10,14 @@
 // per schedule shape and every grid point performs only a numeric refill
 // into a pooled SolveWorkspace — bitwise-identical to per-point fresh
 // solves, just without the per-point allocation and re-enumeration.
+//
+// `batch_lanes > 1` additionally groups same-shape grid points —
+// contiguous or not — into SoA batches of at most that many lanes and
+// solves each batch through PathModelSkeleton::analyze_batch_into
+// (DESIGN.md §13): one walk of the shared sparsity patterns refills all
+// lanes at once.  Output order and values match the unbatched path to
+// rounding (~1e-15 relative); points the batch core cannot take (shape
+// singletons, degenerate availabilities) fall back to scalar refills.
 #pragma once
 
 #include <cstdint>
@@ -34,7 +42,9 @@ struct SweepSeries {
   std::vector<SweepPoint> points;
 };
 
-/// Evenly spaced values in [first, last] (inclusive, `count` >= 2).
+/// Evenly spaced values in [first, last] (inclusive, `count` >= 1).
+/// count == 1 yields the single point `first` — a degenerate grid
+/// (start == stop) emits one point, not a duplicated endpoint.
 std::vector<double> linspace(double first, double last, std::size_t count);
 
 /// Reachability/delay/etc. vs stationary link availability for a path
@@ -49,7 +59,8 @@ SweepSeries sweep_availability(const PathModelConfig& config,
                                unsigned threads = 0,
                                TransientKernel kernel =
                                    TransientKernel::kSuperframeProduct,
-                               bool reuse_skeleton = true);
+                               bool reuse_skeleton = true,
+                               std::size_t batch_lanes = 1);
 
 /// Sweep over the bit error rate (Eq. 1-2 pipeline), logarithmic ladders
 /// welcome.
@@ -58,26 +69,30 @@ SweepSeries sweep_ber(const PathModelConfig& config,
                       unsigned threads = 0,
                       TransientKernel kernel =
                           TransientKernel::kSuperframeProduct,
-                      bool reuse_skeleton = true);
+                      bool reuse_skeleton = true,
+                      std::size_t batch_lanes = 1);
 
 /// Sweep over the hop count: paths of 1..`max_hops` hops scheduled
 /// contiguously from slot 1 (Fig. 10).  The schedule shape changes at
-/// every point, so skeleton reuse here only pools workspaces.
+/// every point, so skeleton reuse here only pools workspaces and
+/// batching degenerates to shape singletons (scalar refills).
 SweepSeries sweep_hop_count(std::uint32_t max_hops, double availability,
                             net::SuperframeConfig superframe,
                             std::uint32_t reporting_interval,
                             unsigned threads = 0,
                             TransientKernel kernel =
                                 TransientKernel::kSuperframeProduct,
-                            bool reuse_skeleton = true);
+                            bool reuse_skeleton = true,
+                            std::size_t batch_lanes = 1);
 
-/// Sweep over the reporting interval (Section VI-D).  Like the hop
-/// sweep, every point has its own shape (per-point skeleton build).
+/// Sweep over the reporting interval (Section VI-D).  Distinct intervals
+/// have their own shapes (per-shape skeleton build); repeated intervals
+/// share a skeleton and, with batch_lanes > 1, a batch.
 SweepSeries sweep_reporting_interval_series(
     const PathModelConfig& base_config, double availability,
     const std::vector<std::uint32_t>& intervals, unsigned threads = 0,
     TransientKernel kernel = TransientKernel::kSuperframeProduct,
-    bool reuse_skeleton = true);
+    bool reuse_skeleton = true, std::size_t batch_lanes = 1);
 
 /// Write a series as CSV: parameter, reachability, expected_delay_ms,
 /// delay_jitter_ms, utilization, utilization_delivered.

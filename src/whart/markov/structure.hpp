@@ -74,6 +74,21 @@ class ChainProductSkeleton {
     return partials_.size();
   }
 
+  /// Patterns of every left-to-right partial product (partials()[k] is
+  /// the pattern of M_0 * ... * M_k) — the replay schedule that
+  /// markov::BatchRefill walks lane-parallel.
+  [[nodiscard]] const std::vector<CsrPattern>& partials() const noexcept {
+    return partials_;
+  }
+
+  /// Widest column count across the partials (accumulator sizing).
+  [[nodiscard]] std::size_t max_cols() const noexcept { return max_cols_; }
+
+  /// Largest intermediate-partial nonzero count (ping-pong sizing).
+  [[nodiscard]] std::size_t max_partial_nonzeros() const noexcept {
+    return max_partial_nnz_;
+  }
+
   /// Numeric pass: recompute the product's values from `factors` (which
   /// must match the ctor patterns entry-for-entry) into `values_out`
   /// (size pattern().nonzeros()).  Allocation-free once `arena` is warm.

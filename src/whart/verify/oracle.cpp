@@ -254,6 +254,76 @@ OracleReport cross_validate(const Scenario& scenario,
         }
       }
     }
+
+    // Batch leg: the SoA lane-parallel refill (DESIGN.md §13).  Lane 0
+    // carries the scenario's true availabilities; lanes 1..3 deform them
+    // strictly into (0, 1), so the batch always holds distinct
+    // non-degenerate lanes and a cross-lane swap is always observable.
+    // Each lane must reproduce its own fresh scalar superframe solve to
+    // 1e-12 relative — bitwise is not promised here, because the SIMD
+    // backend may contract multiply-adds differently from the scalar
+    // build.  kLaneSwap corrupts only this leg.
+    {
+      constexpr std::size_t kLanes = 4;
+      constexpr double kLaneTolerance = 1e-12;
+      const hart::PathModel model(path_config);
+      const hart::PathModelSkeleton skeleton(path_config);
+      std::vector<hart::SteadyStateLinks> lane_links;
+      lane_links.reserve(kLanes);
+      for (std::size_t j = 0; j < kLanes; ++j) {
+        std::vector<double> lane_avail = availabilities;
+        if (j > 0) {
+          const double blend = 0.1 * static_cast<double>(j);
+          for (double& a : lane_avail)
+            a = a * (1.0 - blend) + 0.5 * blend +
+                0.001 * static_cast<double>(j);
+        }
+        lane_links.emplace_back(lane_avail);
+      }
+      std::vector<const hart::LinkProbabilityProvider*> providers;
+      providers.reserve(kLanes);
+      for (const hart::SteadyStateLinks& lane : lane_links)
+        providers.push_back(&lane);
+      hart::PathAnalysisOptions batch_options;
+      batch_options.kernel = hart::TransientKernel::kSuperframeProduct;
+      batch_options.batch_lanes = kLanes;
+      batch_options.inject_lane_swap =
+          config.injection == Injection::kLaneSwap;
+      hart::BatchSolveWorkspace batch_workspace;
+      std::vector<hart::PathTransientResult> batched(kLanes);
+      skeleton.analyze_batch_into(providers, batch_options, batch_workspace,
+                                  batched);
+      hart::PathAnalysisOptions lane_options;
+      lane_options.kernel = hart::TransientKernel::kSuperframeProduct;
+      for (std::size_t j = 0; j < kLanes; ++j) {
+        const hart::PathTransientResult fresh =
+            model.analyze(lane_links[j], lane_options);
+        const auto compare_lane = [&](const std::string& field,
+                                      double fresh_value,
+                                      double lane_value) {
+          if (!close(fresh_value, lane_value, kLaneTolerance))
+            add_finding(p, "batch:lane" + std::to_string(j) + ":" + field,
+                        "fresh " + format_double(fresh_value) + " vs lane " +
+                            format_double(lane_value));
+        };
+        for (std::size_t i = 0; i < fresh.cycle_probabilities.size(); ++i)
+          compare_lane("g(" + std::to_string(i + 1) + ")",
+                       fresh.cycle_probabilities[i],
+                       batched[j].cycle_probabilities[i]);
+        compare_lane("discard", fresh.discard_probability,
+                     batched[j].discard_probability);
+        compare_lane("expected_transmissions", fresh.expected_transmissions,
+                     batched[j].expected_transmissions);
+        compare_lane("transmissions_delivered",
+                     fresh.expected_transmissions_delivered,
+                     batched[j].expected_transmissions_delivered);
+        for (std::size_t h = 0;
+             h < fresh.expected_transmissions_per_hop.size(); ++h)
+          compare_lane("transmissions_hop" + std::to_string(h),
+                       fresh.expected_transmissions_per_hop[h],
+                       batched[j].expected_transmissions_per_hop[h]);
+      }
+    }
   }
 
   // Simulator leg.  Retry slots cannot be expressed in a net::Schedule,

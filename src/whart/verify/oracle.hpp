@@ -12,7 +12,14 @@
 //   (5) the refill leg — a PathModelSkeleton numeric refill (symbolic
 //       phase captured once, values refilled per solve; DESIGN.md §12),
 //       run cold and warm for both kernels and required to reproduce
-//       the fresh solve BITWISE, not merely within tolerance.
+//       the fresh solve BITWISE, not merely within tolerance;
+//   (6) the batch leg — the SoA lane-parallel refill
+//       (PathModelSkeleton::analyze_batch_into, DESIGN.md §13): the
+//       scenario's availabilities plus three deformed variants solve as
+//       one four-lane batch, and every lane must match its own fresh
+//       scalar solve to 1e-12 relative — cross-lane contamination in
+//       the vectorized core shows up as a lane answering a neighbour's
+//       question.
 // Production vs. reference must agree to a deterministic relative
 // tolerance (both are exact solvers of the same chain).  Production vs.
 // simulator is judged statistically: a disagreement counts only when
@@ -28,8 +35,11 @@
 // delivery probabilities, kProductEntry corrupts one entry of the
 // superframe-product matrix the kernel leg solves through,
 // kStaleSkeletonValue biases one refilled value of the refill leg (a
-// stand-in for a stale skeleton provenance map).  A healthy harness
-// reports findings for every injection and none for kNone.
+// stand-in for a stale skeleton provenance map), kLaneSwap swaps the
+// first two value lanes of the batch leg's SoA cycle product (a
+// stand-in for a lane-indexing bug in the vectorized refill).  A
+// healthy harness reports findings for every injection and none for
+// kNone.
 #pragma once
 
 #include <cstdint>
@@ -57,6 +67,11 @@ enum class Injection {
   /// the numeric refill only — a stand-in for a stale or mis-indexed
   /// skeleton provenance map.  Caught by the bitwise refill comparison.
   kStaleSkeletonValue,
+  /// The batch leg's first two SoA cycle-product value lanes swapped
+  /// after the vectorized refill — cross-lane contamination, the
+  /// signature of a lane-indexing bug in the Gustavson replay.  Caught
+  /// by the per-lane comparison against fresh scalar solves.
+  kLaneSwap,
 };
 
 struct OracleConfig {

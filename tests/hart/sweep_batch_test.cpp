@@ -1,0 +1,230 @@
+// Batched sweeps (DESIGN.md §13): grouping same-shape grid points into
+// SoA batches must not change any sweep's output — same point order,
+// same CSV shape, measures equal to the unbatched (and skeleton-free)
+// baselines to well below reporting precision.  Plus the linspace
+// count == 1 regression (a degenerate grid is one point, not a
+// duplicated endpoint) and the batched sensitivity/ranking paths.
+#include "whart/hart/sweep.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "whart/hart/link_probability.hpp"
+#include "whart/hart/sensitivity.hpp"
+#include "whart/net/typical_network.hpp"
+
+namespace whart::hart {
+namespace {
+
+// Batched lanes agree with scalar refills to rounding; 1e-12 relative
+// leaves three orders of magnitude of slack.
+void expect_value_close(double batched, double baseline,
+                        const std::string& what) {
+  const double scale =
+      std::max({1.0, std::abs(batched), std::abs(baseline)});
+  EXPECT_LE(std::abs(batched - baseline), 1e-12 * scale) << what;
+}
+
+void expect_series_close(const SweepSeries& batched,
+                         const SweepSeries& baseline) {
+  EXPECT_EQ(batched.parameter_name, baseline.parameter_name);
+  ASSERT_EQ(batched.points.size(), baseline.points.size());
+  for (std::size_t i = 0; i < baseline.points.size(); ++i) {
+    const std::string at = "point " + std::to_string(i);
+    EXPECT_EQ(batched.points[i].parameter, baseline.points[i].parameter)
+        << at;
+    const PathMeasures& b = batched.points[i].measures;
+    const PathMeasures& s = baseline.points[i].measures;
+    expect_value_close(b.reachability, s.reachability, at + " R");
+    expect_value_close(b.discard_probability, s.discard_probability,
+                       at + " discard");
+    expect_value_close(b.expected_delay_ms, s.expected_delay_ms,
+                       at + " delay");
+    expect_value_close(b.expected_transmissions, s.expected_transmissions,
+                       at + " transmissions");
+    expect_value_close(b.utilization, s.utilization, at + " U");
+    expect_value_close(b.utilization_delivered, s.utilization_delivered,
+                       at + " Ud");
+    ASSERT_EQ(b.cycle_probabilities.size(), s.cycle_probabilities.size())
+        << at;
+    for (std::size_t k = 0; k < s.cycle_probabilities.size(); ++k)
+      expect_value_close(b.cycle_probabilities[k],
+                         s.cycle_probabilities[k],
+                         at + " g(" + std::to_string(k + 1) + ")");
+  }
+}
+
+PathModelConfig section6_config() {
+  // The Section VI single-path shape behind the availability sweep.
+  PathModelConfig config;
+  config.hop_slots = {1, 2, 3, 4};
+  config.superframe = net::SuperframeConfig::symmetric(20);
+  config.reporting_interval = 4;
+  return config;
+}
+
+// Parse one CSV into its lines for structural comparison.
+std::vector<std::string> csv_lines(const SweepSeries& series) {
+  std::ostringstream out;
+  write_series_csv(out, series);
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream in(out.str());
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(SweepBatch, AvailabilitySweepMatchesUnbatchedGolden) {
+  const PathModelConfig config = section6_config();
+  const std::vector<double> grid = linspace(0.65, 0.99, 18);
+  // Three baselines: fresh per-point solves, scalar skeleton refills,
+  // and the batched path — all must tell the same story.
+  const SweepSeries fresh = sweep_availability(
+      config, grid, 1, TransientKernel::kSuperframeProduct, false);
+  const SweepSeries scalar = sweep_availability(
+      config, grid, 1, TransientKernel::kSuperframeProduct, true, 1);
+  const SweepSeries batched = sweep_availability(
+      config, grid, 1, TransientKernel::kSuperframeProduct, true, 8);
+  expect_series_close(scalar, fresh);
+  expect_series_close(batched, fresh);
+
+  // Golden CSV: identical structure, and each line's fields round to
+  // the same printed digits unless the underlying values differ beyond
+  // reporting precision (which expect_series_close already forbids).
+  const std::vector<std::string> golden = csv_lines(fresh);
+  const std::vector<std::string> lines = csv_lines(batched);
+  ASSERT_EQ(lines.size(), golden.size());
+  EXPECT_EQ(lines.front(), golden.front());  // header
+}
+
+TEST(SweepBatch, LaneCountBeyondGridStillWorks) {
+  const PathModelConfig config = section6_config();
+  const std::vector<double> grid = linspace(0.7, 0.9, 5);
+  const SweepSeries baseline = sweep_availability(
+      config, grid, 1, TransientKernel::kSuperframeProduct, true, 1);
+  // More lanes than points: one short batch.
+  const SweepSeries batched = sweep_availability(
+      config, grid, 1, TransientKernel::kSuperframeProduct, true, 64);
+  expect_series_close(batched, baseline);
+}
+
+TEST(SweepBatch, NonContiguousSameShapePointsShareABatch) {
+  // Repeated reporting intervals are interleaved with other shapes, so
+  // same-shape points are NOT adjacent in the grid — the open-batch
+  // grouping must still collect them while preserving output order.
+  PathModelConfig base = section6_config();
+  const std::vector<std::uint32_t> intervals = {16, 8, 16, 4, 8, 16, 16};
+  const SweepSeries baseline = sweep_reporting_interval_series(
+      base, 0.85, intervals, 1, TransientKernel::kSuperframeProduct,
+      true, 1);
+  const SweepSeries batched = sweep_reporting_interval_series(
+      base, 0.85, intervals, 1, TransientKernel::kSuperframeProduct,
+      true, 4);
+  ASSERT_EQ(batched.points.size(), intervals.size());
+  for (std::size_t i = 0; i < intervals.size(); ++i)
+    EXPECT_EQ(batched.points[i].parameter,
+              static_cast<double>(intervals[i]));
+  expect_series_close(batched, baseline);
+}
+
+TEST(SweepBatch, HopSweepDegeneratesToShapeSingletons) {
+  // Every hop count is its own shape: batching must quietly fall back
+  // to scalar refills and change nothing.
+  const SweepSeries baseline =
+      sweep_hop_count(4, 0.85, net::SuperframeConfig::symmetric(10), 4, 1,
+                      TransientKernel::kSuperframeProduct, true, 1);
+  const SweepSeries batched =
+      sweep_hop_count(4, 0.85, net::SuperframeConfig::symmetric(10), 4, 1,
+                      TransientKernel::kSuperframeProduct, true, 8);
+  expect_series_close(batched, baseline);
+}
+
+TEST(SweepBatch, BerSweepBatchesMatchScalar) {
+  const PathModelConfig config = section6_config();
+  const std::vector<double> bers = {1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 2e-3};
+  const SweepSeries baseline = sweep_ber(
+      config, bers, 1, TransientKernel::kSuperframeProduct, true, 1);
+  const SweepSeries batched = sweep_ber(
+      config, bers, 1, TransientKernel::kSuperframeProduct, true, 3);
+  expect_series_close(batched, baseline);
+}
+
+TEST(Linspace, CountOneIsASinglePoint) {
+  // Regression: count == 1 used to divide by (count - 1) and duplicate
+  // the endpoint; a degenerate grid must be exactly {first}.
+  const std::vector<double> single = linspace(0.8, 0.95, 1);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single.front(), 0.8);
+  const std::vector<double> flat = linspace(0.7, 0.7, 1);
+  ASSERT_EQ(flat.size(), 1u);
+  EXPECT_EQ(flat.front(), 0.7);
+}
+
+TEST(Linspace, EndpointsInclusiveForLargerCounts) {
+  const std::vector<double> grid = linspace(0.5, 0.9, 5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.5);
+  EXPECT_DOUBLE_EQ(grid.back(), 0.9);
+  for (std::size_t i = 1; i < grid.size(); ++i)
+    EXPECT_GT(grid[i], grid[i - 1]);
+}
+
+TEST(SensitivityBatch, LanesMatchScalarAdjointSweeps) {
+  PathModelConfig config;
+  config.hop_slots = {3, 6, 7};
+  config.superframe = net::SuperframeConfig::symmetric(7);
+  config.reporting_interval = 4;
+  const PathModel model(config);
+  const PathModelSkeleton skeleton(config);
+
+  const std::vector<std::vector<double>> lanes = {
+      {0.9, 0.75, 0.85}, {0.8, 0.8, 0.8}, {0.95, 0.7, 0.92},
+      {0.7, 0.9, 0.6}, {0.85, 0.85, 0.99}};
+  std::vector<SteadyStateLinks> links;
+  links.reserve(lanes.size());
+  for (const std::vector<double>& availabilities : lanes)
+    links.emplace_back(availabilities);
+  std::vector<const LinkProbabilityProvider*> providers;
+  providers.reserve(links.size());
+  for (const SteadyStateLinks& provider : links)
+    providers.push_back(&provider);
+
+  const std::vector<std::vector<double>> batched =
+      reachability_sensitivity_batch(skeleton, providers,
+                                     TransientKernel::kSuperframeProduct);
+  ASSERT_EQ(batched.size(), lanes.size());
+  for (std::size_t l = 0; l < lanes.size(); ++l) {
+    const std::vector<double> scalar = reachability_sensitivity(
+        model, links[l], TransientKernel::kSuperframeProduct);
+    ASSERT_EQ(batched[l].size(), scalar.size());
+    for (std::size_t h = 0; h < scalar.size(); ++h)
+      expect_value_close(batched[l][h], scalar[h],
+                         "lane " + std::to_string(l) + " hop " +
+                             std::to_string(h));
+  }
+}
+
+TEST(RankLinkUpgradesBatch, RankingMatchesScalarPath) {
+  const net::TypicalNetwork t = net::make_typical_network(
+      link::LinkModel::from_availability(0.83));
+  const std::vector<LinkSensitivity> scalar =
+      rank_link_upgrades(t.network, t.paths, t.eta_a, t.superframe, 4, 1,
+                         TransientKernel::kSuperframeProduct, 1);
+  const std::vector<LinkSensitivity> batched =
+      rank_link_upgrades(t.network, t.paths, t.eta_a, t.superframe, 4, 1,
+                         TransientKernel::kSuperframeProduct, 4);
+  ASSERT_EQ(batched.size(), scalar.size());
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    EXPECT_EQ(batched[i].link, scalar[i].link) << "rank " << i;
+    EXPECT_EQ(batched[i].paths_using, scalar[i].paths_using) << "rank " << i;
+    expect_value_close(batched[i].total_dR_dpi, scalar[i].total_dR_dpi,
+                       "rank " + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace whart::hart

@@ -23,7 +23,10 @@ TEST(Linspace, EvenSpacingWithExactEndpoints) {
   EXPECT_DOUBLE_EQ(v.front(), 0.65);
   EXPECT_DOUBLE_EQ(v.back(), 0.95);
   EXPECT_NEAR(v[1] - v[0], 0.05, 1e-12);
-  EXPECT_THROW(linspace(0.0, 1.0, 1), precondition_error);
+  // count == 1 is a degenerate grid of exactly {first}; only an empty
+  // grid is a contract violation.
+  EXPECT_EQ(linspace(0.0, 1.0, 1), std::vector<double>{0.0});
+  EXPECT_THROW(linspace(0.0, 1.0, 0), precondition_error);
 }
 
 TEST(Linspace, CountTwoIsExactlyTheEndpoints) {

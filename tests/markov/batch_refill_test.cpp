@@ -1,0 +1,375 @@
+// The lane-equivalence battery of the SoA batch solve (DESIGN.md §13).
+// Two layers: (1) markov::BatchRefill against the scalar
+// ChainProductSkeleton::refill on randomized matrix chains, every lane
+// checked independently; (2) PathModelSkeleton::analyze_batch_into
+// against scalar analyze_into over the generated scenario corpus and
+// the edge cases the batch partition must route around — single-lane
+// batches, lane counts straddling the hardware vector width, TTL cuts,
+// one-slot frames and degenerate (pfl 0/1) lanes that must fall back to
+// the scalar path inside a mixed batch.
+#include "whart/markov/batch_refill.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "whart/hart/link_probability.hpp"
+#include "whart/hart/path_model.hpp"
+#include "whart/linalg/simd.hpp"
+#include "whart/linalg/sparse.hpp"
+#include "whart/markov/structure.hpp"
+#include "whart/numeric/rng.hpp"
+#include "whart/verify/scenario.hpp"
+
+namespace whart::markov {
+namespace {
+
+// Per-lane arithmetic order matches the scalar refill, so lanes agree
+// with scalar solves to rounding; 1e-12 relative absorbs backend FMA
+// contraction differences with nine digits to spare.
+constexpr double kTol = 1e-12;
+
+void expect_close(double batched, double scalar, const std::string& what) {
+  const double scale =
+      std::max({1.0, std::abs(batched), std::abs(scalar)});
+  EXPECT_LE(std::abs(batched - scalar), kTol * scale) << what;
+}
+
+// --- Layer 1: the markov core on randomized chains ---------------------
+
+// A random square CSR pattern with values: every row gets 1..3 entries
+// (always the diagonal, so no factor annihilates the chain).
+linalg::CsrMatrix random_factor(std::size_t dim, numeric::Xoshiro256& rng) {
+  std::vector<linalg::Triplet> entries;
+  for (std::size_t r = 0; r < dim; ++r) {
+    entries.push_back({r, r, 0.25 + 0.5 * rng.uniform()});
+    const std::size_t extra = rng.next() % 3;
+    for (std::size_t e = 0; e < extra; ++e) {
+      const std::size_t c = rng.next() % dim;
+      if (c != r) entries.push_back({r, c, rng.uniform()});
+    }
+  }
+  return linalg::CsrMatrix(dim, dim, std::move(entries));
+}
+
+// Same pattern as `base`, fresh values for lane `lane`.
+linalg::CsrMatrix lane_variant(const linalg::CsrMatrix& base,
+                               std::size_t lane) {
+  const CsrPattern pattern = CsrPattern::of(base);
+  std::vector<double> values(base.values().begin(), base.values().end());
+  for (std::size_t k = 0; k < values.size(); ++k)
+    values[k] = values[k] * (1.0 + 0.01 * static_cast<double>(lane)) +
+                0.001 * static_cast<double>(lane + k % 3);
+  return linalg::CsrMatrix::from_parts(pattern.rows, pattern.cols,
+                                       pattern.row_start, pattern.col_index,
+                                       std::move(values));
+}
+
+void expect_batch_matches_scalar_chain(std::size_t dim,
+                                       std::size_t factor_count,
+                                       std::size_t lanes,
+                                       std::uint64_t seed) {
+  numeric::Xoshiro256 rng(seed);
+  std::vector<linalg::CsrMatrix> base;
+  base.reserve(factor_count);
+  for (std::size_t k = 0; k < factor_count; ++k)
+    base.push_back(random_factor(dim, rng));
+
+  std::vector<CsrPattern> patterns;
+  patterns.reserve(factor_count);
+  for (const linalg::CsrMatrix& factor : base)
+    patterns.push_back(CsrPattern::of(factor));
+  const ChainProductSkeleton chain(patterns);
+
+  // Per-lane factor sets and their SoA transpose.
+  std::vector<std::vector<linalg::CsrMatrix>> lane_factors(lanes);
+  std::vector<std::vector<double>> soa(factor_count);
+  for (std::size_t k = 0; k < factor_count; ++k)
+    soa[k].resize(patterns[k].nonzeros() * lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    lane_factors[l].reserve(factor_count);
+    for (std::size_t k = 0; k < factor_count; ++k) {
+      lane_factors[l].push_back(lane_variant(base[k], l));
+      const auto values = lane_factors[l].back().values();
+      for (std::size_t e = 0; e < values.size(); ++e)
+        soa[k][e * lanes + l] = values[e];
+    }
+  }
+
+  BatchLaneArena arena;
+  std::vector<double> batched(chain.pattern().nonzeros() * lanes);
+  const BatchRefill batch(chain, patterns);
+  batch.refill(soa, lanes, arena, std::span<double>(batched));
+  // Warm second pass must be identical (arena reuse is value-clean).
+  std::vector<double> warm(batched.size(), -1.0);
+  batch.refill(soa, lanes, arena, std::span<double>(warm));
+  EXPECT_EQ(batched, warm);
+
+  ChainRefillArena scalar_arena;
+  std::vector<double> scalar(chain.pattern().nonzeros());
+  for (std::size_t l = 0; l < lanes; ++l) {
+    chain.refill(lane_factors[l], scalar_arena, std::span<double>(scalar));
+    for (std::size_t k = 0; k < scalar.size(); ++k)
+      expect_close(batched[k * lanes + l], scalar[k],
+                   "entry " + std::to_string(k) + " lane " +
+                       std::to_string(l));
+  }
+}
+
+TEST(BatchRefill, LanesMatchScalarRefillOnRandomChains) {
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{4}, std::size_t{7}}) {
+    SCOPED_TRACE("lanes " + std::to_string(lanes));
+    expect_batch_matches_scalar_chain(6, 4, lanes, 17 + lanes);
+    expect_batch_matches_scalar_chain(9, 7, lanes, 400 + lanes);
+  }
+}
+
+TEST(BatchRefill, LaneCountsStraddlingVectorWidth) {
+  // The remainder loop of every simd helper: widths around kWidth and a
+  // count that is not a multiple of it.
+  const std::size_t w = linalg::simd::kWidth;
+  std::vector<std::size_t> widths = {w, w + 1, 2 * w + 1, 3};
+  if (w > 1) widths.push_back(w - 1);
+  for (const std::size_t lanes : widths) {
+    SCOPED_TRACE("lanes " + std::to_string(lanes));
+    expect_batch_matches_scalar_chain(7, 5, lanes, 900 + lanes);
+  }
+}
+
+TEST(BatchRefill, SingleFactorChainIsAPassthrough) {
+  expect_batch_matches_scalar_chain(5, 1, 3, 7);
+}
+
+// --- Layer 2: the hart batch solve against scalar analyze_into ---------
+
+using hart::PathAnalysisOptions;
+using hart::PathModel;
+using hart::PathModelConfig;
+using hart::PathModelSkeleton;
+using hart::PathTransientResult;
+using hart::SteadyStateLinks;
+using hart::TransientKernel;
+
+void expect_lane_matches_scalar(const PathTransientResult& batched,
+                                const PathTransientResult& scalar,
+                                const std::string& lane) {
+  ASSERT_EQ(batched.cycle_probabilities.size(),
+            scalar.cycle_probabilities.size());
+  for (std::size_t i = 0; i < scalar.cycle_probabilities.size(); ++i)
+    expect_close(batched.cycle_probabilities[i],
+                 scalar.cycle_probabilities[i],
+                 lane + " cycle " + std::to_string(i));
+  expect_close(batched.discard_probability, scalar.discard_probability,
+               lane + " discard");
+  expect_close(batched.expected_transmissions,
+               scalar.expected_transmissions, lane + " transmissions");
+  expect_close(batched.expected_transmissions_delivered,
+               scalar.expected_transmissions_delivered,
+               lane + " delivered");
+  ASSERT_EQ(batched.expected_transmissions_per_hop.size(),
+            scalar.expected_transmissions_per_hop.size());
+  for (std::size_t h = 0;
+       h < scalar.expected_transmissions_per_hop.size(); ++h)
+    expect_close(batched.expected_transmissions_per_hop[h],
+                 scalar.expected_transmissions_per_hop[h],
+                 lane + " hop " + std::to_string(h));
+  EXPECT_EQ(batched.trajectory_stride, scalar.trajectory_stride) << lane;
+  ASSERT_EQ(batched.goal_trajectory.size(), scalar.goal_trajectory.size());
+  for (std::size_t k = 0; k < scalar.goal_trajectory.size(); ++k) {
+    ASSERT_EQ(batched.goal_trajectory[k].size(),
+              scalar.goal_trajectory[k].size());
+    for (std::size_t i = 0; i < scalar.goal_trajectory[k].size(); ++i)
+      expect_close(batched.goal_trajectory[k][i],
+                   scalar.goal_trajectory[k][i],
+                   lane + " trajectory " + std::to_string(k) + "," +
+                       std::to_string(i));
+  }
+}
+
+// Solve `lane_availabilities` as one batch through a shared skeleton and
+// check every lane against its own scalar refill.
+void expect_batch_solve_matches_scalar(
+    const PathModelConfig& config,
+    const std::vector<std::vector<double>>& lane_availabilities) {
+  const PathModelSkeleton skeleton(config);
+  std::vector<SteadyStateLinks> links;
+  links.reserve(lane_availabilities.size());
+  for (const std::vector<double>& availabilities : lane_availabilities)
+    links.emplace_back(availabilities);
+  std::vector<const hart::LinkProbabilityProvider*> providers;
+  providers.reserve(links.size());
+  for (const SteadyStateLinks& provider : links)
+    providers.push_back(&provider);
+
+  PathAnalysisOptions options;
+  options.kernel = TransientKernel::kSuperframeProduct;
+  options.batch_lanes = lane_availabilities.size();
+
+  hart::BatchSolveWorkspace workspace;
+  std::vector<PathTransientResult> batched(links.size());
+  skeleton.analyze_batch_into(providers, options, workspace, batched);
+  // Warm pass through the same workspace must agree too.
+  std::vector<PathTransientResult> warm(links.size());
+  skeleton.analyze_batch_into(providers, options, workspace, warm);
+
+  hart::SolveWorkspace scalar_ws;
+  PathTransientResult scalar;
+  for (std::size_t l = 0; l < links.size(); ++l) {
+    skeleton.analyze_into(links[l], options, scalar_ws, scalar);
+    expect_lane_matches_scalar(batched[l], scalar,
+                               "lane " + std::to_string(l));
+    expect_lane_matches_scalar(warm[l], scalar,
+                               "warm lane " + std::to_string(l));
+  }
+}
+
+// Deform base availabilities into `lanes` distinct points, all strictly
+// inside (0, 1).
+std::vector<std::vector<double>> deformed_lanes(
+    const std::vector<double>& base, std::size_t lanes) {
+  std::vector<std::vector<double>> out;
+  out.reserve(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    std::vector<double> lane = base;
+    const double blend = 0.08 * static_cast<double>(l);
+    for (double& a : lane)
+      a = a * (1.0 - blend) + 0.5 * blend + 0.001 * static_cast<double>(l);
+    out.push_back(std::move(lane));
+  }
+  return out;
+}
+
+TEST(BatchSolve, EveryLaneMatchesScalarAcrossScenarioCorpus) {
+  const verify::ScenarioGenerator generator;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const verify::Scenario scenario = generator.generate(seed);
+    for (std::size_t p = 0; p < scenario.path_count(); ++p) {
+      SCOPED_TRACE("path " + std::to_string(p));
+      expect_batch_solve_matches_scalar(
+          scenario.path_config(p),
+          deformed_lanes(scenario.hop_availabilities(p), 4));
+    }
+  }
+}
+
+PathModelConfig three_hop_config() {
+  PathModelConfig config;
+  config.hop_slots = {2, 5, 7};
+  config.superframe = net::SuperframeConfig::symmetric(9);
+  config.reporting_interval = 4;
+  return config;
+}
+
+TEST(BatchSolve, SingleLaneBatchMatchesScalar) {
+  expect_batch_solve_matches_scalar(three_hop_config(),
+                                    deformed_lanes({0.7, 0.85, 0.9}, 1));
+}
+
+TEST(BatchSolve, LaneCountsAroundVectorWidth) {
+  const std::size_t w = linalg::simd::kWidth;
+  std::vector<std::size_t> widths = {w, w + 1, 2 * w + 1};
+  if (w > 1) widths.push_back(w - 1);
+  for (const std::size_t lanes : widths) {
+    SCOPED_TRACE("lanes " + std::to_string(lanes));
+    expect_batch_solve_matches_scalar(
+        three_hop_config(), deformed_lanes({0.7, 0.85, 0.9}, lanes));
+  }
+}
+
+TEST(BatchSolve, TtlCutBatchesMatchScalar) {
+  PathModelConfig config = three_hop_config();
+  config.ttl = 14;  // cuts the horizon mid-cycle
+  expect_batch_solve_matches_scalar(config,
+                                    deformed_lanes({0.6, 0.8, 0.95}, 5));
+}
+
+TEST(BatchSolve, OneSlotFrameBatchesMatchScalar) {
+  PathModelConfig config;
+  config.hop_slots = {1};
+  config.superframe = net::SuperframeConfig::symmetric(1);
+  config.reporting_interval = 3;
+  expect_batch_solve_matches_scalar(config, deformed_lanes({0.75}, 4));
+}
+
+TEST(BatchSolve, DegenerateLanesFallBackInsideAMixedBatch) {
+  // pfl of 0 or 1 changes the sparsity pattern, so those lanes must be
+  // routed to the scalar per-lane path while the rest still batch — and
+  // every lane, batched or fallen back, must match its scalar solve.
+  expect_batch_solve_matches_scalar(
+      three_hop_config(),
+      {{0.7, 0.85, 0.9},
+       {0.0, 0.85, 0.9},    // dead hop: scalar fallback
+       {1.0, 1.0, 1.0},     // perfect links: scalar fallback
+       {0.72, 0.83, 0.88},  // batchable
+       {0.68, 0.8, 0.93}});
+}
+
+TEST(BatchSolve, PerSlotKernelFallsBackToScalarLanes) {
+  // The per-slot kernel has no SoA core; analyze_batch_into must route
+  // every lane through the scalar refill and still match.
+  const PathModelConfig config = three_hop_config();
+  const PathModelSkeleton skeleton(config);
+  const std::vector<std::vector<double>> lanes =
+      deformed_lanes({0.7, 0.85, 0.9}, 3);
+  std::vector<SteadyStateLinks> links;
+  links.reserve(lanes.size());
+  for (const std::vector<double>& availabilities : lanes)
+    links.emplace_back(availabilities);
+  std::vector<const hart::LinkProbabilityProvider*> providers;
+  providers.reserve(links.size());
+  for (const SteadyStateLinks& provider : links)
+    providers.push_back(&provider);
+
+  PathAnalysisOptions options;
+  options.kernel = TransientKernel::kPerSlot;
+  options.batch_lanes = lanes.size();
+  hart::BatchSolveWorkspace workspace;
+  std::vector<PathTransientResult> batched(links.size());
+  skeleton.analyze_batch_into(providers, options, workspace, batched);
+
+  hart::SolveWorkspace scalar_ws;
+  PathTransientResult scalar;
+  for (std::size_t l = 0; l < links.size(); ++l) {
+    skeleton.analyze_into(links[l], options, scalar_ws, scalar);
+    expect_lane_matches_scalar(batched[l], scalar,
+                               "lane " + std::to_string(l));
+  }
+}
+
+TEST(BatchSolve, LaneSwapInjectionBreaksLaneEquivalence) {
+  // The lane-swap fault must actually contaminate lanes — otherwise the
+  // oracle's batch arm (and its WILL_FAIL self-test) verifies nothing.
+  const PathModelConfig config = three_hop_config();
+  const PathModelSkeleton skeleton(config);
+  const std::vector<std::vector<double>> lanes =
+      deformed_lanes({0.7, 0.85, 0.9}, 4);
+  std::vector<SteadyStateLinks> links;
+  links.reserve(lanes.size());
+  for (const std::vector<double>& availabilities : lanes)
+    links.emplace_back(availabilities);
+  std::vector<const hart::LinkProbabilityProvider*> providers;
+  providers.reserve(links.size());
+  for (const SteadyStateLinks& provider : links)
+    providers.push_back(&provider);
+
+  PathAnalysisOptions options;
+  options.kernel = TransientKernel::kSuperframeProduct;
+  options.batch_lanes = lanes.size();
+  options.inject_lane_swap = true;
+  hart::BatchSolveWorkspace workspace;
+  std::vector<PathTransientResult> swapped(links.size());
+  skeleton.analyze_batch_into(providers, options, workspace, swapped);
+
+  hart::SolveWorkspace scalar_ws;
+  PathTransientResult scalar;
+  skeleton.analyze_into(links[0], options, scalar_ws, scalar);
+  EXPECT_NE(swapped[0].cycle_probabilities, scalar.cycle_probabilities);
+}
+
+}  // namespace
+}  // namespace whart::markov
