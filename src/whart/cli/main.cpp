@@ -16,6 +16,13 @@
 //   --sweep <file>       export an availability sweep (0.65..0.99) of the
 //                        worst path as CSV (reachability, delay, jitter)
 //   --shards <n>         Monte-Carlo shards (deterministic per shard count)
+//   --channel <spec>     correlated burst-loss channel overlay:
+//                        iid | ge:pgb,pbg,eg,eb | chain:<file>.  Every
+//                        hop runs the overlay rescaled to its own
+//                        steady-state availability; the analysis solves
+//                        the channel-enlarged DTMC, --simulate draws
+//                        from the same chains (kChannel regime) and
+//                        --sweep evaluates its grid under the overlay
 //   --kernel <name>      transient solver: per-slot (default) or
 //                        superframe (superframe-product collapse; same
 //                        results to rounding, faster for long intervals)
@@ -44,6 +51,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "whart/cli/spec_parser.hpp"
@@ -72,6 +80,7 @@ struct Options {
   std::string csv_path;
   std::string sweep_path;
   std::uint64_t shards = 0;  // 0 = simulator default
+  std::string channel_spec;  // empty = per-slot-independent links
   std::string metrics_path;
   std::string trace_path;
   std::string obs_dir;
@@ -85,7 +94,9 @@ int usage() {
   std::cerr << "usage: whart_cli <spec-file>|-|--typical "
                "[--interval <Is>] [--simulate <intervals>] [--energy] "
                "[--stability <targetR>] [--csv <file>] [--sweep <file>] "
-               "[--shards <n>] [--kernel per-slot|superframe] "
+               "[--shards <n>] "
+               "[--channel iid|ge:pgb,pbg,eg,eb|chain:<file>] "
+               "[--kernel per-slot|superframe] "
                "[--reuse-skeleton|--no-reuse-skeleton] "
                "[--batch-lanes <n>] "
                "[--metrics[=<file>]] [--trace[=<file>]] "
@@ -173,9 +184,16 @@ void print_analysis(const whart::cli::ParsedSpec& spec,
   const whart::net::Schedule schedule = whart::net::build_schedule(
       spec.paths, spec.superframe.uplink_slots, spec.policy);
 
+  // Parsed here, inside main's try block, so a malformed spec reports as
+  // a normal CLI error rather than escaping the argument loop.
+  std::optional<whart::link::ChannelModel> channel;
+  if (!options.channel_spec.empty())
+    channel = whart::link::ChannelModel::parse(options.channel_spec);
+
   whart::hart::AnalysisOptions analysis_options;
   analysis_options.kernel = options.kernel;
   analysis_options.reuse_skeleton = options.reuse_skeleton;
+  analysis_options.channel = channel;
   const whart::hart::NetworkMeasures measures = whart::hart::analyze_network(
       spec.network, spec.paths, schedule, spec.superframe,
       spec.reporting_interval, analysis_options);
@@ -184,7 +202,16 @@ void print_analysis(const whart::cli::ParsedSpec& spec,
   std::cout << "Superframe: Fup=" << spec.superframe.uplink_slots
             << " Fdown=" << spec.superframe.downlink_slots
             << "  reporting interval Is=" << spec.reporting_interval
-            << "\n\n";
+            << "\n";
+  if (channel.has_value()) {
+    std::cout << "Channel: " << channel->to_string();
+    if (channel->state_count() == 2)
+      std::cout << "  (mean bad burst "
+                << Table::fixed(channel->mean_bad_burst_length(), 2)
+                << " slots)";
+    std::cout << "\n";
+  }
+  std::cout << "\n";
 
   Table table({"path", "hops", "reachability", "E[delay] ms", "utilization",
                "E[intervals to 1st loss]"});
@@ -233,6 +260,10 @@ void print_analysis(const whart::cli::ParsedSpec& spec,
     sim_config.intervals = simulate_intervals;
     if (options.shards > 0)
       sim_config.shards = static_cast<std::uint32_t>(options.shards);
+    if (channel.has_value()) {
+      sim_config.regime = whart::sim::LinkRegime::kChannel;
+      sim_config.channel = channel;
+    }
     whart::sim::NetworkSimulator simulator(spec.network, spec.paths,
                                            schedule, sim_config);
     const whart::sim::SimulationReport report = simulator.run();
@@ -263,7 +294,8 @@ void print_analysis(const whart::cli::ParsedSpec& spec,
             schedule, worst, spec.superframe, spec.reporting_interval);
     const whart::hart::SweepSeries series = whart::hart::sweep_availability(
         config, whart::hart::linspace(0.65, 0.99, 18), 0, options.kernel,
-        options.reuse_skeleton, options.batch_lanes);
+        options.reuse_skeleton, options.batch_lanes,
+        channel.has_value() ? &*channel : nullptr);
     std::ofstream file(options.sweep_path);
     if (!file)
       throw std::runtime_error("cannot write '" + options.sweep_path + "'");
@@ -328,6 +360,8 @@ int main(int argc, char** argv) {
       options.sweep_path = argv[++i];
     else if (arg == "--shards" && i + 1 < argc)
       options.shards = std::stoull(argv[++i]);
+    else if (arg == "--channel" && i + 1 < argc)
+      options.channel_spec = argv[++i];
     else if (arg == "--kernel" && i + 1 < argc) {
       const std::string name = argv[++i];
       if (name == "per-slot")

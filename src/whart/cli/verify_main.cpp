@@ -17,10 +17,15 @@
 //   --intervals <n>      Monte-Carlo intervals per scenario (default 4000)
 //   --shards <n>         Monte-Carlo shards (default 4)
 //   --threads <n>        scenario fan-out workers (default: WHART_THREADS)
+//   --channel-prob <p>   probability [0, 1] that a generated scenario
+//                        carries a correlated-channel overlay (default
+//                        0.45; 1 makes every scenario a channel one —
+//                        the GE row of the CI fuzz matrix)
 //   --inject <fault>     corrupt the production leg on purpose:
 //                        link-bias | discard-leak | cycle-shift |
 //                        product-entry | stale-skeleton-value |
-//                        lane-swap (a healthy harness must then FAIL)
+//                        lane-swap | channel-state-leak (a healthy
+//                        harness must then FAIL)
 //   --metrics[=<file>]   dump the obs metrics snapshot as JSON
 //                        (default file: whart_verify_metrics.json)
 //   --obs-dir=<dir>      full observability bundle (metrics.json,
@@ -46,8 +51,9 @@ int usage() {
   std::cerr << "usage: whart_verify [--seed <s>] [--runs <n>] "
                "[--corpus <file>] [--no-shrink] [--no-sim] "
                "[--intervals <n>] [--shards <n>] [--threads <n>] "
+               "[--channel-prob <p>] "
                "[--inject link-bias|discard-leak|cycle-shift|product-entry|"
-               "stale-skeleton-value|lane-swap] "
+               "stale-skeleton-value|lane-swap|channel-state-leak] "
                "[--metrics[=<file>]] [--obs-dir=<dir>]\n";
   return 2;
 }
@@ -95,6 +101,12 @@ int main(int argc, char** argv) {
         const char* v = value();
         if (v == nullptr) return usage();
         config.threads = static_cast<unsigned>(std::stoul(v));
+      } else if (arg == "--channel-prob") {
+        const char* v = value();
+        if (v == nullptr) return usage();
+        const double p = std::stod(v);
+        if (p < 0.0 || p > 1.0) return usage();
+        config.limits.channel_probability = p;
       } else if (arg == "--inject") {
         const char* v = value();
         if (v == nullptr) return usage();
@@ -112,6 +124,9 @@ int main(int argc, char** argv) {
               whart::verify::Injection::kStaleSkeletonValue;
         else if (fault == "lane-swap")
           config.oracle.injection = whart::verify::Injection::kLaneSwap;
+        else if (fault == "channel-state-leak")
+          config.oracle.injection =
+              whart::verify::Injection::kChannelStateLeak;
         else
           return usage();
       } else if (arg == "--metrics") {

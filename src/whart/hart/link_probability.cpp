@@ -31,6 +31,38 @@ std::size_t SteadyStateLinks::hop_count() const {
   return availability_.size();
 }
 
+ChannelLinks::ChannelLinks(std::vector<link::ChannelModel> channels)
+    : channels_(std::move(channels)) {
+  expects(!channels_.empty(), "at least one link");
+  marginal_.reserve(channels_.size());
+  for (const link::ChannelModel& c : channels_)
+    marginal_.push_back(c.marginal_success());
+}
+
+ChannelLinks::ChannelLinks(std::size_t hops, link::ChannelModel channel)
+    : ChannelLinks(std::vector<link::ChannelModel>(hops, channel)) {}
+
+double ChannelLinks::up_probability(std::size_t hop, std::uint64_t) const {
+  expects(hop < marginal_.size(), "hop in range");
+  return marginal_[hop];
+}
+
+std::size_t ChannelLinks::hop_count() const { return channels_.size(); }
+
+const link::ChannelModel* ChannelLinks::channel_model(std::size_t hop) const {
+  expects(hop < channels_.size(), "hop in range");
+  return &channels_[hop];
+}
+
+bool channel_enlarged(const LinkProbabilityProvider& links,
+                      std::size_t hops) {
+  for (std::size_t h = 0; h < hops; ++h) {
+    const link::ChannelModel* channel = links.channel_model(h);
+    if (channel != nullptr && channel->state_count() > 1) return true;
+  }
+  return false;
+}
+
 TransientLinks::TransientLinks(std::vector<link::LinkModel> links,
                                std::vector<double> initial_up)
     : links_(std::move(links)), initial_up_(std::move(initial_up)) {

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "whart/link/channel_model.hpp"
 #include "whart/link/failure_script.hpp"
 #include "whart/link/link_model.hpp"
 
@@ -35,6 +36,47 @@ class LinkProbabilityProvider {
   /// over time (transient links, scripted failures) must keep the
   /// default false; PathModel then falls back to the per-slot solve.
   [[nodiscard]] virtual bool cycle_stationary() const { return false; }
+
+  /// The finite-state Markov channel behind hop `hop`, or nullptr when
+  /// the hop is per-slot independent.  When any hop returns a channel
+  /// with more than one state, PathModel enlarges its DTMC so the hop
+  /// carries the channel state (hart/path_model_channel.cpp) and
+  /// up_probability is interpreted as the channel's stationary marginal
+  /// success (used by the i.i.d. code paths a degenerate channel must
+  /// reproduce).
+  [[nodiscard]] virtual const link::ChannelModel* channel_model(
+      std::size_t /*hop*/) const {
+    return nullptr;
+  }
+};
+
+/// Correlated burst-loss links: each hop runs an independent k-state
+/// ChannelModel started from its stationary distribution, so the
+/// marginal per-attempt success is constant (cycle-stationary) while
+/// consecutive attempts on the same hop are correlated through the
+/// chain.  With every channel at k = 1 this degenerates to
+/// SteadyStateLinks semantics exactly.
+class ChannelLinks final : public LinkProbabilityProvider {
+ public:
+  explicit ChannelLinks(std::vector<link::ChannelModel> channels);
+
+  /// Homogeneous shorthand: `hops` copies of the same channel.
+  ChannelLinks(std::size_t hops, link::ChannelModel channel);
+
+  [[nodiscard]] double up_probability(std::size_t hop,
+                                      std::uint64_t absolute_slot)
+      const override;
+  [[nodiscard]] std::size_t hop_count() const override;
+
+  /// Stationary-start channels have slot-independent marginals.
+  [[nodiscard]] bool cycle_stationary() const override { return true; }
+
+  [[nodiscard]] const link::ChannelModel* channel_model(
+      std::size_t hop) const override;
+
+ private:
+  std::vector<link::ChannelModel> channels_;
+  std::vector<double> marginal_;  ///< cached marginal_success per hop
 };
 
 /// Paper Eq. 4: all links have reached steady state — each attempt on hop
@@ -83,6 +125,14 @@ class TransientLinks final : public LinkProbabilityProvider {
 /// Links with scripted failure windows (Section VI-C): forced DOWN inside
 /// each window, steady state before the first window, transient recovery
 /// from DOWN afterwards.
+/// True when any of the first `hops` hops of `links` carries a
+/// multi-state channel — the condition under which PathModel enlarges
+/// its DTMC state space (and skeleton/batch refills fall back to fresh
+/// solves, since the enlarged shape is not the one their patterns were
+/// captured for).
+[[nodiscard]] bool channel_enlarged(const LinkProbabilityProvider& links,
+                                    std::size_t hops);
+
 class ScriptedLinks final : public LinkProbabilityProvider {
  public:
   explicit ScriptedLinks(std::vector<link::ScriptedLink> links);

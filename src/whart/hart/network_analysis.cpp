@@ -43,7 +43,8 @@ NetworkMeasures analyze_network(const net::Network& network,
   std::vector<std::string> shape_keys(paths.size());
   std::unordered_map<std::string, std::shared_ptr<const PathModelSkeleton>>
       skeletons;
-  if (cache == nullptr && options.reuse_skeleton) {
+  if (cache == nullptr && options.reuse_skeleton &&
+      !options.channel.has_value()) {
     for (std::size_t p = 0; p < paths.size(); ++p) {
       shape_keys[p] =
           PathAnalysisCache::skeleton_fingerprint(configs[p], options.kernel);
@@ -63,7 +64,20 @@ NetworkMeasures analyze_network(const net::Network& network,
         availability.reserve(config.hop_count());
         for (const link::LinkModel& model : paths[p].hop_models(network))
           availability.push_back(model.steady_state_availability());
-        if (cache != nullptr) {
+        if (options.channel.has_value()) {
+          // Channel-enlarged solve: each hop runs the overlay rescaled to
+          // its own availability, and neither the cache nor the skeleton
+          // store applies (both key the i.i.d. shape).
+          std::vector<link::ChannelModel> channels;
+          channels.reserve(availability.size());
+          for (double a : availability)
+            channels.push_back(options.channel->with_marginal_success(a));
+          const PathModel model(config);
+          const ChannelLinks links(std::move(channels));
+          PathAnalysisOptions path_options;
+          path_options.kernel = options.kernel;
+          per_path[p] = compute_path_measures(model, links, path_options);
+        } else if (cache != nullptr) {
           per_path[p] = cache->measures(config, availability, options.kernel,
                                         options.reuse_skeleton);
         } else if (options.reuse_skeleton) {

@@ -4,10 +4,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "whart/hart/path_analysis.hpp"
 #include "whart/hart/path_cache.hpp"
+#include "whart/link/channel_model.hpp"
 #include "whart/net/path.hpp"
 #include "whart/net/schedule.hpp"
 #include "whart/net/superframe.hpp"
@@ -45,6 +47,16 @@ struct AnalysisOptions {
   /// identical to fresh per-path solves; off is the differential
   /// oracle's baseline.  Forwarded to the cache when one is in use.
   bool reuse_skeleton = true;
+
+  /// Correlated-channel overlay.  When set, every hop of every path runs
+  /// this channel rescaled so its stationary marginal success equals the
+  /// hop's steady-state availability (ChannelModel::with_marginal_success)
+  /// and the per-path solves go through the channel-enlarged DTMC
+  /// (hart/path_model_channel.cpp).  Channel paths always solve fresh:
+  /// the cache and the skeleton store key the i.i.d. shape, not the
+  /// enlarged one, so neither is consulted.  A one-state (i.i.d.)
+  /// channel reproduces the plain analysis to rounding.
+  std::optional<link::ChannelModel> channel;
 };
 
 /// One point of the network-wide delay distribution.

@@ -98,6 +98,8 @@ PathTransientResult PathModel::analyze(
 PathTransientResult PathModel::analyze(
     const LinkProbabilityProvider& links,
     const PathAnalysisOptions& options) const {
+  if (channel_enlarged(links, config_.hop_count()))
+    return analyze_channel(links, options);
   if (options.kernel == TransientKernel::kSuperframeProduct) {
     if (links.cycle_stationary())
       return analyze_superframe(links, options.inject_product_error);
@@ -1027,6 +1029,14 @@ void PathModelSkeleton::analyze_into(const LinkProbabilityProvider& links,
                                      PathTransientResult& result) const {
   expects(links.hop_count() >= config().hop_count(),
           "provider covers every hop");
+  if (channel_enlarged(links, config().hop_count())) {
+    // The skeleton's patterns describe the compact i.i.d. chain; a
+    // multi-state channel enlarges the state space, so refilling cannot
+    // reproduce a fresh build — solve fresh through the channel core.
+    WHART_COUNT("hart.skeleton.refill_fallback");
+    result = model_.analyze(links, options);
+    return;
+  }
   const StaleLinks stale(links, options.inject_stale_skeleton);
   const LinkProbabilityProvider& provider =
       options.inject_stale_skeleton != 0.0
@@ -1112,7 +1122,8 @@ void PathModelSkeleton::analyze_batch_into(
     bool batchable = options.kernel == TransientKernel::kSuperframeProduct &&
                      options.inject_product_error == 0.0 &&
                      options.inject_stale_skeleton == 0.0 &&
-                     links[i]->cycle_stationary();
+                     links[i]->cycle_stationary() &&
+                     !channel_enlarged(*links[i], config().hop_count());
     if (batchable)
       for (std::size_t fi = 0; fi < provenance_.size(); ++fi) {
         const SlotProvenance& prov = provenance_[fi];

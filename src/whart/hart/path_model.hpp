@@ -81,6 +81,15 @@ struct PathAnalysisOptions {
   /// lane contamination), which the differential oracle's batch arm
   /// must catch.  Always false in production.
   bool inject_lane_swap = false;
+
+  /// Verification-harness fault injection: in the channel-enlarged
+  /// solver (path_model_channel.cpp), redistribute the failure mass of
+  /// every firing row by the channel's *stationary* distribution instead
+  /// of the conditioned transition row — i.e. forget that a failed
+  /// attempt is evidence of a bad channel state.  The classic bug a
+  /// correlated-channel solver can have; the oracle's channel arm must
+  /// catch it.  Always false in production.
+  bool inject_channel_state_leak = false;
 };
 
 /// Static description of one path's model.
@@ -353,6 +362,22 @@ class PathModel {
   [[nodiscard]] std::vector<linalg::CsrMatrix> slot_matrices(
       const LinkProbabilityProvider& links) const;
 
+  /// The cycle_slots() per-slot transition matrices of one cycle over
+  /// the channel-enlarged chain (DESIGN.md §14): states
+  /// off[h]..off[h]+k_h-1 are "waiting at hop h in channel state s"
+  /// (k_h = hop h's ChannelModel state count, 1 when the hop has none),
+  /// followed by Goal and Discard.  Every slot — idle uplink and
+  /// downlink included — mixes each hop's channel block through its
+  /// transition matrix; a firing slot splits the block row into success
+  /// q_s times a fresh stationary draw of the next hop's channel (exact,
+  /// because per-link chains are independent and started stationary) and
+  /// failure (1 - q_s) times the conditioned transition row.  With
+  /// `inject_state_leak` the failure mass is redistributed by the
+  /// stationary distribution instead — the channel-state-leak fault the
+  /// oracle must catch.
+  [[nodiscard]] std::vector<linalg::CsrMatrix> channel_slot_matrices(
+      const LinkProbabilityProvider& links, bool inject_state_leak) const;
+
   /// Materialize the underlying DTMC (the output of the paper's
   /// Algorithm 1) with transition probabilities frozen from `links`.
   /// State names follow the paper: "(3,3,-)", goal states "R7", "R14",
@@ -377,6 +402,16 @@ class PathModel {
 
  private:
   friend class PathModelSkeleton;
+
+  /// Channel-enlarged solver (path_model_channel.cpp): dispatched by
+  /// analyze() whenever any hop of `links` reports a multi-state
+  /// ChannelModel.  Honors the kernel choice — a per-slot stored-
+  /// backward solve over the enlarged matrices, or the superframe
+  /// collapse through markov::SuperframeKernel — and the product-entry
+  /// and channel-state-leak injections.
+  [[nodiscard]] PathTransientResult analyze_channel(
+      const LinkProbabilityProvider& links,
+      const PathAnalysisOptions& options) const;
 
   [[nodiscard]] PathTransientResult analyze_per_slot(
       const LinkProbabilityProvider& links) const;

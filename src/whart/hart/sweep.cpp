@@ -27,6 +27,23 @@ PathMeasures measure_with_links(const PathModelConfig& config,
   return compute_path_measures(path_model, links, options);
 }
 
+/// Channel counterpart of measure_with_links: the overlay rescaled so
+/// its stationary marginal success equals the point's availability,
+/// solved through the channel-enlarged DTMC.  Always a fresh solve —
+/// the skeleton/batch refill patterns key the i.i.d. shape.
+PathMeasures measure_with_channel(const PathModelConfig& config,
+                                  const link::LinkModel& model,
+                                  const link::ChannelModel& channel,
+                                  TransientKernel kernel) {
+  const PathModel path_model(config);
+  const ChannelLinks links(
+      config.hop_count(),
+      channel.with_marginal_success(model.steady_state_availability()));
+  PathAnalysisOptions options;
+  options.kernel = kernel;
+  return compute_path_measures(path_model, links, options);
+}
+
 /// Numeric-refill counterpart of measure_with_links: the skeleton holds
 /// the symbolic phase, the pooled workspace the warm buffers.  Bitwise
 /// equal to measure_with_links on the skeleton's config (shared numeric
@@ -62,7 +79,17 @@ struct PointSpec {
 std::vector<SweepPoint> solve_points(const std::vector<PointSpec>& specs,
                                      unsigned threads, TransientKernel kernel,
                                      bool reuse_skeleton,
-                                     std::size_t batch_lanes) {
+                                     std::size_t batch_lanes,
+                                     const link::ChannelModel* channel) {
+  if (channel != nullptr)
+    return common::parallel_map(
+        specs,
+        [&](const PointSpec& spec) {
+          return SweepPoint{spec.parameter,
+                            measure_with_channel(spec.config, spec.model,
+                                                 *channel, kernel)};
+        },
+        threads);
   if (!reuse_skeleton)
     return common::parallel_map(
         specs,
@@ -212,7 +239,8 @@ std::vector<double> linspace(double first, double last, std::size_t count) {
 SweepSeries sweep_availability(const PathModelConfig& config,
                                const std::vector<double>& availabilities,
                                unsigned threads, TransientKernel kernel,
-                               bool reuse_skeleton, std::size_t batch_lanes) {
+                               bool reuse_skeleton, std::size_t batch_lanes,
+                               const link::ChannelModel* channel) {
   expects(!availabilities.empty(), "at least one sample");
   WHART_REQUEST_SPAN("sweep_availability");
   WHART_COUNT_N("hart.sweep.points", availabilities.size());
@@ -222,15 +250,16 @@ SweepSeries sweep_availability(const PathModelConfig& config,
   specs.reserve(availabilities.size());
   for (double pi : availabilities)
     specs.push_back({pi, config, link::LinkModel::from_availability(pi)});
-  series.points =
-      solve_points(specs, threads, kernel, reuse_skeleton, batch_lanes);
+  series.points = solve_points(specs, threads, kernel, reuse_skeleton,
+                               batch_lanes, channel);
   return series;
 }
 
 SweepSeries sweep_ber(const PathModelConfig& config,
                       const std::vector<double>& bit_error_rates,
                       unsigned threads, TransientKernel kernel,
-                      bool reuse_skeleton, std::size_t batch_lanes) {
+                      bool reuse_skeleton, std::size_t batch_lanes,
+                      const link::ChannelModel* channel) {
   expects(!bit_error_rates.empty(), "at least one sample");
   WHART_REQUEST_SPAN("sweep_ber");
   WHART_COUNT_N("hart.sweep.points", bit_error_rates.size());
@@ -240,8 +269,8 @@ SweepSeries sweep_ber(const PathModelConfig& config,
   specs.reserve(bit_error_rates.size());
   for (double ber : bit_error_rates)
     specs.push_back({ber, config, link::LinkModel::from_ber(ber)});
-  series.points =
-      solve_points(specs, threads, kernel, reuse_skeleton, batch_lanes);
+  series.points = solve_points(specs, threads, kernel, reuse_skeleton,
+                               batch_lanes, channel);
   return series;
 }
 
@@ -249,7 +278,8 @@ SweepSeries sweep_hop_count(std::uint32_t max_hops, double availability,
                             net::SuperframeConfig superframe,
                             std::uint32_t reporting_interval,
                             unsigned threads, TransientKernel kernel,
-                            bool reuse_skeleton, std::size_t batch_lanes) {
+                            bool reuse_skeleton, std::size_t batch_lanes,
+                            const link::ChannelModel* channel) {
   expects(max_hops >= 1, "max_hops >= 1");
   expects(max_hops <= superframe.uplink_slots, "hops fit in the frame");
   WHART_REQUEST_SPAN("sweep_hop_count");
@@ -269,15 +299,16 @@ SweepSeries sweep_hop_count(std::uint32_t max_hops, double availability,
     specs.push_back(
         {static_cast<double>(hops), std::move(config), model});
   }
-  series.points =
-      solve_points(specs, threads, kernel, reuse_skeleton, batch_lanes);
+  series.points = solve_points(specs, threads, kernel, reuse_skeleton,
+                               batch_lanes, channel);
   return series;
 }
 
 SweepSeries sweep_reporting_interval_series(
     const PathModelConfig& base_config, double availability,
     const std::vector<std::uint32_t>& intervals, unsigned threads,
-    TransientKernel kernel, bool reuse_skeleton, std::size_t batch_lanes) {
+    TransientKernel kernel, bool reuse_skeleton, std::size_t batch_lanes,
+    const link::ChannelModel* channel) {
   expects(!intervals.empty(), "at least one interval");
   WHART_REQUEST_SPAN("sweep_reporting_interval");
   WHART_COUNT_N("hart.sweep.points", intervals.size());
@@ -293,8 +324,8 @@ SweepSeries sweep_reporting_interval_series(
     config.ttl.reset();
     specs.push_back({static_cast<double>(is), std::move(config), model});
   }
-  series.points =
-      solve_points(specs, threads, kernel, reuse_skeleton, batch_lanes);
+  series.points = solve_points(specs, threads, kernel, reuse_skeleton,
+                               batch_lanes, channel);
   return series;
 }
 

@@ -27,6 +27,7 @@
 
 #include "whart/hart/path_analysis.hpp"
 #include "whart/hart/path_model.hpp"
+#include "whart/link/channel_model.hpp"
 
 namespace whart::hart {
 
@@ -54,13 +55,22 @@ std::vector<double> linspace(double first, double last, std::size_t count);
 /// results in parameter order, bit-identical to the serial loop.
 /// `reuse_skeleton = false` rebuilds the full model at every grid point
 /// (the differential oracle's baseline; results are bitwise the same).
+///
+/// `channel` (every sweep): optional correlated-channel overlay.  When
+/// non-null, each grid point rescales the template so its stationary
+/// marginal success equals the point's link availability
+/// (ChannelModel::with_marginal_success) and solves through the
+/// channel-enlarged DTMC.  Channel points always solve fresh — the
+/// skeleton/batch refills key the i.i.d. shape, not the enlarged one —
+/// so `reuse_skeleton`/`batch_lanes` are inert under a channel.
 SweepSeries sweep_availability(const PathModelConfig& config,
                                const std::vector<double>& availabilities,
                                unsigned threads = 0,
                                TransientKernel kernel =
                                    TransientKernel::kSuperframeProduct,
                                bool reuse_skeleton = true,
-                               std::size_t batch_lanes = 1);
+                               std::size_t batch_lanes = 1,
+                               const link::ChannelModel* channel = nullptr);
 
 /// Sweep over the bit error rate (Eq. 1-2 pipeline), logarithmic ladders
 /// welcome.
@@ -70,7 +80,8 @@ SweepSeries sweep_ber(const PathModelConfig& config,
                       TransientKernel kernel =
                           TransientKernel::kSuperframeProduct,
                       bool reuse_skeleton = true,
-                      std::size_t batch_lanes = 1);
+                      std::size_t batch_lanes = 1,
+                      const link::ChannelModel* channel = nullptr);
 
 /// Sweep over the hop count: paths of 1..`max_hops` hops scheduled
 /// contiguously from slot 1 (Fig. 10).  The schedule shape changes at
@@ -83,7 +94,8 @@ SweepSeries sweep_hop_count(std::uint32_t max_hops, double availability,
                             TransientKernel kernel =
                                 TransientKernel::kSuperframeProduct,
                             bool reuse_skeleton = true,
-                            std::size_t batch_lanes = 1);
+                            std::size_t batch_lanes = 1,
+                            const link::ChannelModel* channel = nullptr);
 
 /// Sweep over the reporting interval (Section VI-D).  Distinct intervals
 /// have their own shapes (per-shape skeleton build); repeated intervals
@@ -92,7 +104,8 @@ SweepSeries sweep_reporting_interval_series(
     const PathModelConfig& base_config, double availability,
     const std::vector<std::uint32_t>& intervals, unsigned threads = 0,
     TransientKernel kernel = TransientKernel::kSuperframeProduct,
-    bool reuse_skeleton = true, std::size_t batch_lanes = 1);
+    bool reuse_skeleton = true, std::size_t batch_lanes = 1,
+    const link::ChannelModel* channel = nullptr);
 
 /// Write a series as CSV: parameter, reachability, expected_delay_ms,
 /// delay_jitter_ms, utilization, utilization_delivered.

@@ -60,6 +60,8 @@ struct NetworkSimulator::LinkRuntime {
   link::LinkModel model{0.5, 0.5};
   bool up = true;
   std::uint64_t last_slot = 0;
+  /// Channel regime: current state of the per-link channel chain.
+  std::size_t channel_state = 0;
 
   // Physical-regime companions.
   link::ChannelBlacklist blacklist;
@@ -88,6 +90,23 @@ struct NetworkSimulator::ShardState {
   }
 };
 
+namespace {
+
+/// Draw an index from the distribution `p(0..k-1)` (assumed to sum to 1;
+/// the last index absorbs any rounding remainder).
+template <typename Prob>
+std::size_t sample_state(numeric::Xoshiro256& rng, std::size_t k, Prob&& p) {
+  const double u = rng.uniform();
+  double mass = 0.0;
+  for (std::size_t s = 0; s + 1 < k; ++s) {
+    mass += p(s);
+    if (u < mass) return s;
+  }
+  return k - 1;
+}
+
+}  // namespace
+
 NetworkSimulator::~NetworkSimulator() = default;
 
 NetworkSimulator::NetworkSimulator(const net::Network& network,
@@ -106,6 +125,16 @@ NetworkSimulator::NetworkSimulator(const net::Network& network,
           "schedule length matches the superframe uplink size");
   expects(config_.physical.bad_channels < phy::kChannelCount,
           "some channels must be clean");
+  if (config_.regime == LinkRegime::kChannel) {
+    expects(config_.channel.has_value(),
+            "channel regime needs a channel template");
+    expects(config_.scripted_failures.empty(),
+            "scripted failures are a Gilbert-regime feature");
+    link_channels_.reserve(network_.link_count());
+    for (net::LinkId id : network_.links())
+      link_channels_.push_back(config_.channel->with_marginal_success(
+          network_.link(id).model.steady_state_availability()));
+  }
 
   hop_links_.reserve(paths_.size());
   for (const net::Path& path : paths_) {
@@ -168,6 +197,22 @@ bool NetworkSimulator::attempt(ShardState& shard, std::size_t link_index,
     return success;
   }
 
+  if (config_.regime == LinkRegime::kChannel) {
+    // Step the channel chain one slot at a time up to this slot.  The
+    // attempt sees the state at the start of `absolute_slot`; the
+    // transition out of this slot happens lazily before the next use,
+    // exactly like the enlarged analytic matrices where the firing slot
+    // both decides success on the entry state and then mixes the chain.
+    const link::ChannelModel& channel = link_channels_[link_index];
+    ensures(absolute_slot >= rt.last_slot, "time moves forward");
+    for (std::uint64_t t = rt.last_slot; t < absolute_slot; ++t)
+      rt.channel_state = sample_state(
+          shard.rng, channel.state_count(),
+          [&](std::size_t s) { return channel.transition(rt.channel_state, s); });
+    rt.last_slot = absolute_slot;
+    return shard.rng.bernoulli(channel.success_in_state(rt.channel_state));
+  }
+
   if (config_.regime == LinkRegime::kIndependent) {
     // Every attempt is an independent Bernoulli trial at the stationary
     // availability — the exact regime of the steady-state analytics.
@@ -213,6 +258,17 @@ SimulationReport NetworkSimulator::run_shard(std::uint64_t seed,
     for (std::size_t p = 0; p < paths_.size(); ++p) {
       messages[p] = Message{};
       ++report.per_path[p].messages;
+    }
+    if (config_.regime == LinkRegime::kChannel) {
+      // Fresh stationary draw per link at the start of every interval
+      // (link index order), matching the analytic assumption that each
+      // message arrival sees an independent stationary chain.
+      for (std::size_t l = 0; l < shard.links.size(); ++l) {
+        const std::vector<double>& pi = link_channels_[l].stationary();
+        shard.links[l].channel_state = sample_state(
+            shard.rng, pi.size(), [&](std::size_t s) { return pi[s]; });
+        shard.links[l].last_slot = interval_base_slot;
+      }
     }
     for (std::uint32_t cycle = 0; cycle < cycles; ++cycle) {
       for (std::uint32_t slot = 1; slot <= fup; ++slot) {

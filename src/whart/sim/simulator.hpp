@@ -10,6 +10,7 @@
 #include <optional>
 #include <vector>
 
+#include "whart/link/channel_model.hpp"
 #include "whart/link/failure_script.hpp"
 #include "whart/net/path.hpp"
 #include "whart/net/schedule.hpp"
@@ -40,6 +41,14 @@ enum class LinkRegime {
   /// network-manager blacklisting.  Demonstrates the full stack; not
   /// expected to match the Gilbert analytics bit-for-bit.
   kPhysical,
+  /// Every link is a k-state channel chain (SimulatorConfig::channel
+  /// rescaled to the link's stationary availability) stepped once per
+  /// slot, with a fresh stationary draw at the start of every reporting
+  /// interval.  This is the exact regime of the enlarged-state-space
+  /// analytics (hart::ChannelLinks): independent per-link chains started
+  /// stationary, so empirical frequencies converge to the analytic
+  /// channel solver and confidence bounds apply directly.
+  kChannel,
 };
 
 /// Parameters of the physical regime.
@@ -73,6 +82,11 @@ struct SimulatorConfig {
   std::optional<std::uint32_t> ttl;
   LinkRegime regime = LinkRegime::kGilbert;
   PhysicalChannelConfig physical;
+  /// Channel-chain template for LinkRegime::kChannel: each link runs
+  /// `channel.with_marginal_success(availability)` where availability is
+  /// the link's stationary availability, mirroring how the analytics
+  /// build hart::ChannelLinks.  Required when regime == kChannel.
+  std::optional<link::ChannelModel> channel;
   /// Forced-DOWN windows applied in every interval (Gilbert regime only).
   std::vector<ScriptedLinkFailure> scripted_failures;
 
@@ -153,6 +167,9 @@ class NetworkSimulator {
   SimulatorConfig config_;
   /// hop_links_[p][h]: index of the network link used by hop h of path p.
   std::vector<std::vector<std::size_t>> hop_links_;
+  /// Channel regime only: per-network-link chain, the config template
+  /// rescaled to each link's stationary availability.
+  std::vector<link::ChannelModel> link_channels_;
 };
 
 }  // namespace whart::sim

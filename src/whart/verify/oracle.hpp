@@ -20,6 +20,12 @@
 //       scalar solve to 1e-12 relative — cross-lane contamination in
 //       the vectorized core shows up as a lane answering a neighbour's
 //       question.
+//   (7) the channel leg — when the scenario carries a correlated-channel
+//       overlay, the channel-enlarged production solver (both kernels)
+//       is compared against verify::reference_solve_channel, an
+//       independent dense solver over the (t, hop, channel-state) grid,
+//       and the simulator leg switches to the kChannel regime so the
+//       empirical draws come from the very chains the analytics solve.
 // Production vs. reference must agree to a deterministic relative
 // tolerance (both are exact solvers of the same chain).  Production vs.
 // simulator is judged statistically: a disagreement counts only when
@@ -72,6 +78,15 @@ enum class Injection {
   /// signature of a lane-indexing bug in the Gustavson replay.  Caught
   /// by the per-lane comparison against fresh scalar solves.
   kLaneSwap,
+  /// The channel leg's firing rows redistribute their failure mass by
+  /// the *stationary* distribution instead of the failure-conditioned
+  /// transition row — the signature of dropping the channel-state
+  /// memory between retry attempts (what makes bursts bursts).  To make
+  /// the self-test deterministic the oracle forces a fixed
+  /// Gilbert-Elliott overlay and a multi-cycle interval onto the
+  /// scenario, so retries exist and the leak is observable.  Caught by
+  /// the channel-reference comparison.
+  kChannelStateLeak,
 };
 
 struct OracleConfig {

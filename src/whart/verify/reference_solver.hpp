@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "whart/hart/path_model.hpp"
+#include "whart/link/channel_model.hpp"
 
 namespace whart::verify {
 
@@ -42,5 +43,16 @@ struct ReferenceResult {
 /// per hop, each in [0, 1]).
 ReferenceResult reference_solve(const hart::PathModelConfig& config,
                                 const std::vector<double>& availabilities);
+
+/// Solve `config` under per-hop channel chains (one link::ChannelModel
+/// per hop, already rescaled to the hop's availability).  Independent
+/// second opinion on the channel-enlarged production solver: the grid is
+/// widened to (t, h, s) — uplink layer, hop, channel state of the
+/// current hop — and, because the chain mixes in every 10 ms slot, the
+/// forward/backward passes walk every absolute slot of the interval
+/// including idle uplink and downlink slots.
+ReferenceResult reference_solve_channel(
+    const hart::PathModelConfig& config,
+    const std::vector<link::ChannelModel>& channels);
 
 }  // namespace whart::verify

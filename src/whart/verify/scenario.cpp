@@ -45,6 +45,18 @@ std::vector<double> Scenario::hop_availabilities(std::size_t index) const {
   return availability;
 }
 
+std::vector<link::ChannelModel> Scenario::hop_channels(
+    std::size_t index) const {
+  expects(index < paths.size(), "path index in range");
+  expects(channel.has_value(), "scenario carries a channel overlay");
+  std::vector<link::ChannelModel> channels;
+  channels.reserve(paths[index].links.size());
+  for (const link::LinkModel& link : paths[index].links)
+    channels.push_back(
+        channel->with_marginal_success(link.steady_state_availability()));
+  return channels;
+}
+
 bool Scenario::slots_sorted(std::size_t index) const {
   expects(index < paths.size(), "path index in range");
   return std::is_sorted(paths[index].hop_slots.begin(),
@@ -57,6 +69,7 @@ std::string Scenario::to_string() const {
       << " Fdown=" << superframe.downlink_slots
       << " Is=" << reporting_interval;
   if (ttl.has_value()) out << " ttl=" << *ttl;
+  if (channel.has_value()) out << " channel=" << channel->to_string();
   for (std::size_t p = 0; p < paths.size(); ++p) {
     out << " path" << p + 1 << "[";
     for (std::size_t h = 0; h < paths[p].hop_count(); ++h) {
@@ -212,6 +225,41 @@ Scenario ScenarioGenerator::generate(std::uint64_t seed) const {
       scenario.reporting_interval * scenario.superframe.uplink_slots;
   if (rng.uniform() < limits_.ttl_probability)
     scenario.ttl = 1 + static_cast<std::uint32_t>(rng.below(horizon));
+
+  // Correlated-channel overlay, drawn from a *forked* stream so the base
+  // scenario of any seed is identical with and without the feature (and
+  // pre-channel corpus seeds keep meaning what they meant).
+  numeric::Xoshiro256 channel_rng(seed ^ 0x6368616E6E656CULL);
+  if (channel_rng.uniform() < limits_.channel_probability) {
+    if (channel_rng.uniform() < 0.8) {
+      // Gilbert-Elliott with seeded burst parameters: bursty bad states
+      // (mean burst length 1/p_bg in [1.25, 10] slots) and a clear
+      // good/bad error-rate separation.
+      const double p_gb = 0.05 + 0.45 * channel_rng.uniform();
+      const double p_bg = 0.1 + 0.7 * channel_rng.uniform();
+      const double e_g = 0.15 * channel_rng.uniform();
+      const double e_b = 0.35 + 0.6 * channel_rng.uniform();
+      scenario.channel =
+          link::ChannelModel::gilbert_elliott(p_gb, p_bg, e_g, e_b);
+    } else {
+      // 3-state fading chain: rows biased toward staying put (fading is
+      // slow), error rates ordered good < mid < bad.
+      std::vector<double> rows;
+      for (std::size_t r = 0; r < 3; ++r) {
+        double w[3];
+        double total = 0.0;
+        for (std::size_t c = 0; c < 3; ++c) {
+          w[c] = (r == c ? 2.0 : 0.1) + channel_rng.uniform();
+          total += w[c];
+        }
+        for (double x : w) rows.push_back(x / total);
+      }
+      scenario.channel = link::ChannelModel::chain(
+          std::move(rows), {0.1 * channel_rng.uniform(),
+                            0.2 + 0.3 * channel_rng.uniform(),
+                            0.6 + 0.35 * channel_rng.uniform()});
+    }
+  }
 
   scenario.validate();
   return scenario;

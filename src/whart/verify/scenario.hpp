@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "whart/hart/path_model.hpp"
+#include "whart/link/channel_model.hpp"
 #include "whart/link/link_model.hpp"
 #include "whart/net/path.hpp"
 #include "whart/net/schedule.hpp"
@@ -49,6 +50,11 @@ struct Scenario {
   std::uint32_t reporting_interval = 1;
   /// Message TTL in uplink slots; unset = full horizon.
   std::optional<std::uint32_t> ttl;
+  /// Correlated-channel overlay: a network-wide channel template that
+  /// every hop runs rescaled to its own stationary availability
+  /// (link::ChannelModel::with_marginal_success).  Unset = the classic
+  /// per-slot-independent regime.
+  std::optional<link::ChannelModel> channel;
   std::vector<ScenarioPath> paths;
 
   [[nodiscard]] std::size_t path_count() const noexcept {
@@ -68,6 +74,12 @@ struct Scenario {
 
   /// Steady-state availability of each hop of path `index`.
   [[nodiscard]] std::vector<double> hop_availabilities(
+      std::size_t index) const;
+
+  /// Per-hop channel chains of path `index`: the scenario's channel
+  /// template rescaled to each hop's availability.  Requires
+  /// channel.has_value().
+  [[nodiscard]] std::vector<link::ChannelModel> hop_channels(
       std::size_t index) const;
 
   /// True when path `index`'s hop slots are in increasing order (the
@@ -111,6 +123,11 @@ struct GeneratorLimits {
   /// Probability that a hop draws a degenerate link (pfl = 0, pfl = 1,
   /// or near-zero availability) instead of a mid-range one.
   double edge_link_probability = 0.15;
+  /// Probability of a correlated-channel overlay (Gilbert-Elliott with
+  /// seeded burst parameters, occasionally a 3-state fading chain).  The
+  /// overlay is drawn from an RNG stream forked off the seed, so seeds
+  /// from pre-channel corpora still produce the same base scenario.
+  double channel_probability = 0.45;
 };
 
 /// Deterministic scenario sampler: generate(seed) is a pure function.

@@ -1,16 +1,23 @@
 // Integration: the DTMC analytics and the Monte-Carlo simulator must agree
 // on reachability, cycle distribution, delay and utilization — two fully
-// independent implementations of the same protocol semantics.  The
-// simulator runs in the kIndependent regime (exactly the analytic link
-// model), so every comparison uses a computed confidence bound from
-// verify::bounds at a fixed per-check failure probability instead of a
-// hand-tuned epsilon.
+// independent implementations of the same protocol semantics.  The main
+// suite runs parameterized over link regimes: kIndependent (exactly the
+// analytic steady-state link model) and kChannel (every link runs a
+// Gilbert-Elliott chain, matched by the channel-enlarged analytics), so
+// every comparison uses a computed confidence bound from verify::bounds
+// at a fixed per-check failure probability instead of a hand-tuned
+// epsilon — and the structural invariants (row-stochastic transitions,
+// mass conservation, R + discard = 1) are inherited for free by both
+// regimes through the shared solver checks.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <optional>
+#include <tuple>
 
 #include "whart/hart/failure.hpp"
 #include "whart/hart/network_analysis.hpp"
+#include "whart/link/channel_model.hpp"
 #include "whart/net/typical_network.hpp"
 #include "whart/sim/simulator.hpp"
 #include "whart/verify/bounds.hpp"
@@ -22,43 +29,66 @@ namespace {
 // this file, so the whole-file false-alarm rate stays below 1e-5.
 constexpr double kPerCheckDelta = 1e-8;
 
+// The Gilbert-Elliott template of the kChannel rows: mean bad burst of
+// 1 / 0.35 ~ 2.9 slots, rescaled per link to its availability.
+std::optional<link::ChannelModel> regime_channel(sim::LinkRegime regime) {
+  if (regime != sim::LinkRegime::kChannel) return std::nullopt;
+  return link::ChannelModel::gilbert_elliott(0.12, 0.35, 0.03, 0.75);
+}
+
 sim::SimulationReport simulate(const net::TypicalNetwork& t,
                                const net::Schedule& schedule,
-                               std::uint64_t intervals, std::uint64_t seed) {
+                               std::uint64_t intervals, std::uint64_t seed,
+                               sim::LinkRegime regime) {
   sim::SimulatorConfig config;
   config.superframe = t.superframe;
   config.reporting_interval = 4;
   config.intervals = intervals;
   config.seed = seed;
-  config.regime = sim::LinkRegime::kIndependent;
+  config.regime = regime;
+  config.channel = regime_channel(regime);
   const sim::NetworkSimulator simulator(t.network, t.paths, schedule, config);
   return simulator.run();
 }
 
-class ModelVsSimulation : public ::testing::TestWithParam<double> {};
+class ModelVsSimulation
+    : public ::testing::TestWithParam<std::tuple<double, sim::LinkRegime>> {
+};
 
 TEST_P(ModelVsSimulation, TypicalNetworkReachabilityWithinConfidence) {
-  const double availability = GetParam();
+  const auto [availability, regime] = GetParam();
   const net::TypicalNetwork t = net::make_typical_network(
       link::LinkModel::from_availability(availability));
 
+  hart::AnalysisOptions options;
+  options.channel = regime_channel(regime);
   const hart::NetworkMeasures model = hart::analyze_network(
-      t.network, t.paths, t.eta_a, t.superframe, 4);
-  const sim::SimulationReport report = simulate(t, t.eta_a, 20000, 4242);
+      t.network, t.paths, t.eta_a, t.superframe, 4, options);
+  const sim::SimulationReport report =
+      simulate(t, t.eta_a, 20000, 4242, regime);
 
   const double z = verify::z_for_delta(kPerCheckDelta);
   for (std::size_t p = 0; p < t.paths.size(); ++p) {
+    // R + discard = 1 holds in every regime (the channel-enlarged chain
+    // conserves mass exactly like the i.i.d. one).
+    EXPECT_NEAR(model.per_path[p].reachability +
+                    model.per_path[p].discard_probability,
+                1.0, 1e-12);
     const auto ci = report.per_path[p].reachability_interval(z);
     EXPECT_TRUE(ci.contains(model.per_path[p].reachability))
-        << "pi=" << availability << " path " << p + 1 << ": model "
+        << "pi=" << availability << " regime "
+        << static_cast<int>(regime) << " path " << p + 1 << ": model "
         << model.per_path[p].reachability << " not in [" << ci.low << ", "
         << ci.high << "] (empirical "
         << report.per_path[p].reachability() << ")";
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Availabilities, ModelVsSimulation,
-                         ::testing::Values(0.693, 0.83, 0.948));
+INSTANTIATE_TEST_SUITE_P(
+    AvailabilitiesAndRegimes, ModelVsSimulation,
+    ::testing::Combine(::testing::Values(0.693, 0.83, 0.948),
+                       ::testing::Values(sim::LinkRegime::kIndependent,
+                                         sim::LinkRegime::kChannel)));
 
 TEST(ModelVsSimulationDetail, CycleDistributionOfExamplePath) {
   // The Section V-A example path as a standalone network.
@@ -125,7 +155,8 @@ TEST(ModelVsSimulationDetail, EtaBDelaysMatch) {
       link::LinkModel::from_availability(0.83));
   const hart::NetworkMeasures model = hart::analyze_network(
       t.network, t.paths, t.eta_b, t.superframe, 4);
-  const sim::SimulationReport report = simulate(t, t.eta_b, 20000, 99);
+  const sim::SimulationReport report =
+      simulate(t, t.eta_b, 20000, 99, sim::LinkRegime::kIndependent);
 
   for (std::size_t p = 0; p < t.paths.size(); ++p) {
     const hart::PathMeasures& path = model.per_path[p];

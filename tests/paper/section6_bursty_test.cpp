@@ -1,0 +1,161 @@
+// Golden regression values for the Section VI typical network re-solved
+// under a bursty correlated-channel regime: every link runs a slow
+// Gilbert-Elliott chain (p_good->bad = 0.005, p_bad->good = 0.0125 —
+// mean bad burst 80 slots, two full superframe cycles) rescaled to the
+// paper's pi(up) = 0.83 operating point.  Attempts a cycle apart stay
+// correlated, so the expected delivery ratios drop well below the
+// i.i.d. goldens of section6_golden_test.cpp (three-hop paths:
+// 0.9906 -> 0.9538) — pinning these values guards the channel-enlarged
+// solver end to end (enlarged matrix assembly, both transient kernels,
+// Eq. 6-11 aggregation over the enlarged chain).
+//
+// Tolerances as in section6_golden_test.cpp: 1e-9 absolute for
+// probabilities, 1e-6 ms for delays.  If a deliberate change moves
+// these values, re-derive them with full precision from
+// hart::analyze_network (AnalysisOptions::channel set) and update the
+// table in the same commit.
+#include <gtest/gtest.h>
+
+#include "whart/hart/network_analysis.hpp"
+#include "whart/net/typical_network.hpp"
+#include "whart/sim/simulator.hpp"
+
+namespace whart {
+namespace {
+
+struct PathGolden {
+  std::size_t hop_count;
+  double reachability;
+  double expected_delay_ms;
+};
+
+constexpr double kProbabilityTolerance = 1e-9;
+constexpr double kDelayToleranceMs = 1e-6;
+
+link::ChannelModel bursty_channel() {
+  // Mean bad burst 1 / 0.0125 = 80 slots; error rates 0/1 before the
+  // per-link rescale to availability 0.83.
+  return link::ChannelModel::gilbert_elliott(0.005, 0.0125, 0.0, 1.0);
+}
+
+void expect_golden(const net::Schedule& schedule,
+                   const net::TypicalNetwork& t,
+                   const std::vector<PathGolden>& golden,
+                   double mean_delay_ms, std::size_t bottleneck) {
+  for (hart::TransientKernel kernel :
+       {hart::TransientKernel::kPerSlot,
+        hart::TransientKernel::kSuperframeProduct}) {
+    hart::AnalysisOptions options;
+    options.kernel = kernel;
+    options.channel = bursty_channel();
+    const hart::NetworkMeasures m = hart::analyze_network(
+        t.network, t.paths, schedule, t.superframe, 4, options);
+    ASSERT_EQ(m.per_path.size(), golden.size());
+    for (std::size_t p = 0; p < golden.size(); ++p) {
+      EXPECT_EQ(t.paths[p].hop_count(), golden[p].hop_count)
+          << "path " << p + 1;
+      EXPECT_NEAR(m.per_path[p].reachability, golden[p].reachability,
+                  kProbabilityTolerance)
+          << "path " << p + 1;
+      EXPECT_NEAR(m.per_path[p].expected_delay_ms,
+                  golden[p].expected_delay_ms, kDelayToleranceMs)
+          << "path " << p + 1;
+    }
+    EXPECT_NEAR(m.mean_delay_ms, mean_delay_ms, kDelayToleranceMs);
+    EXPECT_EQ(m.bottleneck_by_delay, bottleneck);
+    // More attempts per delivery than i.i.d. (0.28536 / 0.28286): bursts
+    // waste retries while every delivery still charges its n + i - 1.
+    EXPECT_NEAR(m.network_utilization, 0.29584239293112324,
+                kProbabilityTolerance);
+    EXPECT_NEAR(m.network_utilization_delivered, 0.28119847563711081,
+                kProbabilityTolerance);
+  }
+}
+
+TEST(PaperSection6Bursty, EtaASchedule) {
+  const net::TypicalNetwork t = net::make_typical_network(
+      link::LinkModel::from_availability(0.83));
+  expect_golden(t.eta_a, t,
+                {{1, 0.99069053815610497, 103.32612908107455},
+                 {1, 0.99069053815610497, 113.32612908107455},
+                 {1, 0.99069053815610497, 123.32612908107455},
+                 {2, 0.97520883751623033, 226.89223451969994},
+                 {2, 0.97520883751623033, 246.89223451969997},
+                 {2, 0.97520883751623033, 266.89223451969997},
+                 {2, 0.97520883751623033, 286.89223451969997},
+                 {2, 0.97520883751623033, 306.89223451969997},
+                 {3, 0.95376922190210001, 411.49417168517556},
+                 {3, 0.95376922190210001, 441.49417168517562}},
+                252.74279032120751, 9);
+}
+
+TEST(PaperSection6Bursty, EtaBSchedule) {
+  const net::TypicalNetwork t = net::make_typical_network(
+      link::LinkModel::from_availability(0.83));
+  expect_golden(t.eta_b, t,
+                {{1, 0.99069053815610497, 263.32612908107461},
+                 {1, 0.99069053815610497, 273.32612908107455},
+                 {1, 0.99069053815610497, 283.32612908107455},
+                 {2, 0.97520883751623033, 256.89223451969997},
+                 {2, 0.97520883751623033, 276.89223451969997},
+                 {2, 0.97520883751623033, 296.89223451969991},
+                 {2, 0.97520883751623033, 316.89223451969997},
+                 {2, 0.97520883751623033, 336.89223451969997},
+                 {3, 0.95376922190210001, 281.49417168517562},
+                 {3, 0.95376922190210001, 311.49417168517556}},
+                289.74279032120751, 7);
+}
+
+TEST(PaperSection6Bursty, BurstsStrictlyDegradeTheIidGoldens) {
+  // Same marginal availability; the only difference is memory.  Every
+  // multi-hop delivery ratio must sit strictly below its i.i.d. golden
+  // (0.99916479 / 0.9963919 / 0.9906381) and the mean delay above it.
+  const net::TypicalNetwork t = net::make_typical_network(
+      link::LinkModel::from_availability(0.83));
+  hart::AnalysisOptions options;
+  options.channel = bursty_channel();
+  const hart::NetworkMeasures bursty = hart::analyze_network(
+      t.network, t.paths, t.eta_a, t.superframe, 4, options);
+  const hart::NetworkMeasures iid = hart::analyze_network(
+      t.network, t.paths, t.eta_a, t.superframe, 4);
+  for (std::size_t p = 0; p < t.paths.size(); ++p)
+    EXPECT_LT(bursty.per_path[p].reachability,
+              iid.per_path[p].reachability - 1e-3)
+        << "path " << p + 1;
+  EXPECT_GT(bursty.mean_delay_ms, iid.mean_delay_ms + 1.0);
+}
+
+TEST(PaperSection6Bursty, SimulatorConfirmsTheBurstyDeliveryRatios) {
+  // Cross-validation against the kChannel Monte-Carlo: the pinned
+  // analytic delivery ratios — including the mean-burst-80 correlation
+  // structure — must sit inside the empirical confidence band.
+  const net::TypicalNetwork t = net::make_typical_network(
+      link::LinkModel::from_availability(0.83));
+  hart::AnalysisOptions options;
+  options.channel = bursty_channel();
+  const hart::NetworkMeasures model = hart::analyze_network(
+      t.network, t.paths, t.eta_a, t.superframe, 4, options);
+
+  sim::SimulatorConfig config;
+  config.superframe = t.superframe;
+  config.reporting_interval = 4;
+  config.intervals = 20000;
+  config.seed = 1234;
+  config.shards = 4;
+  config.regime = sim::LinkRegime::kChannel;
+  config.channel = bursty_channel();
+  const sim::NetworkSimulator simulator(t.network, t.paths, t.eta_a, config);
+  const sim::SimulationReport report = simulator.run();
+
+  for (std::size_t p = 0; p < t.paths.size(); ++p) {
+    const auto ci = report.per_path[p].reachability_interval(4.0);
+    EXPECT_TRUE(ci.contains(model.per_path[p].reachability))
+        << "path " << p + 1 << ": analytic "
+        << model.per_path[p].reachability << " not in [" << ci.low << ", "
+        << ci.high << "] (empirical "
+        << report.per_path[p].reachability() << ")";
+  }
+}
+
+}  // namespace
+}  // namespace whart
