@@ -37,6 +37,16 @@
 //                        §13; 1 = scalar refills, requires
 //                        --reuse-skeleton; sweep values agree with
 //                        scalar to rounding)
+//   --what-if link=<id>:<pfl>
+//                        incremental what-if (DESIGN.md §15): re-evaluate
+//                        the network with link <id>'s per-slot failure
+//                        probability set to <pfl> (its recovery
+//                        probability kept), re-solving only the paths
+//                        scheduled over that link through the cached
+//                        cycle products; prints the affected paths'
+//                        measure deltas and the new network summary.
+//                        Not available together with --channel
+
 //   --metrics[=<file>]   dump the metrics-registry snapshot as JSON
 //                        (default file: whart_metrics.json)
 //   --trace[=<file>]     record trace spans and dump Chrome trace_event
@@ -60,6 +70,7 @@
 #include "whart/hart/network_analysis.hpp"
 #include "whart/hart/stability.hpp"
 #include "whart/hart/sweep.hpp"
+#include "whart/hart/what_if.hpp"
 #include "whart/net/typical_network.hpp"
 #include "whart/report/csv.hpp"
 #include "whart/report/histogram.hpp"
@@ -88,6 +99,11 @@ struct Options {
       whart::hart::TransientKernel::kPerSlot;
   bool reuse_skeleton = true;
   std::size_t batch_lanes = 1;
+  std::string what_if_spec;  // "link=<id>:<pfl>", empty = off
+  // Whether the flags --channel silently bypasses were passed explicitly
+  // (the combination earns a warning and a `cli.ignored_flags` count).
+  bool batch_lanes_set = false;
+  bool reuse_flag_set = false;
 };
 
 int usage() {
@@ -98,7 +114,7 @@ int usage() {
                "[--channel iid|ge:pgb,pbg,eg,eb|chain:<file>] "
                "[--kernel per-slot|superframe] "
                "[--reuse-skeleton|--no-reuse-skeleton] "
-               "[--batch-lanes <n>] "
+               "[--batch-lanes <n>] [--what-if link=<id>:<pfl>] "
                "[--metrics[=<file>]] [--trace[=<file>]] "
                "[--obs-dir=<dir>]\n";
   return 2;
@@ -178,6 +194,75 @@ void write_csv(const whart::cli::ParsedSpec& spec,
             << "\n";
 }
 
+/// The --what-if mode: re-evaluate the network with one link's failure
+/// probability moved to the requested value, through the incremental
+/// engine (DESIGN.md §15) — only paths scheduled over the link re-solve.
+void print_what_if(const whart::cli::ParsedSpec& spec,
+                   const whart::net::Schedule& schedule,
+                   const Options& options) {
+  const std::string& raw = options.what_if_spec;
+  const char* expected = "--what-if expects link=<id>:<pfl>";
+  if (raw.rfind("link=", 0) != 0)
+    throw std::runtime_error(std::string(expected) + ", got '" + raw + "'");
+  const std::size_t colon = raw.find(':', 5);
+  if (colon == std::string::npos || colon == 5)
+    throw std::runtime_error(std::string(expected) + ", got '" + raw + "'");
+  const whart::net::LinkId link{
+      static_cast<std::uint32_t>(std::stoul(raw.substr(5, colon - 5)))};
+  const double pfl = std::stod(raw.substr(colon + 1));
+  if (link.value >= spec.network.link_count())
+    throw std::runtime_error("--what-if: unknown link id " +
+                             std::to_string(link.value));
+  if (!(pfl >= 0.0) || !(pfl < 1.0))
+    throw std::runtime_error("--what-if: pfl must be in [0, 1)");
+
+  // The link keeps its measured recovery probability; only the per-slot
+  // failure probability moves, so the what-if availability follows from
+  // the two-state model's stationary distribution.
+  const whart::link::LinkModel& base = spec.network.link(link).model;
+  const double prc = base.recovery_probability();
+  const double availability = prc / (prc + pfl);
+
+  whart::hart::WhatIfOptions what_if_options;
+  what_if_options.kernel = options.kernel;
+  whart::hart::WhatIfEngine engine(spec.network, spec.paths, schedule,
+                                   spec.superframe, spec.reporting_interval,
+                                   what_if_options);
+  const std::vector<whart::hart::PathMeasures>& baseline = engine.baseline();
+  whart::hart::WhatIfResult result = engine.what_if(link, availability);
+
+  const whart::net::Link& edge = spec.network.link(link);
+  std::cout << "\nWhat-if: link " << link.value << " ("
+            << spec.network.node_name(edge.a) << "-"
+            << spec.network.node_name(edge.b) << ") pfl "
+            << Table::fixed(base.failure_probability(), 4) << " -> "
+            << Table::fixed(pfl, 4) << " (availability "
+            << Table::percent(base.steady_state_availability(), 2) << " -> "
+            << Table::percent(availability, 2) << ")\n";
+
+  Table table({"affected path", "R (base)", "R (what-if)", "E[delay] base",
+               "E[delay] what-if"});
+  for (std::size_t p : engine.affected_paths(link)) {
+    table.add_row({spec.paths[p].to_string(spec.network),
+                   Table::percent(baseline[p].reachability, 3),
+                   Table::percent(result.per_path[p].reachability, 3),
+                   Table::fixed(baseline[p].expected_delay_ms, 1),
+                   Table::fixed(result.per_path[p].expected_delay_ms, 1)});
+  }
+  table.print(std::cout);
+
+  const std::size_t resolved = result.paths_resolved;
+  const std::size_t reused = result.paths_reused;
+  const whart::hart::NetworkMeasures what_if_measures =
+      whart::hart::aggregate_measures(std::move(result.per_path));
+  std::cout << "what-if network: E[Gamma] = "
+            << Table::fixed(what_if_measures.mean_delay_ms, 1)
+            << " ms, utilization U = "
+            << Table::fixed(what_if_measures.network_utilization, 4) << "\n"
+            << "incremental solver: " << resolved << " paths re-solved, "
+            << reused << " reused from cache\n";
+}
+
 void print_analysis(const whart::cli::ParsedSpec& spec,
                     const Options& options) {
   const std::uint64_t simulate_intervals = options.simulate_intervals;
@@ -189,6 +274,30 @@ void print_analysis(const whart::cli::ParsedSpec& spec,
   std::optional<whart::link::ChannelModel> channel;
   if (!options.channel_spec.empty())
     channel = whart::link::ChannelModel::parse(options.channel_spec);
+
+  // --channel routes every solve through the channel-enlarged DTMC,
+  // which has no skeleton-reuse or batched-refill path; flags asking for
+  // those would otherwise be swallowed silently.
+  if (channel.has_value()) {
+    std::uint64_t ignored = 0;
+    if (options.batch_lanes_set) {
+      std::cerr << "whart_cli: warning: --batch-lanes is ignored with "
+                   "--channel (channel-enlarged solves have no batch "
+                   "path)\n";
+      ++ignored;
+    }
+    if (options.reuse_flag_set) {
+      std::cerr << "whart_cli: warning: --reuse-skeleton/--no-reuse-skeleton "
+                   "is ignored with --channel (channel-enlarged solves "
+                   "rebuild from scratch)\n";
+      ++ignored;
+    }
+    if (ignored > 0) WHART_COUNT_N("cli.ignored_flags", ignored);
+  }
+  if (channel.has_value() && !options.what_if_spec.empty())
+    throw std::runtime_error(
+        "--what-if is not available together with --channel (the "
+        "incremental engine caches slot-independent cycle products)");
 
   whart::hart::AnalysisOptions analysis_options;
   analysis_options.kernel = options.kernel;
@@ -304,6 +413,8 @@ void print_analysis(const whart::cli::ParsedSpec& spec,
               << spec.paths[worst].to_string(spec.network) << " to "
               << options.sweep_path << "\n";
   }
+  if (!options.what_if_spec.empty())
+    print_what_if(spec, schedule, options);
 }
 
 /// Write the --metrics / --trace dumps after the analysis has run.
@@ -371,12 +482,17 @@ int main(int argc, char** argv) {
       else
         return usage();
     }
-    else if (arg == "--reuse-skeleton")
+    else if (arg == "--reuse-skeleton") {
       options.reuse_skeleton = true;
-    else if (arg == "--no-reuse-skeleton")
+      options.reuse_flag_set = true;
+    } else if (arg == "--no-reuse-skeleton") {
       options.reuse_skeleton = false;
-    else if (arg == "--batch-lanes" && i + 1 < argc)
+      options.reuse_flag_set = true;
+    } else if (arg == "--batch-lanes" && i + 1 < argc) {
       options.batch_lanes = std::stoull(argv[++i]);
+      options.batch_lanes_set = true;
+    } else if (arg == "--what-if" && i + 1 < argc)
+      options.what_if_spec = argv[++i];
     else if (arg == "--metrics")
       options.metrics_path = "whart_metrics.json";
     else if (arg.rfind("--metrics=", 0) == 0)

@@ -24,8 +24,9 @@
 //   --inject <fault>     corrupt the production leg on purpose:
 //                        link-bias | discard-leak | cycle-shift |
 //                        product-entry | stale-skeleton-value |
-//                        lane-swap | channel-state-leak (a healthy
-//                        harness must then FAIL)
+//                        lane-swap | channel-state-leak |
+//                        stale-product-row (a healthy harness must
+//                        then FAIL)
 //   --metrics[=<file>]   dump the obs metrics snapshot as JSON
 //                        (default file: whart_verify_metrics.json)
 //   --obs-dir=<dir>      full observability bundle (metrics.json,
@@ -53,7 +54,8 @@ int usage() {
                "[--intervals <n>] [--shards <n>] [--threads <n>] "
                "[--channel-prob <p>] "
                "[--inject link-bias|discard-leak|cycle-shift|product-entry|"
-               "stale-skeleton-value|lane-swap|channel-state-leak] "
+               "stale-skeleton-value|lane-swap|channel-state-leak|"
+               "stale-product-row] "
                "[--metrics[=<file>]] [--obs-dir=<dir>]\n";
   return 2;
 }
@@ -127,6 +129,9 @@ int main(int argc, char** argv) {
         else if (fault == "channel-state-leak")
           config.oracle.injection =
               whart::verify::Injection::kChannelStateLeak;
+        else if (fault == "stale-product-row")
+          config.oracle.injection =
+              whart::verify::Injection::kStaleProductRow;
         else
           return usage();
       } else if (arg == "--metrics") {

@@ -1088,6 +1088,80 @@ void PathModelSkeleton::analyze_into(const LinkProbabilityProvider& links,
   model_.analyze_per_slot_into(provider, ws, result);
 }
 
+bool PathModelSkeleton::analyze_incremental_into(
+    const LinkProbabilityProvider& links, const PathAnalysisOptions& options,
+    std::span<const std::size_t> changed_hops,
+    markov::IncrementalProduct& product, SolveWorkspace& ws,
+    PathTransientResult& result) const {
+  expects(links.hop_count() >= config().hop_count(),
+          "provider covers every hop");
+  // The incremental path exists only where the cycle product does; every
+  // regime analyze_into would route elsewhere (per-slot kernel,
+  // non-stationary links, channel enlargement) or solve fresh (refill
+  // injections, degenerate ps) is declined here so the caller's fresh
+  // fallback reproduces analyze_into's behavior exactly.
+  if (options.kernel != TransientKernel::kSuperframeProduct ||
+      !links.cycle_stationary() ||
+      channel_enlarged(links, config().hop_count()) ||
+      options.inject_product_error != 0.0 ||
+      options.inject_stale_skeleton != 0.0) {
+    WHART_COUNT("hart.whatif.incremental_fallback");
+    return false;
+  }
+  const net::SuperframeConfig& superframe = model_.config().superframe;
+  for (const SlotProvenance& prov : provenance_) {
+    const double ps = links.up_probability(
+        prov.hop, superframe.absolute_slot_of_uplink(prov.slot));
+    if (!(ps > 0.0) || !(ps < 1.0)) {
+      WHART_COUNT("hart.whatif.incremental_fallback");
+      return false;
+    }
+  }
+  if (!ws.primed || !(ws.primed_config == model_.config())) prime(ws);
+  {
+    WHART_TIMER("hart.stage.incremental_refill.ns");
+    if (!product.seeded()) {
+      // Cold start: write every firing value and seed the partial-value
+      // cache with one full replay.
+      for (const SlotProvenance& prov : provenance_) {
+        const double ps = links.up_probability(
+            prov.hop, superframe.absolute_slot_of_uplink(prov.slot));
+        const std::span<double> values = ws.slots[prov.slot - 1].values();
+        values[prov.failure_index] = 1.0 - ps;
+        values[prov.success_index] = ps;
+      }
+      product.refill(ws.slots);
+      WHART_COUNT("hart.whatif.seeds");
+    } else {
+      for (const SlotProvenance& prov : provenance_) {
+        bool changed = false;
+        for (std::size_t hop : changed_hops) changed |= prov.hop == hop;
+        if (!changed) continue;
+        const double ps = links.up_probability(
+            prov.hop, superframe.absolute_slot_of_uplink(prov.slot));
+        const std::span<double> values = ws.slots[prov.slot - 1].values();
+        values[prov.failure_index] = 1.0 - ps;
+        values[prov.success_index] = ps;
+        product.update(prov.slot - 1, prov.failure_index);
+        product.update(prov.slot - 1, prov.success_index);
+      }
+      product.propagate(ws.slots);
+      WHART_COUNT("hart.whatif.incremental_solves");
+    }
+    const std::span<const double> values = product.values();
+    std::copy(values.begin(), values.end(), ws.product.values().begin());
+    if (options.inject_stale_product_row != 0.0) {
+      // Emulate a row the targeted re-accumulation failed to replay.
+      const markov::CsrPattern& pattern = chain_.pattern();
+      const std::span<double> out = ws.product.values();
+      for (std::size_t k = pattern.row_start[0]; k < pattern.row_start[1]; ++k)
+        out[k] += options.inject_stale_product_row;
+    }
+  }
+  model_.analyze_superframe_into(links, ws.slots, ws.product, ws, result);
+  return true;
+}
+
 void PathModelSkeleton::prime_batch(BatchSolveWorkspace& ws,
                                     std::size_t lanes) const {
   ws.slot_values.resize(slot_patterns_.size());

@@ -28,6 +28,7 @@
 #include "whart/linalg/sparse.hpp"
 #include "whart/markov/batch_refill.hpp"
 #include "whart/markov/dtmc.hpp"
+#include "whart/markov/incremental_product.hpp"
 #include "whart/markov/structure.hpp"
 #include "whart/net/schedule.hpp"
 #include "whart/net/superframe.hpp"
@@ -81,6 +82,15 @@ struct PathAnalysisOptions {
   /// lane contamination), which the differential oracle's batch arm
   /// must catch.  Always false in production.
   bool inject_lane_swap = false;
+
+  /// Verification-harness fault injection: when nonzero, the incremental
+  /// solve path (PathModelSkeleton::analyze_incremental_into) adds this
+  /// delta to every entry of row 0 of the propagated cycle product — the
+  /// signature of a stale product row that the targeted re-accumulation
+  /// failed to replay, which the differential oracle's incremental arm
+  /// must catch.  Ignored by every other solve path.  Always 0 in
+  /// production.
+  double inject_stale_product_row = 0.0;
 
   /// Verification-harness fault injection: in the channel-enlarged
   /// solver (path_model_channel.cpp), redistribute the failure mass of
@@ -490,6 +500,29 @@ class PathModelSkeleton {
                     const PathAnalysisOptions& options,
                     SolveWorkspace& workspace,
                     PathTransientResult& result) const;
+
+  /// Incremental numeric phase (DESIGN.md §15): like analyze_into, but
+  /// instead of refilling the whole cycle-product chain it reuses
+  /// `product`'s cached partial values and replays only the Gustavson
+  /// rows reachable from the firing entries of `changed_hops` — bitwise
+  /// equal to a full refill (markov::IncrementalProduct).  Contract:
+  /// `workspace` and `product` are dedicated to this skeleton and to
+  /// incremental solves; between calls, the slot values of hops *not* in
+  /// `changed_hops` must still hold the probabilities of the previous
+  /// call (the caller re-solves to revert a perturbation, passing the
+  /// same hops).  An unseeded product is seeded by a full replay
+  /// (`changed_hops` is then ignored).  Returns false — `result`
+  /// untouched, workspace and product unmodified — when the incremental
+  /// path cannot reproduce a fresh build: per-slot kernel, non-cycle-
+  /// stationary provider, channel enlargement, degenerate firing
+  /// probability, or a refill-path injection; the caller then solves
+  /// through analyze_into (with a separate workspace).
+  bool analyze_incremental_into(const LinkProbabilityProvider& links,
+                                const PathAnalysisOptions& options,
+                                std::span<const std::size_t> changed_hops,
+                                markov::IncrementalProduct& product,
+                                SolveWorkspace& workspace,
+                                PathTransientResult& result) const;
 
   /// Batched numeric phase (DESIGN.md §13): refill up to
   /// options.batch_lanes evaluation points through one SoA pass over the

@@ -7,6 +7,7 @@
 #include "whart/common/obs.hpp"
 #include "whart/common/parallel.hpp"
 #include "whart/hart/analytic.hpp"
+#include "whart/hart/what_if.hpp"
 #include "whart/net/schedule_builder.hpp"
 
 namespace whart::hart {
@@ -81,6 +82,11 @@ double worst_expected_delay(const net::Network& network,
   for (const PathMeasures& m : measures.per_path)
     worst = std::max(worst, m.expected_delay_ms);
   return worst;
+}
+
+double worst_expected_delay(WhatIfEngine& engine, net::LinkId link,
+                            double availability) {
+  return engine.what_if_delta(link, availability).worst_expected_delay_ms;
 }
 
 }  // namespace whart::hart

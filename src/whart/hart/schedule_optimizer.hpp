@@ -50,4 +50,13 @@ double worst_expected_delay(const net::Network& network,
                             std::uint32_t reporting_interval,
                             const AnalysisOptions& options = {});
 
+class WhatIfEngine;
+
+/// What-if variant (DESIGN.md §15): the worst-case expected path delay
+/// after `link`'s availability moves to `availability`, served from the
+/// incremental engine — only paths scheduled over the link re-solve;
+/// every other path's cached delay is reused.
+double worst_expected_delay(WhatIfEngine& engine, net::LinkId link,
+                            double availability);
+
 }  // namespace whart::hart

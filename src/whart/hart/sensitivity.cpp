@@ -9,6 +9,7 @@
 #include "whart/common/contracts.hpp"
 #include "whart/common/parallel.hpp"
 #include "whart/hart/path_cache.hpp"
+#include "whart/hart/what_if.hpp"
 #include "whart/linalg/matrix.hpp"
 #include "whart/linalg/simd.hpp"
 #include "whart/markov/batch_refill.hpp"
@@ -562,6 +563,28 @@ std::vector<LinkSensitivity> rank_link_upgrades(
   std::stable_sort(ranking.begin(), ranking.end(),
                    [](const LinkSensitivity& a, const LinkSensitivity& b) {
                      return a.total_dR_dpi > b.total_dR_dpi;
+                   });
+  return ranking;
+}
+
+std::vector<LinkUpgradeImpact> evaluate_link_upgrades(
+    WhatIfEngine& engine, double target_availability) {
+  expects(target_availability >= 0.0 && target_availability <= 1.0,
+          "availability in [0, 1]");
+  // The all-links what-if sweep: one incremental query per link.  The
+  // base vector is in ascending link-id order (Network::links), so the
+  // stable sort leaves equal-delta links id-ordered — the same
+  // tie-breaking rank_link_upgrades applies.
+  std::vector<LinkUpgradeImpact> ranking;
+  ranking.reserve(engine.links().size());
+  for (net::LinkId link : engine.links()) {
+    const WhatIfDelta delta = engine.what_if_delta(link, target_availability);
+    ranking.push_back({link, delta.reachability_delta,
+                       delta.worst_expected_delay_ms, delta.paths_resolved});
+  }
+  std::stable_sort(ranking.begin(), ranking.end(),
+                   [](const LinkUpgradeImpact& a, const LinkUpgradeImpact& b) {
+                     return a.reachability_delta > b.reachability_delta;
                    });
   return ranking;
 }

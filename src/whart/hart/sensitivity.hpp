@@ -72,4 +72,34 @@ std::vector<LinkSensitivity> rank_link_upgrades(
     TransientKernel kernel = TransientKernel::kPerSlot,
     std::size_t batch_lanes = 1);
 
+class WhatIfEngine;
+
+/// Exact what-if pricing of one candidate link upgrade: every link's
+/// finite reachability/delay impact, not its derivative.
+struct LinkUpgradeImpact {
+  net::LinkId link;
+
+  /// Exact summed reachability gain over the paths using the link when
+  /// its availability moves to the evaluated target.
+  double reachability_delta = 0.0;
+
+  /// Network-wide worst expected path delay after the upgrade, ms.
+  double worst_expected_delay_ms = 0.0;
+
+  std::size_t paths_using = 0;
+};
+
+/// The exact complement of rank_link_upgrades (DESIGN.md §15): move every
+/// link's availability to `target_availability` one at a time through the
+/// incremental what-if engine — only the paths using each link are
+/// re-solved; every other path's cached measures are reused — and rank
+/// the finite gains, largest first (ties keep ascending link-id order).
+/// Where rank_link_upgrades prices the *derivative* dR/dpi, this prices
+/// the actual candidate upgrade; the two orders agree in the small-delta
+/// limit and the derivative ranking is the cheaper screen for the
+/// what-if pricing of the survivors.  Links already at or above the
+/// target still get evaluated (their delta is then typically <= 0).
+std::vector<LinkUpgradeImpact> evaluate_link_upgrades(
+    WhatIfEngine& engine, double target_availability);
+
 }  // namespace whart::hart

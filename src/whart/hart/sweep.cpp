@@ -1,6 +1,7 @@
 #include "whart/hart/sweep.hpp"
 
 #include <limits>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <ostream>
@@ -62,6 +63,45 @@ PathMeasures measure_with_skeleton(
                                  workspace->scratch_result);
 }
 
+/// Shapes the process-wide skeleton store keeps warm; the 65th distinct
+/// shape evicts the least recently used one.  Far above any single
+/// sweep's shape count (hop-count sweeps span a few dozen shapes), so
+/// eviction only triggers across long multi-shape sessions.
+constexpr std::size_t kSkeletonStoreCapacity = 64;
+
+/// LRU-bounded fingerprint-keyed skeleton store.  Calls are serialized
+/// by the caller's mutex.
+class SkeletonStore {
+ public:
+  /// The stored skeleton for `key`, building (and storing) one from
+  /// `config` on a miss; either way the entry becomes most recent.
+  std::shared_ptr<const PathModelSkeleton> acquire(
+      const std::string& key, const PathModelConfig& config) {
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      recency_.splice(recency_.begin(), recency_, it->second.position);
+      return it->second.skeleton;
+    }
+    auto skeleton = std::make_shared<const PathModelSkeleton>(config);
+    recency_.push_front(key);
+    entries_.emplace(key, Entry{skeleton, recency_.begin()});
+    if (entries_.size() > kSkeletonStoreCapacity) {
+      entries_.erase(recency_.back());
+      recency_.pop_back();
+      WHART_COUNT("hart.skeleton.store_evictions");
+    }
+    return skeleton;
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const PathModelSkeleton> skeleton;
+    std::list<std::string>::iterator position;
+  };
+  std::list<std::string> recency_;  ///< most recent first
+  std::unordered_map<std::string, Entry> entries_;
+};
+
 /// One grid point of any sweep: the swept parameter, the model shape it
 /// evaluates, and the link model supplying its availabilities.
 struct PointSpec {
@@ -117,13 +157,13 @@ std::vector<SweepPoint> solve_points(const std::vector<PointSpec>& specs,
   // links only, rank_link_upgrades re-sweeps per candidate link), so a
   // shape's symbolic phase runs once per process.  Skeletons are
   // immutable after construction and handed out as shared const
-  // pointers; the map only grows under its mutex, and distinct shapes
-  // are few (the same never-evicted argument as PathAnalysisCache's
-  // skeleton store).
+  // pointers, so eviction never invalidates a holder — it only forces
+  // the next sweep of that shape to rebuild.  The store is LRU-bounded
+  // (kSkeletonStoreCapacity shapes) so long multi-shape sweeps cannot
+  // grow it without limit; evictions are counted as
+  // `hart.skeleton.store_evictions`.
   static std::mutex skeleton_mutex;
-  static std::unordered_map<std::string,
-                            std::shared_ptr<const PathModelSkeleton>>
-      skeleton_store;
+  static SkeletonStore skeleton_store;
 
   // Points carry a dense shape id instead of a fingerprint string —
   // per-point work is then an integer copy, not a string allocation and
@@ -143,11 +183,7 @@ std::vector<SweepPoint> solve_points(const std::vector<PointSpec>& specs,
         shape_ids.try_emplace(std::move(key), shapes.size());
     if (inserted) {
       const std::lock_guard lock(skeleton_mutex);
-      std::shared_ptr<const PathModelSkeleton>& shared =
-          skeleton_store[it->first];
-      if (shared == nullptr)
-        shared = std::make_shared<const PathModelSkeleton>(spec.config);
-      shapes.push_back(shared);
+      shapes.push_back(skeleton_store.acquire(it->first, spec.config));
     }
     shape_of[i] = it->second;
   }

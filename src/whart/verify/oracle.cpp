@@ -122,6 +122,15 @@ OracleReport cross_validate(const Scenario& input_scenario,
         std::max<std::uint32_t>(scenario.reporting_interval, 2);
     scenario.ttl.reset();
   }
+  // kStaleProductRow corrupts the cycle product the incremental leg
+  // propagates; with a single-cycle interval the transient never applies
+  // the product, so the self-test forces retries to exist (mirroring the
+  // channel-leak forcing above).
+  if (config.injection == Injection::kStaleProductRow) {
+    scenario.reporting_interval =
+        std::max<std::uint32_t>(scenario.reporting_interval, 2);
+    scenario.ttl.reset();
+  }
   scenario.validate();
   OracleReport report;
 
@@ -368,6 +377,104 @@ OracleReport cross_validate(const Scenario& input_scenario,
           compare_lane("transmissions_hop" + std::to_string(h),
                        fresh.expected_transmissions_per_hop[h],
                        batched[j].expected_transmissions_per_hop[h]);
+      }
+    }
+
+    // Incremental leg: the what-if engine's targeted Gustavson row
+    // replay (markov::IncrementalProduct, DESIGN.md §15).  The leg
+    // seeds a baseline cycle product from sanitized availabilities
+    // (clamped strictly into (0, 1), so the incremental path never
+    // declines on a degenerate firing probability — the leg asserts
+    // incremental-vs-fresh equivalence and may pick its own probe
+    // values), then perturbs each hop in isolation, re-solves through
+    // analyze_incremental_into (only the dirty product rows replayed)
+    // and compares against a fresh solve of the perturbed chain.  Under
+    // kPerSlot the incremental path declines by contract and the
+    // cached-skeleton fallback the what-if engine would take is held to
+    // the same bound.  kStaleProductRow corrupts only this leg.
+    {
+      constexpr double kIncrementalTolerance = 1e-12;
+      const hart::PathModel model(path_config);
+      const hart::PathModelSkeleton skeleton(path_config);
+      std::vector<double> base = availabilities;
+      for (double& a : base) a = std::clamp(a, 0.02, 0.98);
+      const hart::SteadyStateLinks base_links{base};
+      for (const hart::TransientKernel kernel :
+           {hart::TransientKernel::kPerSlot,
+            hart::TransientKernel::kSuperframeProduct}) {
+        const bool superframe =
+            kernel == hart::TransientKernel::kSuperframeProduct;
+        const std::string tag =
+            superframe ? "incremental:superframe" : "incremental:per-slot";
+        hart::PathAnalysisOptions options;
+        options.kernel = kernel;
+        if (config.injection == Injection::kStaleProductRow)
+          options.inject_stale_product_row = 1e-6;
+        hart::PathAnalysisOptions fresh_options;
+        fresh_options.kernel = kernel;
+        markov::IncrementalProduct product(skeleton.chain(),
+                                           skeleton.slot_patterns());
+        hart::SolveWorkspace workspace;
+        hart::PathTransientResult incremental;
+        const bool seeded = skeleton.analyze_incremental_into(
+            base_links, options, {}, product, workspace, incremental);
+        if (superframe && !seeded) {
+          add_finding(p, "closure:incremental-dispatch",
+                      "incremental seed declined on cycle-stationary links");
+          continue;
+        }
+        for (std::size_t h = 0; h < base.size(); ++h) {
+          std::vector<double> perturbed = base;
+          perturbed[h] = 0.5 * base[h] + 0.25;  // stays inside (0, 1)
+          if (perturbed[h] == base[h]) perturbed[h] += 0.01;
+          const hart::SteadyStateLinks links{perturbed};
+          const std::size_t changed[] = {h};
+          bool solved = false;
+          if (seeded)
+            solved = skeleton.analyze_incremental_into(
+                links, options, changed, product, workspace, incremental);
+          if (superframe && !solved) {
+            add_finding(
+                p, "closure:incremental-dispatch",
+                "incremental solve declined on hop " + std::to_string(h));
+            break;
+          }
+          if (!solved)
+            skeleton.analyze_into(links, options, workspace, incremental);
+          const hart::PathTransientResult fresh =
+              model.analyze(links, fresh_options);
+          const auto compare_incremental = [&](const std::string& field,
+                                               double fresh_value,
+                                               double incremental_value) {
+            if (!close(fresh_value, incremental_value, kIncrementalTolerance))
+              add_finding(p, tag + ":hop" + std::to_string(h) + ":" + field,
+                          "fresh " + format_double(fresh_value) +
+                              " vs incremental " +
+                              format_double(incremental_value));
+          };
+          for (std::size_t i = 0; i < fresh.cycle_probabilities.size(); ++i)
+            compare_incremental("g(" + std::to_string(i + 1) + ")",
+                                fresh.cycle_probabilities[i],
+                                incremental.cycle_probabilities[i]);
+          compare_incremental("discard", fresh.discard_probability,
+                              incremental.discard_probability);
+          compare_incremental("expected_transmissions",
+                              fresh.expected_transmissions,
+                              incremental.expected_transmissions);
+          compare_incremental("transmissions_delivered",
+                              fresh.expected_transmissions_delivered,
+                              incremental.expected_transmissions_delivered);
+          for (std::size_t hh = 0;
+               hh < fresh.expected_transmissions_per_hop.size(); ++hh)
+            compare_incremental("transmissions_hop" + std::to_string(hh),
+                                fresh.expected_transmissions_per_hop[hh],
+                                incremental.expected_transmissions_per_hop[hh]);
+          // Restore the baseline product state so the next hop's
+          // perturbation is isolated (targeted replay, no fresh seed).
+          if (seeded)
+            skeleton.analyze_incremental_into(base_links, options, changed,
+                                              product, workspace, incremental);
+        }
       }
     }
 

@@ -25,7 +25,16 @@
 //       is compared against verify::reference_solve_channel, an
 //       independent dense solver over the (t, hop, channel-state) grid,
 //       and the simulator leg switches to the kChannel regime so the
-//       empirical draws come from the very chains the analytics solve.
+//       empirical draws come from the very chains the analytics solve;
+//   (8) the incremental leg — the what-if engine's targeted row replay
+//       (markov::IncrementalProduct, DESIGN.md §15): after seeding a
+//       baseline cycle product, each hop's availability is perturbed in
+//       isolation, re-solved through
+//       PathModelSkeleton::analyze_incremental_into (only the dirty
+//       product rows replayed) and compared against a fresh solve of
+//       the perturbed chain to 1e-12 relative, for both kernels (under
+//       kPerSlot the incremental path declines by contract and the
+//       cached-skeleton fallback is held to the same bound).
 // Production vs. reference must agree to a deterministic relative
 // tolerance (both are exact solvers of the same chain).  Production vs.
 // simulator is judged statistically: a disagreement counts only when
@@ -43,9 +52,11 @@
 // kStaleSkeletonValue biases one refilled value of the refill leg (a
 // stand-in for a stale skeleton provenance map), kLaneSwap swaps the
 // first two value lanes of the batch leg's SoA cycle product (a
-// stand-in for a lane-indexing bug in the vectorized refill).  A
-// healthy harness reports findings for every injection and none for
-// kNone.
+// stand-in for a lane-indexing bug in the vectorized refill),
+// kStaleProductRow biases the start-state row of the incremental leg's
+// propagated cycle product (a stand-in for an incompletely replayed
+// product row after a targeted update).  A healthy harness reports
+// findings for every injection and none for kNone.
 #pragma once
 
 #include <cstdint>
@@ -87,6 +98,13 @@ enum class Injection {
   /// scenario, so retries exist and the leak is observable.  Caught by
   /// the channel-reference comparison.
   kChannelStateLeak,
+  /// Every entry of row 0 of the incremental leg's propagated cycle
+  /// product biased by 1e-6 (the start-state row; a stand-in for a
+  /// stale or incompletely replayed product row after a targeted
+  /// update).  The oracle forces a multi-cycle interval so the cycle
+  /// product is always consulted.  Caught by the incremental-vs-fresh
+  /// comparison.
+  kStaleProductRow,
 };
 
 struct OracleConfig {

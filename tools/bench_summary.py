@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Aggregate every committed BENCH_*.json baseline into one markdown
+performance-trajectory table.
+
+Each baseline file is a google-benchmark JSON document committed at the
+PR that introduced its gate (see the bench-regression job in
+.github/workflows/ci.yml).  This tool renders them all into a single
+markdown report — one section per suite, one row per benchmark — so the
+repo's performance story is readable in one place instead of spread
+across JSON blobs:
+
+    tools/bench_summary.py                      # markdown to stdout
+    tools/bench_summary.py --output summary.md  # ... or to a file
+    tools/bench_summary.py --dir path/to/repo   # baselines elsewhere
+
+For suites run with repetitions, only the `_mean` aggregate is reported
+(suffix stripped), matching how check_bench_regression.py reads them.
+User counters are listed inline per row.
+
+Stdlib only; no third-party packages.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+#: Keys of the google-benchmark JSON entry that are run metadata, not
+#: user counters.
+_NON_COUNTER_KEYS = frozenset(
+    {
+        "name",
+        "run_name",
+        "run_type",
+        "repetitions",
+        "repetition_index",
+        "threads",
+        "iterations",
+        "real_time",
+        "cpu_time",
+        "time_unit",
+        "aggregate_name",
+        "aggregate_unit",
+        "family_index",
+        "per_family_instance_index",
+    }
+)
+
+
+def format_time(ns: float) -> str:
+    """Render a nanosecond cpu time with a human unit."""
+    if ns < 1e3:
+        return f"{ns:.1f} ns"
+    if ns < 1e6:
+        return f"{ns / 1e3:.2f} us"
+    if ns < 1e9:
+        return f"{ns / 1e6:.2f} ms"
+    return f"{ns / 1e9:.2f} s"
+
+
+def format_counter(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def load_rows(path: str) -> list[dict]:
+    """Benchmark rows of one baseline: iteration runs, or the `_mean`
+    aggregates (suffix stripped) when the suite ran with repetitions."""
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    rows: dict[str, dict] = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("name", "")
+        if bench.get("cpu_time") is None:
+            continue
+        if bench.get("run_type") == "aggregate":
+            if bench.get("aggregate_name") == "mean" and name.endswith("_mean"):
+                rows[name[: -len("_mean")]] = bench
+        else:
+            rows.setdefault(name, bench)
+    out = []
+    for name, bench in rows.items():
+        counters = {
+            key: value
+            for key, value in bench.items()
+            if key not in _NON_COUNTER_KEYS and isinstance(value, (int, float))
+        }
+        out.append(
+            {
+                "name": name,
+                "cpu_time": float(bench["cpu_time"]),
+                "counters": counters,
+            }
+        )
+    return out
+
+
+def context_line(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        context = json.load(handle).get("context", {})
+    date = str(context.get("date", "?")).split("T")[0]
+    cpus = context.get("num_cpus", "?")
+    mhz = context.get("mhz_per_cpu", "?")
+    return f"recorded {date} on {cpus} cpu(s) @ {mhz} MHz"
+
+
+def render(directory: str) -> str:
+    paths = sorted(glob.glob(os.path.join(directory, "BENCH_*.json")))
+    if not paths:
+        raise SystemExit(f"no BENCH_*.json baselines under {directory}")
+    lines = [
+        "# Benchmark baseline summary",
+        "",
+        "Committed google-benchmark baselines, one section per suite.",
+        "Regenerate any suite with its `bench_*` binary and",
+        "`--benchmark_format=json --benchmark_out=BENCH_<suite>.json`;",
+        "the bench-regression CI job gates fresh runs against these",
+        "files via tools/check_bench_regression.py.",
+        "",
+    ]
+    for path in paths:
+        suite = os.path.basename(path)[len("BENCH_") : -len(".json")]
+        rows = sorted(load_rows(path), key=lambda row: row["name"])
+        lines.append(f"## {suite}")
+        lines.append("")
+        lines.append(f"`{os.path.basename(path)}` — {context_line(path)}")
+        lines.append("")
+        lines.append("| benchmark | cpu time | counters |")
+        lines.append("| --- | ---: | --- |")
+        for row in rows:
+            counters = ", ".join(
+                f"{key}={format_counter(value)}"
+                for key, value in sorted(row["counters"].items())
+            )
+            lines.append(
+                f"| `{row['name']}` | {format_time(row['cpu_time'])} "
+                f"| {counters} |"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--dir",
+        default=".",
+        help="directory holding the BENCH_*.json baselines (default: .)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="write the markdown here instead of stdout",
+    )
+    args = parser.parse_args(argv)
+    report = render(args.dir)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        try:
+            print(report)
+        except BrokenPipeError:  # `bench_summary.py | head` is fine
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
